@@ -1,0 +1,54 @@
+// Ablation: the vertex-consideration order of Algorithm 2. The paper
+// adopts min-degree-first greedy [16] to maximize |L_i|; this bench
+// quantifies what random or max-degree-first order would cost in levels,
+// core size, and label volume.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "graph/stats.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+int main() {
+  const double scale = ScaleFromEnv();
+  PrintHeader("Ablation: independent-set order (Algorithm 2 greedy choice)",
+              "paper's design: min-degree greedy maximizes |L_i| => fewer "
+              "levels, smaller core");
+  std::printf("%-14s %-10s %4s %10s %10s %12s %9s\n", "dataset", "order",
+              "k", "|L_1|", "|V_Gk|", "LabelEntries", "Build(s)");
+
+  struct OrderCase {
+    IsOrder order;
+    const char* name;
+  };
+  const OrderCase cases[] = {{IsOrder::kMinDegree, "min-deg"},
+                             {IsOrder::kRandom, "random"},
+                             {IsOrder::kMaxDegree, "max-deg"}};
+
+  for (const std::string& name : {std::string("synth-btc"),
+                                  std::string("synth-google")}) {
+    Dataset d = MakeDataset(name, scale);
+    for (const OrderCase& c : cases) {
+      IndexOptions opts;
+      opts.is_order = c.order;
+      WallTimer t;
+      auto built = ISLabelIndex::Build(d.graph, opts);
+      if (!built.ok()) continue;
+      const BuildStats& bs = built->build_stats();
+      const std::uint64_t l1 =
+          bs.level_stats.size() > 0 ? bs.level_stats[0].is_size : 0;
+      std::printf("%-14s %-10s %4u %10s %10s %12s %9.2f\n", d.name.c_str(),
+                  c.name, bs.k, HumanCount(l1).c_str(),
+                  HumanCount(bs.core_vertices).c_str(),
+                  HumanCount(bs.label_entries).c_str(), t.ElapsedSeconds());
+    }
+  }
+  std::printf("\nShape check: min-degree yields the largest first "
+              "independent set |L_1| and the\nsmallest residual core for a "
+              "given sigma; max-degree-first is the worst order.\n");
+  return 0;
+}

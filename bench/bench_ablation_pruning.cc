@@ -1,0 +1,88 @@
+// Ablation: the µ pruning of Algorithm 1. µ — the Equation-1 bound over
+// the label intersection — both caps the bi-Dijkstra and can answer
+// queries outright; disabling it (µ = ∞) shows how much work the labels
+// save the residual search.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "core/labeling.h"
+#include "core/query.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+namespace {
+
+// µ only bites when label(s) ∩ label(t) is non-empty, i.e. for *local*
+// pairs whose ancestor cones meet below the core. Uniform random pairs on
+// small-diameter graphs almost never intersect (measured: the searches are
+// identical), so this ablation uses short-random-walk pairs — the workload
+// where Equation 1 can answer outright or tightly cap the search.
+std::vector<std::pair<VertexId, VertexId>> LocalPairs(const Graph& g,
+                                                      std::size_t count,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> out;
+  while (out.size() < count) {
+    VertexId s = static_cast<VertexId>(rng.Uniform(g.NumVertices()));
+    VertexId t = s;
+    const int hops = 2 + static_cast<int>(rng.Uniform(3));
+    for (int h = 0; h < hops; ++h) {
+      auto nbrs = g.Neighbors(t);
+      if (nbrs.empty()) break;
+      t = nbrs[rng.Uniform(nbrs.size())];
+    }
+    if (t != s) out.emplace_back(s, t);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_queries = QueriesFromEnv();
+  PrintHeader("Ablation: Equation-1 mu pruning in the label-based "
+              "bi-Dijkstra (Algorithm 1)",
+              "workload: local pairs (2-4 hop random walks), where labels "
+              "intersect");
+  std::printf("%-14s %-9s %12s %14s %14s\n", "dataset", "pruning",
+              "Query(us)", "settled/query", "relaxed/query");
+
+  for (const std::string& name : {std::string("synth-web"),
+                                  std::string("synth-google")}) {
+    Dataset d = MakeDataset(name, scale);
+    auto built = ISLabelIndex::Build(d.graph, IndexOptions{});
+    if (!built.ok()) continue;
+    ISLabelIndex index = std::move(built).value();
+    auto queries = LocalPairs(d.graph, num_queries, 77);
+
+    // Drive the engine directly so the ablation toggle is accessible.
+    QueryEngine engine(&index.hierarchy(), LabelProvider(&index.labels()));
+    for (bool disable : {false, true}) {
+      engine.set_disable_mu_pruning(disable);
+      std::uint64_t settled = 0, relaxed = 0;
+      WallTimer t;
+      for (auto [s, u] : queries) {
+        Distance dist = 0;
+        QueryStats stats;
+        (void)engine.Query(s, u, &dist, &stats);
+        settled += stats.settled;
+        relaxed += stats.relaxed;
+      }
+      std::printf("%-14s %-9s %12.1f %14.1f %14.1f\n", d.name.c_str(),
+                  disable ? "OFF" : "ON",
+                  t.ElapsedMicros() * 1.0 / num_queries,
+                  static_cast<double>(settled) / num_queries,
+                  static_cast<double>(relaxed) / num_queries);
+    }
+  }
+  std::printf("\nShape check: without the label-derived mu the search "
+              "settles many more vertices —\nthe design-choice the paper's "
+              "Algorithm 1 lines 5-6/8 encode.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the σ termination threshold (§5.1). The paper uses 0.95 by
+// default and 0.90 in Table 7; this sweep maps the whole trade-off curve
+// between indexing cost (labels, build time) and query cost (core size).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "graph/stats.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_queries = QueriesFromEnv();
+  PrintHeader("Ablation: sigma threshold sweep (k-selection criterion)",
+              "the paper's Table 3 (0.95) and Table 7 (0.90) are two points "
+              "on this curve");
+  std::printf("%-14s %6s %4s %10s %10s %12s %9s %11s\n", "dataset", "sigma",
+              "k", "|V_Gk|", "|E_Gk|", "LabelEntries", "Build(s)",
+              "Query(us)");
+
+  for (const std::string& name : {std::string("synth-btc"),
+                                  std::string("synth-wiki")}) {
+    Dataset d = MakeDataset(name, scale);
+    auto queries = MakeQueries(d.graph, num_queries, 5);
+    for (double sigma : {0.80, 0.85, 0.90, 0.95, 0.99}) {
+      IndexOptions opts;
+      opts.sigma = sigma;
+      WallTimer t;
+      auto built = ISLabelIndex::Build(d.graph, opts);
+      if (!built.ok()) continue;
+      const double build_s = t.ElapsedSeconds();
+      const BuildStats& bs = built->build_stats();
+      WallTimer qt;
+      for (auto [s, u] : queries) {
+        Distance dist = 0;
+        (void)built->Query(s, u, &dist);
+      }
+      const double query_us = qt.ElapsedMicros() * 1.0 / num_queries;
+      std::printf("%-14s %6.2f %4u %10s %10s %12s %9.2f %11.1f\n",
+                  d.name.c_str(), sigma, bs.k,
+                  HumanCount(bs.core_vertices).c_str(),
+                  HumanCount(bs.core_edges).c_str(),
+                  HumanCount(bs.label_entries).c_str(), build_s, query_us);
+    }
+  }
+  std::printf("\nShape check: raising sigma peels more levels (larger k): "
+              "the core shrinks, labels\nand build time grow; in-memory "
+              "query time is fairly insensitive near the default —\nthe "
+              "robustness the paper claims in §7.2.\n");
+  return 0;
+}

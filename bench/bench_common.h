@@ -1,0 +1,57 @@
+// Shared infrastructure for the table benchmarks: the synthetic stand-in
+// datasets (DESIGN.md §3), query workloads, and table formatting.
+//
+// Every bench accepts two environment variables:
+//   ISLABEL_SCALE    multiplies dataset sizes (default 1.0; the defaults
+//                    are laptop-scale, ~2-6% of the paper's |V|)
+//   ISLABEL_QUERIES  number of random queries per measurement (default 400;
+//                    the paper uses 1000)
+
+#ifndef ISLABEL_BENCH_BENCH_COMMON_H_
+#define ISLABEL_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/stats.h"
+
+namespace islabel {
+namespace bench {
+
+/// One synthetic stand-in for a paper dataset.
+struct Dataset {
+  std::string name;        // e.g. "synth-btc"
+  std::string paper_name;  // e.g. "BTC"
+  /// The paper's Table 2 row for the real dataset, for side-by-side shape
+  /// comparison.
+  std::string paper_row;
+  Graph graph;
+};
+
+/// Names in the paper's order: btc, web, skitter, wiki, google.
+std::vector<std::string> DatasetNames();
+
+/// Builds one stand-in (largest connected component, weights per spec).
+Dataset MakeDataset(const std::string& name, double scale);
+
+/// All five, in paper order.
+std::vector<Dataset> MakeAllDatasets(double scale);
+
+double ScaleFromEnv();
+std::size_t QueriesFromEnv();
+
+/// Uniform random query pairs (the paper's "1000 random queries").
+std::vector<std::pair<VertexId, VertexId>> MakeQueries(const Graph& g,
+                                                       std::size_t count,
+                                                       std::uint64_t seed);
+
+/// Prints a horizontal rule + centered title.
+void PrintHeader(const std::string& title, const std::string& subtitle);
+
+}  // namespace bench
+}  // namespace islabel
+
+#endif  // ISLABEL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,74 @@
+// Table 4: query time with threshold 0.95, split into Time (a) — label
+// retrieval from the disk-resident store — and Time (b) — the label-seeded
+// bi-Dijkstra on G_k.
+//
+// The paper's Time (a) is dominated by a 7200 RPM disk (~10 ms per label
+// I/O); this machine's storage is far faster, so alongside the measured
+// wall time we report the modeled HDD time (label I/Os x 10 ms), which is
+// the column comparable to the paper's.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_queries = QueriesFromEnv();
+  PrintHeader("Table 4: query time (sigma = 0.95, disk-resident labels)",
+              "paper: BTC total 11.55ms (a:11.47 b:0.08) | Web 28.02 "
+              "(a:20.08 b:7.94) | as-Skitter 20.05\n(a:12.68 b:7.37) | "
+              "wiki-Talk 12.22 (a:10.85 b:1.37) | Google 12.97 (a:10.37 "
+              "b:2.60)");
+  std::printf("%-14s %4s %12s %12s %12s %14s\n", "dataset", "k",
+              "Total(ms)", "Time(a)(ms)", "Time(b)(ms)", "HDD-model(a)");
+
+  const std::string tmp = "/tmp/islabel_bench_t4";
+  for (const std::string& name : DatasetNames()) {
+    Dataset d = MakeDataset(name, scale);
+    auto built = ISLabelIndex::Build(d.graph, IndexOptions{});
+    if (!built.ok()) {
+      std::printf("%-14s build failed: %s\n", d.name.c_str(),
+                  built.status().ToString().c_str());
+      continue;
+    }
+    std::filesystem::create_directories(tmp);
+    if (!built->Save(tmp).ok()) continue;
+    auto loaded = ISLabelIndex::Load(tmp, /*labels_in_memory=*/false);
+    if (!loaded.ok()) continue;
+    ISLabelIndex index = std::move(loaded).value();
+
+    double time_a = 0.0, time_b = 0.0;
+    std::uint64_t ios = 0;
+    WallTimer total;
+    for (auto [s, t] : MakeQueries(d.graph, num_queries, 99)) {
+      Distance dist = 0;
+      QueryStats stats;
+      if (!index.Query(s, t, &dist, &stats).ok()) continue;
+      time_a += stats.label_fetch_seconds;
+      time_b += stats.search_seconds;
+      ios += stats.label_ios;
+    }
+    const double total_ms = total.ElapsedMillis() / num_queries;
+    const double a_ms = time_a * 1e3 / num_queries;
+    const double b_ms = time_b * 1e3 / num_queries;
+    // One seek (~10 ms on the paper's 7200 RPM disk) per label fetch.
+    const double hdd_a_ms =
+        static_cast<double>(ios) * 10.0 / num_queries;
+    std::printf("%-14s %4u %12.3f %12.3f %12.3f %14.1f\n", d.name.c_str(),
+                index.k(), total_ms, a_ms, b_ms, hdd_a_ms);
+    std::error_code ec;
+    std::filesystem::remove_all(tmp, ec);
+  }
+  std::printf("\nShape check: Time (b) is sub-millisecond-to-millisecond "
+              "(tiny pruned search on G_k);\nwith the HDD model, Time (a) "
+              "~= 2 label I/Os x 10 ms ~= 20 ms dominates, matching the\n"
+              "paper's finding that label retrieval is the bottleneck on "
+              "disk.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 5: query time by query location type —
+//   Type 1: both endpoints in G_k (no label lookup needed beyond the
+//           trivial self labels),
+//   Type 2: exactly one endpoint in G_k (one real label retrieved),
+//   Type 3: neither endpoint in G_k (two labels retrieved).
+// Reproduced on the BTC and Web stand-ins like the paper.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_queries = QueriesFromEnv();
+  PrintHeader("Table 5: query time by location type (disk-resident labels)",
+              "paper (BTC): type1 0.08ms (a:0.0) type2 5.85 (a:5.73) type3 "
+              "9.03 (a:8.94)\npaper (Web): type1 10.40 (a:0.0) type2 19.61 "
+              "(a:10.14) type3 29.81 (a:20.37)");
+  std::printf("%-14s %5s %10s %12s %12s %14s\n", "dataset", "type",
+              "Total(ms)", "Time(a)(ms)", "Time(b)(ms)", "HDD-model(a)");
+
+  const std::string tmp = "/tmp/islabel_bench_t5";
+  for (const std::string& name : {std::string("synth-btc"),
+                                  std::string("synth-web")}) {
+    Dataset d = MakeDataset(name, scale);
+    auto built = ISLabelIndex::Build(d.graph, IndexOptions{});
+    if (!built.ok()) continue;
+    std::filesystem::create_directories(tmp);
+    if (!built->Save(tmp).ok()) continue;
+    auto loaded = ISLabelIndex::Load(tmp, /*labels_in_memory=*/false);
+    if (!loaded.ok()) continue;
+    ISLabelIndex index = std::move(loaded).value();
+
+    // Vertex pools per side of the core.
+    std::vector<VertexId> core, below;
+    for (VertexId v = 0; v < d.graph.NumVertices(); ++v) {
+      (index.InCore(v) ? core : below).push_back(v);
+    }
+    Rng rng(41);
+    auto pick = [&rng](const std::vector<VertexId>& pool) {
+      return pool[rng.Uniform(pool.size())];
+    };
+
+    for (int type = 1; type <= 3; ++type) {
+      if ((type != 3 && core.empty()) || (type != 1 && below.empty())) {
+        std::printf("%-14s %5d (no vertices of this type)\n", d.name.c_str(),
+                    type);
+        continue;
+      }
+      double time_a = 0.0, time_b = 0.0;
+      std::uint64_t ios = 0;
+      WallTimer total;
+      for (std::size_t i = 0; i < num_queries; ++i) {
+        VertexId s = type == 3 ? pick(below) : pick(core);
+        VertexId t = type == 1 ? pick(core) : pick(below);
+        Distance dist = 0;
+        QueryStats stats;
+        if (!index.Query(s, t, &dist, &stats).ok()) continue;
+        time_a += stats.label_fetch_seconds;
+        time_b += stats.search_seconds;
+        ios += stats.label_ios;
+      }
+      std::printf("%-14s %5d %10.3f %12.3f %12.3f %14.1f\n", d.name.c_str(),
+                  type, total.ElapsedMillis() / num_queries,
+                  time_a * 1e3 / num_queries, time_b * 1e3 / num_queries,
+                  static_cast<double>(ios) * 10.0 / num_queries);
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(tmp, ec);
+  }
+  std::printf("\nShape check: under the HDD model Time (a) grows ~0 -> "
+              "~10ms -> ~20ms from type 1 to 3\n(0, 1, then 2 label "
+              "retrievals) while Time (b) stays flat — the paper's "
+              "pattern.\nNote: core labels are the trivial {(v,0)}; the "
+              "store serves them from the in-memory\noffset table without "
+              "touching disk, hence 0 I/Os for type-1 endpoints.\n");
+  return 0;
+}

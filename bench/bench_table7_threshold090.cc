@@ -1,0 +1,7 @@
+// Table 7: index construction with threshold σ = 0.90. The smaller
+// threshold stops peeling earlier: smaller k, larger G_k, smaller labels,
+// shorter indexing time (the trade-off §7.2 discusses). Implementation
+// shared with bench_table3_construction.cc.
+
+#define ISLABEL_TABLE7_VARIANT 1
+#include "bench/bench_table3_construction.cc"  // NOLINT(build/include)

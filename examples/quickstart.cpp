@@ -1,0 +1,73 @@
+// Quickstart: build an IS-LABEL index over a small weighted graph and
+// answer distance + shortest-path queries.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/index.h"
+#include "graph/graph.h"
+
+using namespace islabel;
+
+int main() {
+  // The running example of the paper (Figure 1): vertices a..i = 0..8,
+  // unit weights except ω(e, f) = 3.
+  enum : VertexId { A, B, C, D, E, F, G, H, I };
+  EdgeList edges(9);
+  edges.Add(A, B, 1);
+  edges.Add(A, E, 1);
+  edges.Add(B, C, 1);
+  edges.Add(B, E, 1);
+  edges.Add(D, E, 1);
+  edges.Add(D, G, 1);
+  edges.Add(E, F, 3);
+  edges.Add(E, I, 1);
+  edges.Add(F, H, 1);
+  edges.Add(G, H, 1);
+  Graph graph = Graph::FromEdgeList(std::move(edges));
+  std::printf("graph: %u vertices, %llu edges\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumEdges()));
+
+  // Build with default options (σ = 0.95, min-degree greedy, paths on).
+  auto built = ISLabelIndex::Build(graph);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(built).value();
+  std::printf("index: k = %u, core = %llu vertices / %llu edges, "
+              "%llu label entries\n",
+              index.k(),
+              static_cast<unsigned long long>(index.build_stats().core_vertices),
+              static_cast<unsigned long long>(index.build_stats().core_edges),
+              static_cast<unsigned long long>(index.build_stats().label_entries));
+
+  // Distance queries (the paper's Example 4: dist(h,e) = 3, dist(a,g) = 3).
+  const char* names = "abcdefghi";
+  auto query = [&](VertexId s, VertexId t) {
+    Distance d = 0;
+    Status st = index.Query(s, t, &d);
+    if (!st.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("dist(%c, %c) = %llu\n", names[s], names[t],
+                static_cast<unsigned long long>(d));
+  };
+  query(H, E);
+  query(A, G);
+  query(C, I);
+
+  // Shortest path with the §8.1 via-expansion.
+  std::vector<VertexId> path;
+  Distance dist = 0;
+  if (index.ShortestPath(C, I, &path, &dist).ok()) {
+    std::printf("shortest path c -> i (length %llu):",
+                static_cast<unsigned long long>(dist));
+    for (VertexId v : path) std::printf(" %c", names[v]);
+    std::printf("\n");
+  }
+  return 0;
+}

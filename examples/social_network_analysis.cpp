@@ -1,0 +1,81 @@
+// Social-network analytics: degrees-of-separation queries on a synthetic
+// preferential-attachment network — the kind of workload the paper's
+// introduction motivates (context-aware search, entity ranking).
+//
+//   $ ./examples/social_network_analysis [num_users]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+
+int main(int argc, char** argv) {
+  const VertexId num_users =
+      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 50000;
+
+  // A Barabási–Albert friendship network: heavy-tailed degrees, tiny
+  // diameter — the as-Skitter / web-Google regime of Table 2.
+  Rng rng(7);
+  Graph network = Graph::FromEdgeList(GenerateBarabasiAlbert(num_users, 6,
+                                                             &rng));
+  GraphStats stats = ComputeStats(network);
+  std::printf("network: %s users, %s friendships, avg degree %.2f, "
+              "max degree %u\n",
+              HumanCount(stats.num_vertices).c_str(),
+              HumanCount(stats.num_edges).c_str(), stats.avg_degree,
+              stats.max_degree);
+
+  WallTimer build_timer;
+  auto built = ISLabelIndex::Build(network);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(built).value();
+  std::printf("IS-LABEL built in %.2fs: k = %u, core %s vertices, "
+              "mean label %.1f entries\n",
+              build_timer.ElapsedSeconds(), index.k(),
+              HumanCount(index.build_stats().core_vertices).c_str(),
+              static_cast<double>(index.build_stats().label_entries) /
+                  network.NumVertices());
+
+  // Degrees-of-separation histogram over random user pairs.
+  std::map<Distance, int> separation;
+  WallTimer query_timer;
+  const int kPairs = 2000;
+  for (int i = 0; i < kPairs; ++i) {
+    VertexId s = static_cast<VertexId>(rng.Uniform(network.NumVertices()));
+    VertexId t = static_cast<VertexId>(rng.Uniform(network.NumVertices()));
+    Distance d = 0;
+    if (!index.Query(s, t, &d).ok()) continue;
+    ++separation[d];
+  }
+  const double mean_us = query_timer.ElapsedMicros() * 1.0 / kPairs;
+  std::printf("\n%d random pair queries in %.1f us each\n", kPairs, mean_us);
+  std::printf("degrees-of-separation histogram:\n");
+  for (const auto& [hops, count] : separation) {
+    std::printf("  %llu hops: %5d (%.1f%%)\n",
+                static_cast<unsigned long long>(hops), count,
+                100.0 * count / kPairs);
+  }
+
+  // Sanity: one random pair cross-checked against Dijkstra.
+  VertexId s = static_cast<VertexId>(rng.Uniform(network.NumVertices()));
+  VertexId t = static_cast<VertexId>(rng.Uniform(network.NumVertices()));
+  Distance d_index = 0;
+  (void)index.Query(s, t, &d_index);
+  std::printf("\nspot check (%u, %u): index=%llu dijkstra=%llu\n", s, t,
+              static_cast<unsigned long long>(d_index),
+              static_cast<unsigned long long>(DijkstraP2P(network, s, t)));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Directed web graph: distance and reachability queries with the §8.2
+// directed IS-LABEL (in/out labels), the "fundamental problem of
+// reachability" the paper's conclusion highlights.
+//
+//   $ ./examples/web_graph_reachability [num_pages]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/dijkstra.h"
+#include "core/directed.h"
+#include "graph/digraph.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+
+int main(int argc, char** argv) {
+  const VertexId num_pages =
+      argc > 1 ? static_cast<VertexId>(std::atoi(argv[1])) : 20000;
+
+  // A synthetic hyperlink graph: preferential out-links plus a few
+  // back-links, giving asymmetric reachability.
+  Rng rng(3);
+  std::vector<Arc> links;
+  for (VertexId page = 1; page < num_pages; ++page) {
+    const int out_links = 1 + static_cast<int>(rng.Uniform(4));
+    for (int l = 0; l < out_links; ++l) {
+      // Preferential attachment by squaring the uniform draw toward 0.
+      double u = rng.NextDouble();
+      VertexId target = static_cast<VertexId>(u * u * page);
+      if (target != page) links.emplace_back(page, target, 1);
+    }
+    if (rng.Bernoulli(0.25)) {
+      VertexId target = static_cast<VertexId>(rng.Uniform(num_pages));
+      if (target != page) links.emplace_back(page, target, 1);
+    }
+  }
+  DiGraph web = DiGraph::FromArcs(std::move(links), num_pages);
+  std::printf("web graph: %u pages, %llu links\n", web.NumVertices(),
+              static_cast<unsigned long long>(web.NumArcs()));
+
+  WallTimer timer;
+  auto built = DirectedISLabel::Build(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  DirectedISLabel index = std::move(built).value();
+  std::printf("directed IS-LABEL built in %.2fs: k=%u, %llu label entries "
+              "(in+out)\n",
+              timer.ElapsedSeconds(), index.k(),
+              static_cast<unsigned long long>(index.TotalLabelEntries()));
+
+  // Asymmetry demo: hop distance page -> hub vs hub -> page.
+  int asymmetric = 0, checked = 0;
+  for (int i = 0; i < 500; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(num_pages));
+    VertexId b = static_cast<VertexId>(rng.Uniform(num_pages));
+    Distance ab = 0, ba = 0;
+    if (!index.Query(a, b, &ab).ok() || !index.Query(b, a, &ba).ok()) {
+      continue;
+    }
+    ++checked;
+    if (ab != ba) ++asymmetric;
+  }
+  std::printf("directional asymmetry: %d of %d random pairs have "
+              "dist(a,b) != dist(b,a)\n", asymmetric, checked);
+
+  // Reachability of the root from random pages (links point "back in
+  // time", so most pages reach page 0 but not vice versa).
+  int reach_root = 0, root_reaches = 0;
+  const int kSamples = 400;
+  for (int i = 0; i < kSamples; ++i) {
+    VertexId page = static_cast<VertexId>(rng.Uniform(num_pages));
+    bool r1 = false, r2 = false;
+    (void)index.Reachable(page, 0, &r1);
+    (void)index.Reachable(0, page, &r2);
+    reach_root += r1;
+    root_reaches += r2;
+  }
+  std::printf("reachability: %d/%d pages reach the root; the root reaches "
+              "%d/%d\n", reach_root, kSamples, root_reaches, kSamples);
+
+  // Spot check against directed Dijkstra.
+  VertexId s = static_cast<VertexId>(rng.Uniform(num_pages));
+  SsspResult truth = DijkstraSssp(web, s);
+  VertexId t = static_cast<VertexId>(rng.Uniform(num_pages));
+  Distance d = 0;
+  (void)index.Query(s, t, &d);
+  std::printf("spot check (%u -> %u): index=%lld dijkstra=%lld\n", s, t,
+              d == kInfDistance ? -1LL : static_cast<long long>(d),
+              truth.dist[t] == kInfDistance
+                  ? -1LL
+                  : static_cast<long long>(truth.dist[t]));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "baseline/bfs.h"
+
+#include <deque>
+
+namespace islabel {
+
+std::vector<Distance> BfsDistances(const Graph& g, VertexId source) {
+  std::vector<Distance> dist(g.NumVertices(), kInfDistance);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : g.Neighbors(v)) {
+      if (dist[u] == kInfDistance) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace islabel

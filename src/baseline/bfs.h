@@ -1,0 +1,19 @@
+// BFS hop distances — the unit-weight oracle used by tests to
+// cross-validate Dijkstra and the index on unweighted graphs.
+
+#ifndef ISLABEL_BASELINE_BFS_H_
+#define ISLABEL_BASELINE_BFS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace islabel {
+
+/// Hop count from `source` to every vertex; kInfDistance if unreachable.
+/// Edge weights are ignored (treated as 1).
+std::vector<Distance> BfsDistances(const Graph& g, VertexId source);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_BFS_H_

@@ -1,0 +1,38 @@
+// IM-DIJ: the in-memory bidirectional Dijkstra baseline of §7.3 (Table 8).
+// Reusable epoch-stamped scratch makes repeated queries cheap.
+
+#ifndef ISLABEL_BASELINE_BIDIJKSTRA_H_
+#define ISLABEL_BASELINE_BIDIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace islabel {
+
+/// Classic bidirectional Dijkstra on an undirected graph. Terminates when
+/// the best meeting distance µ satisfies µ <= min(FQ) + min(RQ).
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const Graph* g) : g_(g) {}
+
+  /// Exact distance; kInfDistance if disconnected.
+  Distance Query(VertexId s, VertexId t, std::uint64_t* settled = nullptr);
+
+ private:
+  void EnsureScratch();
+
+  const Graph* g_;
+  struct Side {
+    std::vector<Distance> dist;
+    std::vector<std::uint32_t> stamp;
+    std::vector<std::uint32_t> settled_stamp;
+  };
+  Side sides_[2];
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_BIDIJKSTRA_H_

@@ -1,0 +1,64 @@
+// Contraction Hierarchies (Geisberger et al., WEA 2008) — the road-network
+// speedup technique the paper's related work discusses (§3, [14]).
+//
+// Included as an extension baseline to reproduce the paper's argument that
+// road-network methods rely on low highway dimension: on grids CH queries
+// are extremely fast with few shortcuts, while on power-law graphs
+// contraction degenerates (dense shortcut fill-in around hubs) — see
+// bench_ablation_ch.
+//
+// Implementation notes: nodes are contracted in lazy edge-difference order;
+// witness searches are hop- and settle-bounded (a missed witness only adds
+// a redundant shortcut, never breaks correctness); queries run a
+// bidirectional upward Dijkstra over the order.
+
+#ifndef ISLABEL_BASELINE_CONTRACTION_HIERARCHY_H_
+#define ISLABEL_BASELINE_CONTRACTION_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Exact P2P distance index via node contraction.
+class ContractionHierarchy {
+ public:
+  ContractionHierarchy() = default;
+  ContractionHierarchy(ContractionHierarchy&&) = default;
+  ContractionHierarchy& operator=(ContractionHierarchy&&) = default;
+
+  static Result<ContractionHierarchy> Build(const Graph& g);
+
+  /// Exact distance (kInfDistance if disconnected).
+  Distance Query(VertexId s, VertexId t, std::uint64_t* settled = nullptr);
+
+  std::uint64_t num_shortcuts() const { return num_shortcuts_; }
+  /// Upward edges per vertex, mean — the density CH's performance hinges on.
+  double MeanUpDegree() const;
+
+ private:
+  struct UpEdge {
+    VertexId to;
+    Weight w;
+  };
+
+  // order_[v] = contraction rank; upward adjacency only (to higher ranks).
+  std::vector<std::uint32_t> order_;
+  std::vector<std::vector<UpEdge>> up_;
+  std::uint64_t num_shortcuts_ = 0;
+
+  // Reusable query scratch.
+  struct Side {
+    std::vector<Distance> dist;
+    std::vector<std::uint32_t> stamp;
+  };
+  Side sides_[2];
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_CONTRACTION_HIERARCHY_H_

@@ -1,0 +1,34 @@
+// Dijkstra's algorithm: the exactness oracle for every test in the suite
+// and the building block of several baselines. Uses the indexed binary
+// heap with decrease-key (§6.2 prescribes a binary heap).
+
+#ifndef ISLABEL_BASELINE_DIJKSTRA_H_
+#define ISLABEL_BASELINE_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/graph.h"
+
+namespace islabel {
+
+/// Full single-source shortest paths.
+struct SsspResult {
+  std::vector<Distance> dist;     // kInfDistance = unreachable
+  std::vector<VertexId> parent;   // kInvalidVertex = source/unreachable
+};
+
+SsspResult DijkstraSssp(const Graph& g, VertexId source);
+SsspResult DijkstraSssp(const DiGraph& g, VertexId source);
+
+/// Point-to-point with early termination once t is settled.
+/// `settled` (optional) receives the number of settled vertices.
+Distance DijkstraP2P(const Graph& g, VertexId s, VertexId t,
+                     std::uint64_t* settled = nullptr);
+Distance DijkstraP2P(const DiGraph& g, VertexId s, VertexId t,
+                     std::uint64_t* settled = nullptr);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_DIJKSTRA_H_

@@ -1,0 +1,107 @@
+#include "baseline/pll.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace islabel {
+
+Result<PrunedLandmarkLabeling> PrunedLandmarkLabeling::Build(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  PrunedLandmarkLabeling pll;
+  pll.labels_.assign(n, {});
+
+  // Landmark order: descending degree (ties by id) — the standard heuristic.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+
+  std::vector<Distance> dist(n, kInfDistance);
+  std::vector<Distance> root_dist(n, kInfDistance);  // query acceleration
+  std::vector<VertexId> touched;
+
+  using PqEntry = std::pair<Distance, VertexId>;
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    const VertexId root = order[rank];
+    // Index root's current label for O(1) pruning lookups.
+    for (const LabelEntry& e : pll.labels_[root]) root_dist[e.node] = e.dist;
+
+    std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
+        pq;
+    dist[root] = 0;
+    touched.push_back(root);
+    pq.push({0, root});
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d != dist[v]) continue;
+      // Prune: if some earlier landmark already certifies dist(root, v)
+      // <= d, v (and everything behind it) needs no entry for this root.
+      Distance certified = kInfDistance;
+      for (const LabelEntry& e : pll.labels_[v]) {
+        if (root_dist[e.node] != kInfDistance) {
+          const Distance via = root_dist[e.node] + e.dist;
+          certified = std::min(certified, via);
+        }
+      }
+      if (certified <= d) continue;
+      pll.labels_[v].emplace_back(rank, d);
+      auto nbrs = g.Neighbors(v);
+      auto ws = g.NeighborWeights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const Distance nd = d + ws[i];
+        if (nd < dist[nbrs[i]]) {
+          if (dist[nbrs[i]] == kInfDistance) touched.push_back(nbrs[i]);
+          dist[nbrs[i]] = nd;
+          pq.push({nd, nbrs[i]});
+        }
+      }
+    }
+    for (VertexId v : touched) dist[v] = kInfDistance;
+    touched.clear();
+    for (const LabelEntry& e : pll.labels_[root]) {
+      root_dist[e.node] = kInfDistance;
+    }
+  }
+  // Entries were appended in ascending rank per label (each landmark pass
+  // appends at most one entry per vertex), so labels are already sorted.
+  return pll;
+}
+
+Distance PrunedLandmarkLabeling::Query(VertexId s, VertexId t) const {
+  if (s >= labels_.size() || t >= labels_.size()) return kInfDistance;
+  if (s == t) return 0;
+  const auto& ls = labels_[s];
+  const auto& lt = labels_[t];
+  Distance best = kInfDistance;
+  std::size_t i = 0, j = 0;
+  while (i < ls.size() && j < lt.size()) {
+    if (ls[i].node < lt[j].node) {
+      ++i;
+    } else if (ls[i].node > lt[j].node) {
+      ++j;
+    } else {
+      best = std::min(best, ls[i].dist + lt[j].dist);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+std::uint64_t PrunedLandmarkLabeling::TotalEntries() const {
+  std::uint64_t total = 0;
+  for (const auto& l : labels_) total += l.size();
+  return total;
+}
+
+double PrunedLandmarkLabeling::MeanLabelSize() const {
+  if (labels_.empty()) return 0.0;
+  return static_cast<double>(TotalEntries()) /
+         static_cast<double>(labels_.size());
+}
+
+}  // namespace islabel

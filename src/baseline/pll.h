@@ -1,0 +1,46 @@
+// Pruned Landmark Labeling (Akiba, Iwata, Yoshida, SIGMOD 2013), the
+// canonical 2-hop labeling the IS-LABEL paper's related-work discussion
+// anticipates (§3 cites the 2-hop family [13] it descends from). Included
+// as an extension baseline: its labels answer queries with a pure merge
+// (no residual search) at the cost of much heavier construction — the
+// trade-off Table 8's ablation quantifies on the synthetic stand-ins.
+//
+// This is the weighted variant: one pruned Dijkstra per landmark, landmarks
+// in descending-degree order.
+
+#ifndef ISLABEL_BASELINE_PLL_H_
+#define ISLABEL_BASELINE_PLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/label_entry.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Exact 2-hop distance index.
+class PrunedLandmarkLabeling {
+ public:
+  PrunedLandmarkLabeling() = default;
+  PrunedLandmarkLabeling(PrunedLandmarkLabeling&&) = default;
+  PrunedLandmarkLabeling& operator=(PrunedLandmarkLabeling&&) = default;
+
+  static Result<PrunedLandmarkLabeling> Build(const Graph& g);
+
+  /// Exact distance (kInfDistance if disconnected).
+  Distance Query(VertexId s, VertexId t) const;
+
+  std::uint64_t TotalEntries() const;
+  double MeanLabelSize() const;
+
+ private:
+  // labels_[v] sorted by landmark *rank* so queries are linear merges.
+  // LabelEntry::node stores the rank, not the vertex id.
+  std::vector<std::vector<LabelEntry>> labels_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_PLL_H_

@@ -1,0 +1,81 @@
+// VC-Index: re-implementation of the vertex-cover distance index of
+// Cheng, Ke, Chu, Cheng (SIGMOD 2012), the strongest baseline the IS-LABEL
+// paper compares against (§7.3, Tables 8/9).
+//
+// Construction removes, per level, an independent set W_i (the complement
+// of a vertex cover C_i of G_i) and preserves distances by clique-joining
+// each removed vertex's neighborhood — structurally the same reduction
+// IS-LABEL uses, which is why the two indexes have comparable build costs.
+// The difference is the query algorithm: VC-Index answers *single-source*
+// queries by lifting the source to the top graph, running a full Dijkstra
+// there, and sweeping distances back down level by level. Following §7.3,
+// the P2P conversion simply stops as soon as t's distance is final — the
+// remaining per-level sweeps still touch many irrelevant vertices, which
+// is exactly the inefficiency Table 8 quantifies.
+
+#ifndef ISLABEL_BASELINE_VC_INDEX_H_
+#define ISLABEL_BASELINE_VC_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Build configuration for VC-Index.
+struct VcIndexOptions {
+  /// Stop reducing when |G_{i+1}| / |G_i| exceeds this (same role as
+  /// IS-LABEL's σ).
+  double tau = 0.95;
+  std::uint32_t max_levels = 64;
+  std::uint64_t seed = 42;
+};
+
+/// Vertex-cover hierarchy distance index (exact).
+class VcIndex {
+ public:
+  VcIndex() = default;
+  VcIndex(VcIndex&&) = default;
+  VcIndex& operator=(VcIndex&&) = default;
+
+  static Result<VcIndex> Build(const Graph& g,
+                               const VcIndexOptions& options = {});
+
+  /// P2P distance: SSSP machinery halted once dist(s, t) is final.
+  Distance QueryP2P(VertexId s, VertexId t, std::uint64_t* settled = nullptr);
+
+  /// Full single-source distances (the index's native query; used by tests).
+  std::vector<Distance> Sssp(VertexId s);
+
+  std::uint32_t num_levels() const { return num_levels_; }
+  std::uint64_t top_vertices() const { return top_vertices_; }
+  std::uint64_t top_edges() const { return top_graph_.NumEdges(); }
+
+  /// Index footprint: removed adjacency lists + top graph + level array —
+  /// the "Index size" column of Table 9.
+  std::uint64_t SizeBytes() const;
+
+ private:
+  // level_[v]: 1-based level at which v was removed; num_levels_ for
+  // vertices that survive in the top graph.
+  std::vector<std::uint32_t> level_;
+  std::uint32_t num_levels_ = 0;
+  std::vector<std::vector<HierEdge>> removed_adj_;
+  // Removed vertices of each level, in id order (levels are 1-based).
+  std::vector<std::vector<VertexId>> waves_;
+  Graph top_graph_;
+  std::uint64_t top_vertices_ = 0;
+
+  // Reusable scratch for queries.
+  std::vector<Distance> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BASELINE_VC_INDEX_H_

@@ -1,0 +1,144 @@
+#include "core/augment.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/bit_vector.h"
+
+namespace islabel {
+
+namespace {
+
+// One directed augmenting-edge record; mirrors the EA array of Algorithm 3.
+struct EaRecord {
+  VertexId src;
+  VertexId dst;
+  Weight w;
+  VertexId via;
+};
+
+}  // namespace
+
+Result<AugmentStats> AugmentInPlace(
+    LevelGraph* g, const std::vector<VertexId>& removed,
+    const std::vector<std::vector<HierEdge>>& removed_adj) {
+  AugmentStats stats;
+  const VertexId n = static_cast<VertexId>(g->adj.size());
+
+  BitVector in_removed(n);
+  for (VertexId v : removed) in_removed.Set(v);
+
+  // Line 2 of Algorithm 3: delete the removed vertices and their incident
+  // edges. A filter pass over each surviving list preserves sort order.
+  for (VertexId v : removed) {
+    if (!g->alive[v]) {
+      return Status::FailedPrecondition("removing a dead vertex");
+    }
+    g->adj[v].clear();
+    g->adj[v].shrink_to_fit();
+    g->alive.Clear(v);
+  }
+  g->num_alive -= removed.size();
+  // Only lists that touched a removed vertex need filtering; find them from
+  // the removed adjacency snapshots rather than scanning every list.
+  for (VertexId v : removed) {
+    for (const HierEdge& e : removed_adj[v]) {
+      if (in_removed[e.to]) {
+        return Status::FailedPrecondition(
+            "removed set is not independent: edge inside L_i");
+      }
+      auto& list = g->adj[e.to];
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (!in_removed[list[i].to]) list[out++] = list[i];
+      }
+      list.resize(out);
+    }
+  }
+
+  // Lines 3-6: the 2-hop self-join producing EA. Each pair u < w of
+  // neighbors of a removed v yields both directed copies.
+  std::vector<EaRecord> ea;
+  for (VertexId v : removed) {
+    const auto& adj = removed_adj[v];
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        const std::uint64_t wide =
+            static_cast<std::uint64_t>(adj[i].w) + adj[j].w;
+        if (wide > std::numeric_limits<Weight>::max()) {
+          return Status::OutOfRange(
+              "augmenting edge weight overflows the Weight type");
+        }
+        const Weight w = static_cast<Weight>(wide);
+        ea.push_back({adj[i].to, adj[j].to, w, v});
+        ea.push_back({adj[j].to, adj[i].to, w, v});
+        ++stats.pairs_considered;
+      }
+    }
+  }
+
+  // Line 7: sort EA by vertex ids (weight as tiebreak so the min-weight
+  // copy of duplicate pairs comes first).
+  std::sort(ea.begin(), ea.end(), [](const EaRecord& a, const EaRecord& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    if (a.w != b.w) return a.w < b.w;
+    // Deterministic tie-break among equal-weight duplicates so that the
+    // surviving via vertex is pipeline-independent.
+    return a.via < b.via;
+  });
+
+  // Collapse duplicate (src, dst) records; the sort put the minimum-weight
+  // copy first, so keeping the first occurrence applies the min() rule.
+  std::size_t uniq = 0;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (uniq > 0 && ea[uniq - 1].src == ea[i].src &&
+        ea[uniq - 1].dst == ea[i].dst) {
+      continue;
+    }
+    ea[uniq++] = ea[i];
+  }
+  ea.resize(uniq);
+
+  // Line 8: merge EA into the (sorted) adjacency lists, keeping the smaller
+  // weight for duplicates. Process one source vertex's run at a time.
+  std::size_t pos = 0;
+  std::vector<HierEdge> merged;
+  while (pos < ea.size()) {
+    const VertexId src = ea[pos].src;
+    std::size_t end = pos;
+    while (end < ea.size() && ea[end].src == src) ++end;
+
+    auto& list = g->adj[src];
+    merged.clear();
+    merged.reserve(list.size() + (end - pos));
+    std::size_t li = 0;
+    std::size_t ei = pos;
+    while (li < list.size() || ei < end) {
+      if (ei >= end || (li < list.size() && list[li].to < ea[ei].dst)) {
+        merged.push_back(list[li++]);
+      } else if (li >= list.size() || ea[ei].dst < list[li].to) {
+        merged.emplace_back(ea[ei].dst, ea[ei].w, ea[ei].via);
+        // Each undirected insertion is counted once (on the src < dst copy).
+        if (src < ea[ei].dst) ++stats.edges_inserted;
+        ++ei;
+      } else {
+        // Same target: keep the smaller weight (and its via).
+        if (ea[ei].w < list[li].w) {
+          merged.emplace_back(ea[ei].dst, ea[ei].w, ea[ei].via);
+          if (src < ea[ei].dst) ++stats.weights_lowered;
+        } else {
+          merged.push_back(list[li]);
+        }
+        ++li;
+        ++ei;
+      }
+    }
+    list.swap(merged);
+    pos = end;
+  }
+
+  return stats;
+}
+
+}  // namespace islabel

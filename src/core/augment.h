@@ -1,0 +1,40 @@
+// Algorithm 3: build G_{i+1} from G_i by removing an independent set and
+// adding augmenting edges.
+//
+// For every removed vertex v and every pair u < w of its neighbors, the
+// 2-path <u, v, w> is preserved by the augmenting edge (u, w) of weight
+// ω(u,v) + ω(v,w) with intermediate vertex v; if (u,w) already exists the
+// smaller weight wins (Lemma 2). Because L_i is independent, 2-hop
+// self-joins on the removed adjacency lists suffice — the property that
+// keeps the external variant to sequential scans and one sort.
+
+#ifndef ISLABEL_CORE_AUGMENT_H_
+#define ISLABEL_CORE_AUGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/level_graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Outcome counters for one application of Algorithm 3.
+struct AugmentStats {
+  std::uint64_t pairs_considered = 0;    // |EA| before dedup
+  std::uint64_t edges_inserted = 0;      // new edges in G_{i+1}
+  std::uint64_t weights_lowered = 0;     // existing edges whose weight dropped
+};
+
+/// Removes the (independent) vertex set `removed` from `*g` in place and
+/// inserts the augmenting edges. `removed_adj[v]` must already hold
+/// adj_{G_i}(v) for each removed v (the caller snapshots it; Algorithm 2's
+/// ADJ(L_i) output). Fails with OutOfRange if an augmenting weight would
+/// overflow the Weight type.
+Result<AugmentStats> AugmentInPlace(
+    LevelGraph* g, const std::vector<VertexId>& removed,
+    const std::vector<std::vector<HierEdge>>& removed_adj);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_AUGMENT_H_

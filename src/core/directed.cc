@@ -1,0 +1,393 @@
+#include "core/directed.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/label.h"
+#include "util/bit_vector.h"
+#include "util/random.h"
+
+namespace islabel {
+
+namespace {
+
+inline Distance SatAdd(Distance a, Distance b) {
+  if (a == kInfDistance || b == kInfDistance) return kInfDistance;
+  if (a > kInfDistance - b) return kInfDistance;
+  return a + b;
+}
+
+// Mutable directed working graph for the hierarchy construction.
+struct DiLevelGraph {
+  std::vector<std::vector<HierEdge>> out;  // arcs v -> e.to
+  std::vector<std::vector<HierEdge>> in;   // arcs e.to -> v (stored on v)
+  BitVector alive;
+  std::uint64_t num_alive = 0;
+
+  std::uint64_t CountArcs() const {
+    std::uint64_t a = 0;
+    for (const auto& l : out) a += l.size();
+    return a;
+  }
+  std::uint64_t SizeVE() const { return num_alive + CountArcs(); }
+};
+
+void FilterList(std::vector<HierEdge>* list, const BitVector& drop) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < list->size(); ++i) {
+    if (!drop[(*list)[i].to]) (*list)[out++] = (*list)[i];
+  }
+  list->resize(out);
+}
+
+// Sorted-merge of candidate arcs into a sorted adjacency list, min rule.
+void MergeArcs(std::vector<HierEdge>* list, std::vector<HierEdge>& add) {
+  if (add.empty()) return;
+  std::sort(add.begin(), add.end(), [](const HierEdge& a, const HierEdge& b) {
+    if (a.to != b.to) return a.to < b.to;
+    return a.w < b.w;
+  });
+  std::vector<HierEdge> merged;
+  merged.reserve(list->size() + add.size());
+  std::size_t li = 0, ai = 0;
+  while (li < list->size() || ai < add.size()) {
+    if (ai < add.size() && ai + 1 < add.size() &&
+        add[ai].to == add[ai + 1].to) {
+      // Duplicate candidates: min-weight copy sorts first, drop the rest.
+      add[ai + 1] = add[ai];
+      ++ai;
+      continue;
+    }
+    if (ai >= add.size() ||
+        (li < list->size() && (*list)[li].to < add[ai].to)) {
+      merged.push_back((*list)[li++]);
+    } else if (li >= list->size() || add[ai].to < (*list)[li].to) {
+      merged.push_back(add[ai++]);
+    } else {
+      merged.push_back(add[ai].w < (*list)[li].w ? add[ai] : (*list)[li]);
+      ++li;
+      ++ai;
+    }
+  }
+  list->swap(merged);
+}
+
+}  // namespace
+
+Result<DirectedISLabel> DirectedISLabel::Build(const DiGraph& g,
+                                               const IndexOptions& options) {
+  ISLABEL_RETURN_IF_ERROR(options.Validate());
+  const VertexId n = g.NumVertices();
+
+  DiLevelGraph lg;
+  lg.out.resize(n);
+  lg.in.resize(n);
+  lg.alive.Resize(n, true);
+  lg.num_alive = n;
+  for (VertexId v = 0; v < n; ++v) {
+    auto outs = g.OutNeighbors(v);
+    auto ow = g.OutWeights(v);
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      lg.out[v].emplace_back(outs[i], ow[i]);
+    }
+    auto ins = g.InNeighbors(v);
+    auto iw = g.InWeights(v);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      lg.in[v].emplace_back(ins[i], iw[i]);
+    }
+  }
+
+  DirectedISLabel idx;
+  idx.level_.assign(n, 0);
+  std::vector<std::vector<HierEdge>> removed_out(n), removed_in(n);
+  std::vector<std::vector<VertexId>> levels;
+  levels.push_back({});
+  Rng rng(options.seed);
+
+  std::uint64_t prev_size = lg.SizeVE();
+  std::uint32_t i = 1;
+  while (true) {
+    const std::uint64_t cur_size = lg.SizeVE();
+    bool stop = false;
+    if (options.forced_k != 0) {
+      stop = (i == options.forced_k);
+    } else if (!options.full_hierarchy && i >= 2 &&
+               static_cast<double>(cur_size) >
+                   options.sigma * static_cast<double>(prev_size)) {
+      stop = true;
+    }
+    if (lg.num_alive == 0) stop = true;
+    if (options.max_levels != 0 && i >= options.max_levels) stop = true;
+    if (stop) {
+      idx.k_ = i;
+      break;
+    }
+
+    // Independent set on the underlying undirected structure: combined
+    // degree ordering, exclusion over both arc directions.
+    std::vector<VertexId> order;
+    order.reserve(lg.num_alive);
+    for (VertexId v = 0; v < n; ++v) {
+      if (lg.alive[v]) order.push_back(v);
+    }
+    switch (options.is_order) {
+      case IsOrder::kMinDegree:
+        std::stable_sort(order.begin(), order.end(),
+                         [&lg](VertexId a, VertexId b) {
+                           return lg.out[a].size() + lg.in[a].size() <
+                                  lg.out[b].size() + lg.in[b].size();
+                         });
+        break;
+      case IsOrder::kMaxDegree:
+        std::stable_sort(order.begin(), order.end(),
+                         [&lg](VertexId a, VertexId b) {
+                           return lg.out[a].size() + lg.in[a].size() >
+                                  lg.out[b].size() + lg.in[b].size();
+                         });
+        break;
+      case IsOrder::kRandom:
+        for (std::size_t j = order.size(); j > 1; --j) {
+          std::swap(order[j - 1], order[rng.Uniform(j)]);
+        }
+        break;
+    }
+    BitVector excluded(n);
+    std::vector<VertexId> li;
+    for (VertexId v : order) {
+      if (excluded[v]) continue;
+      li.push_back(v);
+      for (const HierEdge& e : lg.out[v]) excluded.Set(e.to);
+      for (const HierEdge& e : lg.in[v]) excluded.Set(e.to);
+    }
+    std::sort(li.begin(), li.end());
+
+    // Remove L_i, snapshot its arcs, create directed augmenting arcs.
+    BitVector in_li(n);
+    for (VertexId v : li) in_li.Set(v);
+    for (VertexId v : li) {
+      idx.level_[v] = i;
+      removed_out[v] = std::move(lg.out[v]);
+      removed_in[v] = std::move(lg.in[v]);
+      lg.out[v].clear();
+      lg.in[v].clear();
+      lg.alive.Clear(v);
+    }
+    lg.num_alive -= li.size();
+    for (VertexId v : li) {
+      for (const HierEdge& e : removed_out[v]) FilterList(&lg.in[e.to], in_li);
+      for (const HierEdge& e : removed_in[v]) FilterList(&lg.out[e.to], in_li);
+    }
+    // Augment: u -> v -> w becomes u -> w (u from in-arcs, w from out-arcs).
+    std::vector<std::vector<HierEdge>> add_out(n), add_in(n);
+    for (VertexId v : li) {
+      for (const HierEdge& ein : removed_in[v]) {
+        for (const HierEdge& eout : removed_out[v]) {
+          if (ein.to == eout.to) continue;  // no self-loop u -> u
+          const std::uint64_t wide =
+              static_cast<std::uint64_t>(ein.w) + eout.w;
+          if (wide > std::numeric_limits<Weight>::max()) {
+            return Status::OutOfRange(
+                "augmenting arc weight overflows the Weight type");
+          }
+          const Weight w = static_cast<Weight>(wide);
+          add_out[ein.to].emplace_back(eout.to, w, v);
+          add_in[eout.to].emplace_back(ein.to, w, v);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (!add_out[v].empty()) MergeArcs(&lg.out[v], add_out[v]);
+      if (!add_in[v].empty()) MergeArcs(&lg.in[v], add_in[v]);
+    }
+
+    levels.push_back(std::move(li));
+    prev_size = cur_size;
+    ++i;
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (lg.alive[v]) idx.level_[v] = idx.k_;
+  }
+
+  // Residual directed core.
+  std::vector<Arc> core_arcs;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const HierEdge& e : lg.out[v]) {
+      core_arcs.emplace_back(v, e.to, e.w,
+                             options.keep_vias ? e.via : kInvalidVertex);
+    }
+  }
+  idx.gk_ = DiGraph::FromArcs(std::move(core_arcs), n, options.keep_vias);
+
+  // Top-down labeling, once per direction (mirror of Algorithm 4).
+  auto label_topdown = [&](const std::vector<std::vector<HierEdge>>& dag,
+                           LabelSet* out_labels) {
+    out_labels->assign(n, {});
+    for (VertexId v = 0; v < n; ++v) {
+      if (idx.level_[v] == idx.k_) (*out_labels)[v] = {LabelEntry(v, 0)};
+    }
+    std::vector<LabelEntry> scratch;
+    for (std::uint32_t lvl = idx.k_; lvl-- > 1;) {
+      for (VertexId v : levels[lvl]) {
+        scratch.clear();
+        scratch.emplace_back(v, 0);
+        for (const HierEdge& e : dag[v]) {
+          for (const LabelEntry& le : (*out_labels)[e.to]) {
+            const VertexId via = (le.node == e.to) ? e.via : e.to;
+            scratch.emplace_back(le.node,
+                                 static_cast<Distance>(e.w) + le.dist, via);
+          }
+        }
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const LabelEntry& a, const LabelEntry& b) {
+                    if (a.node != b.node) return a.node < b.node;
+                    return a.dist < b.dist;
+                  });
+        std::size_t out = 0;
+        for (std::size_t j = 0; j < scratch.size(); ++j) {
+          if (out > 0 && scratch[out - 1].node == scratch[j].node) continue;
+          scratch[out++] = scratch[j];
+        }
+        scratch.resize(out);
+        (*out_labels)[v] = scratch;
+      }
+    }
+  };
+  label_topdown(removed_out, &idx.out_labels_);
+  label_topdown(removed_in, &idx.in_labels_);
+  return idx;
+}
+
+std::uint64_t DirectedISLabel::TotalLabelEntries() const {
+  std::uint64_t total = 0;
+  for (const auto& l : out_labels_) total += l.size();
+  for (const auto& l : in_labels_) total += l.size();
+  return total;
+}
+
+void DirectedISLabel::EnsureScratch() {
+  const std::size_t n = level_.size();
+  for (SideState& s : sides_) {
+    if (s.dist.size() != n) {
+      s.dist.assign(n, kInfDistance);
+      s.stamp.assign(n, 0);
+      s.settled_stamp.assign(n, 0);
+    }
+  }
+}
+
+Status DirectedISLabel::Query(VertexId s, VertexId t, Distance* out,
+                              QueryStats* stats) {
+  const VertexId n = NumVertices();
+  if (s >= n || t >= n) return Status::OutOfRange("vertex id out of range");
+  if (stats != nullptr) *stats = QueryStats{};
+  if (s == t) {
+    *out = 0;
+    return Status::OK();
+  }
+
+  const auto& ls = out_labels_[s];
+  const auto& lt = in_labels_[t];
+  const Eq1Result eq1 = EvaluateEq1(ls, lt);
+  if (stats != nullptr) stats->intersection_size = eq1.intersection_size;
+
+  std::vector<LabelEntry> seeds_f, seeds_r;
+  for (const LabelEntry& e : ls) {
+    if (InCore(e.node)) seeds_f.push_back(e);
+  }
+  for (const LabelEntry& e : lt) {
+    if (InCore(e.node)) seeds_r.push_back(e);
+  }
+  if (seeds_f.empty() || seeds_r.empty()) {
+    *out = eq1.dist;
+    return Status::OK();
+  }
+  if (stats != nullptr) stats->used_search = true;
+  *out = BiDijkstra(seeds_f, seeds_r, eq1.dist, stats);
+  return Status::OK();
+}
+
+Status DirectedISLabel::Reachable(VertexId s, VertexId t, bool* out) {
+  Distance d = kInfDistance;
+  ISLABEL_RETURN_IF_ERROR(Query(s, t, &d));
+  *out = (d != kInfDistance);
+  return Status::OK();
+}
+
+Distance DirectedISLabel::BiDijkstra(const std::vector<LabelEntry>& seeds_f,
+                                     const std::vector<LabelEntry>& seeds_r,
+                                     Distance mu, QueryStats* stats) {
+  EnsureScratch();
+  ++epoch_;
+  const std::uint32_t epoch = epoch_;
+
+  auto dist_of = [&](int side, VertexId v) -> Distance {
+    return sides_[side].stamp[v] == epoch ? sides_[side].dist[v]
+                                          : kInfDistance;
+  };
+  auto is_settled = [&](int side, VertexId v) {
+    return sides_[side].settled_stamp[v] == epoch;
+  };
+
+  using PqEntry = std::pair<Distance, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
+      pq[2];
+  auto seed = [&](int side, const std::vector<LabelEntry>& seeds) {
+    for (const LabelEntry& e : seeds) {
+      if (e.dist < dist_of(side, e.node)) {
+        sides_[side].dist[e.node] = e.dist;
+        sides_[side].stamp[e.node] = epoch;
+        pq[side].push({e.dist, e.node});
+      }
+    }
+  };
+  seed(0, seeds_f);
+  seed(1, seeds_r);
+
+  Distance best = mu;
+  auto purge = [&](int side) {
+    while (!pq[side].empty()) {
+      const auto& [d, v] = pq[side].top();
+      if (is_settled(side, v) || d != dist_of(side, v)) {
+        pq[side].pop();
+      } else {
+        break;
+      }
+    }
+  };
+
+  while (true) {
+    purge(0);
+    purge(1);
+    const Distance mf = pq[0].empty() ? kInfDistance : pq[0].top().first;
+    const Distance mr = pq[1].empty() ? kInfDistance : pq[1].top().first;
+    if (SatAdd(mf, mr) >= best) break;
+    const int side = (mf <= mr) ? 0 : 1;
+    const int opp = 1 - side;
+    const auto [d, v] = pq[side].top();
+    pq[side].pop();
+    sides_[side].settled_stamp[v] = epoch;
+    if (stats != nullptr) ++stats->settled;
+    // Tentative-distance µ update (see query.cc / DESIGN.md).
+    best = std::min(best, SatAdd(dist_of(0, v), dist_of(1, v)));
+    // Forward explores out-arcs; backward explores in-arcs (i.e., walks
+    // arcs against their direction toward t).
+    const auto nbrs = side == 0 ? gk_.OutNeighbors(v) : gk_.InNeighbors(v);
+    const auto ws = side == 0 ? gk_.OutWeights(v) : gk_.InWeights(v);
+    for (std::size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId u = nbrs[j];
+      const Distance nd = d + ws[j];
+      if (stats != nullptr) ++stats->relaxed;
+      if (nd < dist_of(side, u)) {
+        sides_[side].dist[u] = nd;
+        sides_[side].stamp[u] = epoch;
+        pq[side].push({nd, u});
+      }
+      best = std::min(best, SatAdd(dist_of(side, u), dist_of(opp, u)));
+    }
+  }
+  return best;
+}
+
+}  // namespace islabel

@@ -1,0 +1,101 @@
+#include "core/hierarchy.h"
+
+#include <utility>
+
+#include "core/augment.h"
+#include "core/independent_set.h"
+#include "core/level_graph.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace islabel {
+
+// Defined in hierarchy_external.cc: the I/O-efficient pipeline (§6.1).
+Result<VertexHierarchy> BuildHierarchyExternal(const Graph& g,
+                                               const IndexOptions& options);
+
+namespace {
+
+Result<VertexHierarchy> BuildHierarchyInMemory(const Graph& g,
+                                               const IndexOptions& options) {
+  const VertexId n = g.NumVertices();
+  VertexHierarchy h;
+  h.level.assign(n, 0);
+  h.removed_adj.resize(n);
+  h.levels.push_back({});  // index 0 unused: levels are 1-based
+
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  Rng rng(options.seed);
+
+  std::uint64_t prev_size = lg.SizeVE();
+  std::uint32_t i = 1;
+  while (true) {
+    const std::uint64_t cur_edges = lg.CountEdges();
+    const std::uint64_t cur_size = lg.num_alive + cur_edges;
+
+    LevelStats ls;
+    ls.num_vertices = lg.num_alive;
+    ls.num_edges = cur_edges;
+
+    // Termination (§5.1): forced k, the σ shrinkage criterion, exhaustion,
+    // or the level-count safety bound.
+    bool stop = false;
+    if (options.forced_k != 0) {
+      stop = (i == options.forced_k);
+    } else if (!options.full_hierarchy && i >= 2 &&
+               static_cast<double>(cur_size) >
+                   options.sigma * static_cast<double>(prev_size)) {
+      stop = true;
+    }
+    if (lg.num_alive == 0) stop = true;
+    if (options.max_levels != 0 && i >= options.max_levels) stop = true;
+
+    if (stop) {
+      h.k = i;
+      h.stats.push_back(ls);
+      break;
+    }
+
+    std::vector<VertexId> li =
+        ComputeIndependentSet(lg, options.is_order, &rng);
+    ls.is_size = li.size();
+
+    // Snapshot ADJ(L_i) — both the labeling input and what Algorithm 3
+    // joins on.
+    for (VertexId v : li) {
+      h.level[v] = i;
+      h.removed_adj[v] = std::move(lg.adj[v]);
+    }
+    auto aug = AugmentInPlace(&lg, li, h.removed_adj);
+    if (!aug.ok()) return aug.status();
+    ls.augmenting_edges = aug->edges_inserted + aug->weights_lowered;
+
+    h.levels.push_back(std::move(li));
+    h.stats.push_back(ls);
+    ISLABEL_LOG(kInfo) << "level " << i << ": |V|=" << ls.num_vertices
+                       << " |E|=" << ls.num_edges << " |L|=" << ls.is_size
+                       << " aug=" << ls.augmenting_edges;
+    prev_size = cur_size;
+    ++i;
+  }
+
+  // Residual vertices form V_{G_k} with level number k (§5.1).
+  for (VertexId v = 0; v < n; ++v) {
+    if (lg.alive[v]) h.level[v] = h.k;
+  }
+  h.g_k = lg.ToGraph(options.keep_vias);
+  return h;
+}
+
+}  // namespace
+
+Result<VertexHierarchy> BuildHierarchy(const Graph& g,
+                                       const IndexOptions& options) {
+  ISLABEL_RETURN_IF_ERROR(options.Validate());
+  if (options.memory_budget_bytes != 0) {
+    return BuildHierarchyExternal(g, options);
+  }
+  return BuildHierarchyInMemory(g, options);
+}
+
+}  // namespace islabel

@@ -1,0 +1,94 @@
+// Vertex hierarchy (Definition 1 / Definition 4): the layered structure
+// (L, G) from which labels are computed, terminated at level k.
+//
+// Construction (§6.1.3) alternates Algorithm 2 (independent set L_i of G_i)
+// and Algorithm 3 (distance-preserving reduction G_{i+1}) until the σ
+// criterion of §5.1 fires. What survives construction — and is all the
+// labeling and query stages need — is:
+//
+//   * level[v] = ℓ(v) for every vertex (1..k);
+//   * for each removed vertex v (ℓ(v) < k), its adjacency adj_{G_ℓ(v)}(v)
+//     *at removal time*, i.e. its out-edges in the ancestor DAG. These are
+//     exactly the ADJ(L_i) lists Algorithm 2 emits;
+//   * the residual core graph G_k (with augmenting-edge via vertices when
+//     path reconstruction is enabled).
+
+#ifndef ISLABEL_CORE_HIERARCHY_H_
+#define ISLABEL_CORE_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/io_stats.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// One out-edge of the ancestor DAG: from a removed vertex v to a
+/// higher-level neighbor `to`, with the edge weight in G_{ℓ(v)} and the
+/// augmenting-edge intermediate vertex (kInvalidVertex for original edges).
+struct HierEdge {
+  VertexId to = 0;
+  VertexId via = kInvalidVertex;
+  Weight w = 1;
+
+  HierEdge() = default;
+  HierEdge(VertexId t, Weight ww, VertexId via_v = kInvalidVertex)
+      : to(t), via(via_v), w(ww) {}
+
+  friend bool operator==(const HierEdge& a, const HierEdge& b) {
+    return a.to == b.to && a.w == b.w && a.via == b.via;
+  }
+};
+
+/// Per-level construction statistics (the rows behind Tables 3/6/7).
+struct LevelStats {
+  std::uint64_t num_vertices = 0;  // |V_{G_i}|
+  std::uint64_t num_edges = 0;     // |E_{G_i}|
+  std::uint64_t is_size = 0;       // |L_i| (0 for the terminal level)
+  std::uint64_t augmenting_edges = 0;  // edges inserted/updated building G_{i+1}
+};
+
+/// The k-level vertex hierarchy (Definition 4).
+struct VertexHierarchy {
+  /// ℓ(v) ∈ [1, k]; vertices of the residual graph carry k.
+  std::vector<std::uint32_t> level;
+
+  /// Number of levels: vertices of L_1..L_{k-1} were peeled; G_k is kept.
+  std::uint32_t k = 0;
+
+  /// adj_{G_ℓ(v)}(v) for each removed vertex v (empty for ℓ(v) = k).
+  /// Sorted by target id.
+  std::vector<std::vector<HierEdge>> removed_adj;
+
+  /// Residual graph G_k over the original id space (vertices outside G_k
+  /// simply have empty adjacency). Carries vias iff options.keep_vias.
+  Graph g_k;
+
+  /// Members of each L_i (index 0 unused; levels[i] = L_i, 1 <= i < k).
+  std::vector<std::vector<VertexId>> levels;
+
+  /// Sizes observed during construction; stats[i] describes G_{i+1}... see
+  /// LevelStats. stats.size() == k.
+  std::vector<LevelStats> stats;
+
+  /// Logical I/O of the external pipeline (zero for in-memory builds).
+  IoStats io;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(level.size());
+  }
+  bool InCore(VertexId v) const { return level[v] == k; }
+};
+
+/// Builds the k-level vertex hierarchy of `g` (§6.1.3). Dispatches to the
+/// in-memory or the I/O-efficient external pipeline depending on
+/// options.memory_budget_bytes; both produce identical hierarchies.
+Result<VertexHierarchy> BuildHierarchy(const Graph& g,
+                                       const IndexOptions& options);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_HIERARCHY_H_

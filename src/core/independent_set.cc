@@ -1,0 +1,52 @@
+#include "core/independent_set.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace islabel {
+
+std::vector<VertexId> ComputeIndependentSet(const LevelGraph& g,
+                                            IsOrder order, Rng* rng) {
+  const VertexId n = static_cast<VertexId>(g.adj.size());
+
+  // Collect alive vertices in the configured consideration order. This is
+  // the "sort adjacency lists by degree" step of Algorithm 2; in memory the
+  // sort is over (degree, id) pairs instead of list payloads.
+  std::vector<VertexId> scan_order;
+  scan_order.reserve(g.num_alive);
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.alive[v]) scan_order.push_back(v);
+  }
+  switch (order) {
+    case IsOrder::kMinDegree:
+      std::stable_sort(scan_order.begin(), scan_order.end(),
+                       [&g](VertexId a, VertexId b) {
+                         return g.adj[a].size() < g.adj[b].size();
+                       });
+      break;
+    case IsOrder::kMaxDegree:
+      std::stable_sort(scan_order.begin(), scan_order.end(),
+                       [&g](VertexId a, VertexId b) {
+                         return g.adj[a].size() > g.adj[b].size();
+                       });
+      break;
+    case IsOrder::kRandom:
+      for (std::size_t i = scan_order.size(); i > 1; --i) {
+        std::swap(scan_order[i - 1], scan_order[rng->Uniform(i)]);
+      }
+      break;
+  }
+
+  // Greedy scan with the L' exclusion set.
+  BitVector excluded(n);
+  std::vector<VertexId> selected;
+  for (VertexId u : scan_order) {
+    if (excluded[u]) continue;
+    selected.push_back(u);
+    for (const HierEdge& e : g.adj[u]) excluded.Set(e.to);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+}  // namespace islabel

@@ -1,0 +1,29 @@
+// Algorithm 2: greedy independent set of the current level graph.
+//
+// The paper maximizes |L_i| greedily by considering vertices in ascending
+// degree order [16]: a small-degree vertex excludes few others. The scan
+// keeps an exclusion set L' (vertices adjacent to an already-selected
+// vertex); a vertex is selected iff it is not yet excluded. The result is a
+// *maximal* independent set of G_i.
+
+#ifndef ISLABEL_CORE_INDEPENDENT_SET_H_
+#define ISLABEL_CORE_INDEPENDENT_SET_H_
+
+#include <vector>
+
+#include "core/level_graph.h"
+#include "core/options.h"
+#include "util/random.h"
+
+namespace islabel {
+
+/// Computes a maximal independent set of the alive subgraph of `g`,
+/// considering vertices in the order implied by `order` (ties broken by
+/// vertex id so results are deterministic). Returns the selected vertices
+/// sorted by id.
+std::vector<VertexId> ComputeIndependentSet(const LevelGraph& g,
+                                            IsOrder order, Rng* rng);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_INDEPENDENT_SET_H_

@@ -1,0 +1,216 @@
+#include "core/index.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "graph/graph_io.h"
+#include "storage/label_store.h"
+#include "util/timer.h"
+#include "util/varint.h"
+
+namespace islabel {
+
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x49534C4D;  // "ISLM"
+constexpr std::uint32_t kMetaVersion = 1;
+
+std::string LabelsPath(const std::string& dir) { return dir + "/labels.isl"; }
+std::string CorePath(const std::string& dir) { return dir + "/core.islg"; }
+std::string MetaPath(const std::string& dir) { return dir + "/meta.islm"; }
+
+}  // namespace
+
+Result<ISLabelIndex> ISLabelIndex::Build(const Graph& g,
+                                         const IndexOptions& options) {
+  ISLabelIndex index;
+  WallTimer total;
+
+  WallTimer phase;
+  auto hierarchy = BuildHierarchy(g, options);
+  if (!hierarchy.ok()) return hierarchy.status();
+  index.hierarchy_ =
+      std::make_unique<VertexHierarchy>(std::move(hierarchy).value());
+  index.build_stats_.hierarchy_seconds = phase.ElapsedSeconds();
+
+  phase.Restart();
+  LabelingStats lstats;
+  if (options.memory_budget_bytes != 0) {
+    IoStats label_io;
+    auto labels = ComputeLabelsTopDownExternal(*index.hierarchy_, options,
+                                               &lstats, &label_io);
+    if (!labels.ok()) return labels.status();
+    *index.labels_ = std::move(labels).value();
+    index.hierarchy_->io += label_io;
+  } else {
+    *index.labels_ = ComputeLabelsTopDown(*index.hierarchy_, &lstats);
+  }
+  index.build_stats_.labeling_seconds = phase.ElapsedSeconds();
+
+  index.build_stats_.total_seconds = total.ElapsedSeconds();
+  index.build_stats_.k = index.hierarchy_->k;
+  index.build_stats_.core_vertices = index.hierarchy_->stats.back().num_vertices;
+  index.build_stats_.core_edges = index.hierarchy_->stats.back().num_edges;
+  index.build_stats_.label_entries = lstats.total_entries;
+  index.build_stats_.label_bytes = lstats.bytes_in_memory;
+  index.build_stats_.io = index.hierarchy_->io;
+  index.build_stats_.level_stats = index.hierarchy_->stats;
+  index.deleted_.Resize(index.hierarchy_->NumVertices());
+  index.vias_enabled_ = options.keep_vias;
+  return index;
+}
+
+QueryEngine* ISLabelIndex::Engine() {
+  if (engine_ == nullptr) {
+    LabelProvider provider = store_ != nullptr
+                                 ? LabelProvider(store_.get())
+                                 : LabelProvider(labels_.get());
+    engine_ = std::make_unique<QueryEngine>(hierarchy_.get(), provider);
+  }
+  return engine_.get();
+}
+
+Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
+  if (hierarchy_ == nullptr) {
+    return Status::FailedPrecondition("index not built");
+  }
+  const VertexId n = hierarchy_->NumVertices();
+  if (s >= n || t >= n) return Status::OutOfRange("vertex id out of range");
+  if (IsDeleted(s) || IsDeleted(t)) {
+    return Status::NotFound("query endpoint was deleted");
+  }
+  return Status::OK();
+}
+
+Status ISLabelIndex::Query(VertexId s, VertexId t, Distance* out,
+                           QueryStats* stats) {
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  return Engine()->Query(s, t, out, stats);
+}
+
+void ISLabelIndex::RebuildCore(EdgeList edges) {
+  const bool vias = hierarchy_->g_k.has_vias();
+  edges.EnsureVertices(hierarchy_->NumVertices());
+  hierarchy_->g_k = Graph::FromEdgeList(std::move(edges), vias);
+  // Core sizes changed; keep the stats row describing G_k current.
+  hierarchy_->stats.back().num_vertices = 0;
+  for (VertexId v = 0; v < hierarchy_->NumVertices(); ++v) {
+    if (hierarchy_->InCore(v) && !IsDeleted(v)) {
+      ++hierarchy_->stats.back().num_vertices;
+    }
+  }
+  hierarchy_->stats.back().num_edges = hierarchy_->g_k.NumEdges();
+  ResetEngine();
+}
+
+Status ISLabelIndex::Save(const std::string& dir) const {
+  if (hierarchy_ == nullptr) {
+    return Status::FailedPrecondition("index not built");
+  }
+  if (store_ != nullptr) {
+    return Status::NotSupported(
+        "saving a disk-resident index is not supported; load it in memory");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create index directory " + dir + ": " +
+                           ec.message());
+  }
+  // Labels.
+  LabelStoreWriter writer;
+  ISLABEL_RETURN_IF_ERROR(
+      writer.Open(LabelsPath(dir), hierarchy_->NumVertices(), vias_enabled_));
+  for (const auto& label : *labels_) {
+    ISLABEL_RETURN_IF_ERROR(writer.Add(label));
+  }
+  ISLABEL_RETURN_IF_ERROR(writer.Finish());
+  // Core graph.
+  ISLABEL_RETURN_IF_ERROR(WriteGraphBinary(hierarchy_->g_k, CorePath(dir)));
+  // Meta: k + level array (+ deleted set).
+  std::string meta;
+  PutFixed32(&meta, kMetaMagic);
+  PutFixed32(&meta, kMetaVersion);
+  PutFixed32(&meta, hierarchy_->k);
+  PutFixed32(&meta, hierarchy_->NumVertices());
+  PutFixed32(&meta, vias_enabled_ ? 1 : 0);
+  for (VertexId v = 0; v < hierarchy_->NumVertices(); ++v) {
+    PutVarint64(&meta, hierarchy_->level[v]);
+    PutVarint64(&meta, IsDeleted(v) ? 1 : 0);
+  }
+  BlockFile mf;
+  ISLABEL_RETURN_IF_ERROR(mf.Open(MetaPath(dir), /*truncate=*/true));
+  ISLABEL_RETURN_IF_ERROR(mf.Append(meta.data(), meta.size(), nullptr));
+  return mf.Flush();
+}
+
+Result<ISLabelIndex> ISLabelIndex::Load(const std::string& dir,
+                                        bool labels_in_memory) {
+  ISLabelIndex index;
+  index.hierarchy_ = std::make_unique<VertexHierarchy>();
+
+  // Meta.
+  BlockFile mf;
+  ISLABEL_RETURN_IF_ERROR(mf.Open(MetaPath(dir), /*truncate=*/false));
+  std::string meta(mf.FileSize(), '\0');
+  ISLABEL_RETURN_IF_ERROR(mf.ReadAt(0, meta.data(), meta.size()));
+  Decoder dec(meta);
+  std::uint32_t magic, version, k, n;
+  if (!dec.GetFixed32(&magic) || magic != kMetaMagic) {
+    return Status::Corruption("bad index meta magic");
+  }
+  if (!dec.GetFixed32(&version) || version != kMetaVersion) {
+    return Status::Corruption("unsupported index meta version");
+  }
+  std::uint32_t vias_flag = 0;
+  if (!dec.GetFixed32(&k) || !dec.GetFixed32(&n) ||
+      !dec.GetFixed32(&vias_flag)) {
+    return Status::Corruption("truncated index meta");
+  }
+  index.vias_enabled_ = vias_flag != 0;
+  index.hierarchy_->k = k;
+  index.hierarchy_->level.resize(n);
+  index.hierarchy_->removed_adj.resize(n);
+  index.deleted_.Resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t level, del;
+    if (!dec.GetVarint64(&level) || !dec.GetVarint64(&del)) {
+      return Status::Corruption("truncated level array");
+    }
+    index.hierarchy_->level[v] = static_cast<std::uint32_t>(level);
+    if (del != 0) index.deleted_.Set(v);
+  }
+
+  // Core graph.
+  auto core = ReadGraphBinary(CorePath(dir));
+  if (!core.ok()) return core.status();
+  index.hierarchy_->g_k = std::move(core).value();
+  // A core that lost its top vertices to deletion may span fewer ids; the
+  // level array is authoritative for n.
+  index.hierarchy_->stats.resize(1);
+  index.hierarchy_->stats.back().num_edges = index.hierarchy_->g_k.NumEdges();
+
+  // Labels.
+  auto store = std::make_unique<LabelStore>();
+  ISLABEL_RETURN_IF_ERROR(store->Open(LabelsPath(dir)));
+  if (store->num_vertices() != n) {
+    return Status::Corruption("label store vertex count mismatch");
+  }
+  if (labels_in_memory) {
+    ISLABEL_RETURN_IF_ERROR(store->LoadAll(index.labels_.get()));
+  } else {
+    index.store_ = std::move(store);
+  }
+
+  std::uint64_t core_vertices = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (index.hierarchy_->level[v] == k && !index.deleted_[v]) ++core_vertices;
+  }
+  index.hierarchy_->stats.back().num_vertices = core_vertices;
+  index.build_stats_.k = k;
+  index.build_stats_.core_vertices = core_vertices;
+  index.build_stats_.core_edges = index.hierarchy_->g_k.NumEdges();
+  return index;
+}
+
+}  // namespace islabel

@@ -1,0 +1,132 @@
+// ISLabelIndex: the public facade of the library.
+//
+// Build() runs the full §6 pipeline — vertex hierarchy (Algorithms 2+3),
+// top-down labeling (Algorithm 4) — and the resulting index answers exact
+// point-to-point distance queries (Equation 1 + Algorithm 1), shortest-path
+// queries (§8.1), and supports the lazy update maintenance of §8.3.
+// Save()/Load() persist the index with disk-resident labels, reproducing
+// the paper's disk-based query mode (one label I/O per endpoint); Load()
+// with labels_in_memory = true is the paper's IM-ISL.
+
+#ifndef ISLABEL_CORE_INDEX_H_
+#define ISLABEL_CORE_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/labeling.h"
+#include "core/options.h"
+#include "core/query.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Construction metrics — the columns of Tables 3, 6 and 7.
+struct BuildStats {
+  std::uint32_t k = 0;
+  std::uint64_t core_vertices = 0;   // |V_{G_k}|
+  std::uint64_t core_edges = 0;      // |E_{G_k}|
+  std::uint64_t label_entries = 0;   // Σ_v |label(v)|
+  std::uint64_t label_bytes = 0;     // in-memory footprint of the labels
+  double hierarchy_seconds = 0.0;
+  double labeling_seconds = 0.0;
+  double total_seconds = 0.0;
+  IoStats io;                        // external-pipeline I/O (if used)
+  std::vector<LevelStats> level_stats;
+};
+
+/// Exact point-to-point distance index (undirected). Movable, not copyable.
+/// Queries are not thread-safe (each carries reusable scratch); build one
+/// index per thread or guard externally.
+class ISLabelIndex {
+ public:
+  ISLabelIndex() = default;
+  ISLabelIndex(ISLabelIndex&&) = default;
+  ISLabelIndex& operator=(ISLabelIndex&&) = default;
+
+  /// Builds the index over `g`. See IndexOptions for σ, forced k, vertex
+  /// order, path support and the external-memory pipeline.
+  static Result<ISLabelIndex> Build(const Graph& g,
+                                    const IndexOptions& options = {});
+
+  /// Exact distance from s to t; kInfDistance if disconnected.
+  Status Query(VertexId s, VertexId t, Distance* out,
+               QueryStats* stats = nullptr);
+
+  /// Exact shortest path (sequence of original-graph vertices, s first,
+  /// t last). Requires the index to have been built with keep_vias.
+  /// Outputs an empty path and kInfDistance when disconnected.
+  Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
+                      Distance* dist);
+
+  // ---- Update maintenance (§8.3; implemented in updates.cc) ----
+
+  /// Inserts a new vertex with id == NumVertices() and the given (neighbor,
+  /// weight) adjacency. The vertex joins G_k (level k); labels of affected
+  /// descendants are patched lazily per §8.3.
+  Status InsertVertex(VertexId v,
+                      const std::vector<std::pair<VertexId, Weight>>& adj);
+
+  /// Deletes a vertex per the paper's lazy scheme. Exact when the vertex is
+  /// in G_k and appears in no label; otherwise distances involving paths
+  /// through it may become stale until the index is rebuilt (the paper's
+  /// "rebuild periodically").
+  Status DeleteVertex(VertexId v);
+
+  bool IsDeleted(VertexId v) const {
+    return v < deleted_.size() && deleted_[v];
+  }
+
+  // ---- Persistence ----
+
+  /// Writes `<dir>/labels.isl`, `<dir>/core.islg`, `<dir>/meta.islm`.
+  Status Save(const std::string& dir) const;
+
+  /// Loads a saved index. labels_in_memory = true materializes all labels
+  /// (IM-ISL); false keeps them disk-resident, one read per query label.
+  static Result<ISLabelIndex> Load(const std::string& dir,
+                                   bool labels_in_memory = true);
+
+  // ---- Introspection ----
+
+  VertexId NumVertices() const { return hierarchy_->NumVertices(); }
+  std::uint32_t k() const { return hierarchy_->k; }
+  std::uint32_t LevelOf(VertexId v) const { return hierarchy_->level[v]; }
+  bool InCore(VertexId v) const { return hierarchy_->InCore(v); }
+  const VertexHierarchy& hierarchy() const { return *hierarchy_; }
+  /// In-memory labels; empty in disk-resident mode.
+  const LabelSet& labels() const { return *labels_; }
+  bool labels_on_disk() const { return store_ != nullptr; }
+  LabelStore* label_store() { return store_.get(); }
+  const BuildStats& build_stats() const { return build_stats_; }
+  /// True iff the index carries intermediate vertices for path queries
+  /// (IndexOptions::keep_vias at build time; persisted across Save/Load).
+  bool has_vias() const { return vias_enabled_; }
+
+ private:
+  friend class PathReconstructor;
+
+  QueryEngine* Engine();
+  void ResetEngine() { engine_.reset(); }
+  Status CheckQueryable(VertexId s, VertexId t) const;
+
+  // Rebuilds the G_k CSR from an edge list after an update (updates.cc).
+  void RebuildCore(EdgeList edges);
+
+  std::unique_ptr<VertexHierarchy> hierarchy_;
+  std::unique_ptr<LabelSet> labels_ = std::make_unique<LabelSet>();
+  std::unique_ptr<LabelStore> store_;
+  std::unique_ptr<QueryEngine> engine_;
+  BuildStats build_stats_;
+  BitVector deleted_;
+  bool vias_enabled_ = true;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_INDEX_H_

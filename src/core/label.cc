@@ -1,0 +1,48 @@
+#include "core/label.h"
+
+#include <algorithm>
+
+namespace islabel {
+
+Eq1Result EvaluateEq1(const std::vector<LabelEntry>& label_s,
+                      const std::vector<LabelEntry>& label_t) {
+  Eq1Result r;
+  std::size_t i = 0, j = 0;
+  while (i < label_s.size() && j < label_t.size()) {
+    if (label_s[i].node < label_t[j].node) {
+      ++i;
+    } else if (label_s[i].node > label_t[j].node) {
+      ++j;
+    } else {
+      ++r.intersection_size;
+      const Distance sum = label_s[i].dist + label_t[j].dist;
+      if (sum < r.dist) {
+        r.dist = sum;
+        r.witness = label_s[i].node;
+        r.s_entry = label_s[i];
+        r.t_entry = label_t[j];
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return r;
+}
+
+const LabelEntry* FindEntry(const std::vector<LabelEntry>& label,
+                            VertexId node) {
+  auto it = std::lower_bound(
+      label.begin(), label.end(), node,
+      [](const LabelEntry& e, VertexId n) { return e.node < n; });
+  if (it == label.end() || it->node != node) return nullptr;
+  return &*it;
+}
+
+std::vector<VertexId> VerticesOf(const std::vector<LabelEntry>& label) {
+  std::vector<VertexId> out;
+  out.reserve(label.size());
+  for (const LabelEntry& e : label) out.push_back(e.node);
+  return out;
+}
+
+}  // namespace islabel

@@ -1,0 +1,44 @@
+// Label operations used by query processing (§4.3): vertex extraction,
+// label intersection, and the Equation 1 evaluation
+//
+//   dist(s,t) = min_{w ∈ label(s) ∩ label(t)} d(s,w) + d(w,t).
+//
+// Labels are sorted by ancestor id, so intersection is a linear merge — the
+// "simple sequential scanning" of §6.2.
+
+#ifndef ISLABEL_CORE_LABEL_H_
+#define ISLABEL_CORE_LABEL_H_
+
+#include <vector>
+
+#include "core/label_entry.h"
+
+namespace islabel {
+
+/// Result of evaluating Equation 1 over two labels.
+struct Eq1Result {
+  /// min over the intersection, kInfDistance if the intersection is empty.
+  Distance dist = kInfDistance;
+  /// The arg-min common ancestor w, kInvalidVertex if none.
+  VertexId witness = kInvalidVertex;
+  /// The two entries achieving the minimum (valid iff witness is valid).
+  LabelEntry s_entry;
+  LabelEntry t_entry;
+  /// |label(s) ∩ label(t)|.
+  std::size_t intersection_size = 0;
+};
+
+/// Evaluates Equation 1 by merging the two sorted labels.
+Eq1Result EvaluateEq1(const std::vector<LabelEntry>& label_s,
+                      const std::vector<LabelEntry>& label_t);
+
+/// Binary-searches a sorted label for an ancestor; nullptr if absent.
+const LabelEntry* FindEntry(const std::vector<LabelEntry>& label,
+                            VertexId node);
+
+/// V[label] of §4.3: the ancestor ids (already sorted).
+std::vector<VertexId> VerticesOf(const std::vector<LabelEntry>& label);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_LABEL_H_

@@ -1,0 +1,41 @@
+// LabelEntry: one "(ancestor, d(v, ancestor))" pair of a vertex label
+// (Definition 3), extended with the optional intermediate vertex used for
+// shortest-path reconstruction (§8.1).
+//
+// This is a leaf header shared by the core labeling code and the storage
+// layer's on-disk label format.
+
+#ifndef ISLABEL_CORE_LABEL_ENTRY_H_
+#define ISLABEL_CORE_LABEL_ENTRY_H_
+
+#include "graph/graph_defs.h"
+
+namespace islabel {
+
+/// One entry of label(v): `node` is an ancestor u of v, `dist` is d(v,u) —
+/// an upper bound on dist_G(v,u) that Lemma 5 proves exact where query
+/// correctness needs it. `via` is the intermediate vertex x proving
+/// d(v,u) = d(v,x) + d(x,u), or kInvalidVertex when (v,u) is an original
+/// edge of G (or u == v).
+struct LabelEntry {
+  VertexId node = 0;
+  VertexId via = kInvalidVertex;
+  Distance dist = 0;
+
+  LabelEntry() = default;
+  LabelEntry(VertexId n, Distance d, VertexId via_v = kInvalidVertex)
+      : node(n), via(via_v), dist(d) {}
+
+  friend bool operator==(const LabelEntry& a, const LabelEntry& b) {
+    return a.node == b.node && a.dist == b.dist && a.via == b.via;
+  }
+  /// Orders by ancestor id — the storage order that makes label
+  /// intersection a linear merge (§6.2).
+  friend bool operator<(const LabelEntry& a, const LabelEntry& b) {
+    return a.node < b.node;
+  }
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_LABEL_ENTRY_H_

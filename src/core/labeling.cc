@@ -1,0 +1,126 @@
+#include "core/labeling.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace islabel {
+
+namespace {
+
+// Sort candidates by ancestor id, then distance, so the first record per
+// ancestor after a stable pass is the minimum-distance one. The via vertex
+// breaks exact ties so the surviving entry does not depend on candidate
+// generation order (the external pipeline joins in a different order).
+void SortAndDedupe(std::vector<LabelEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const LabelEntry& a, const LabelEntry& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.via < b.via;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    if (out > 0 && (*entries)[out - 1].node == (*entries)[i].node) continue;
+    (*entries)[out++] = (*entries)[i];
+  }
+  entries->resize(out);
+}
+
+}  // namespace
+
+LabelSet ComputeLabelsTopDown(const VertexHierarchy& h, LabelingStats* stats) {
+  const VertexId n = h.NumVertices();
+  LabelSet labels(n);
+
+  // Initialization (Algorithm 4 lines 1-4): residual vertices are their own
+  // single ancestor.
+  for (VertexId v = 0; v < n; ++v) {
+    if (h.level[v] == h.k) labels[v] = {LabelEntry(v, 0)};
+  }
+
+  // Top-down propagation, level k-1 down to 1. When v ∈ L_i is processed,
+  // every DAG neighbor u of v has ℓ(u) > i, so label(u) is already complete
+  // (Corollary 1): label(v) = {(v,0)} ∪ min-merge over u of
+  // (w, ω(v,u) + d(u,w)).
+  std::vector<LabelEntry> scratch;
+  for (std::uint32_t i = h.k; i-- > 1;) {
+    for (VertexId v : h.levels[i]) {
+      scratch.clear();
+      scratch.emplace_back(v, 0);
+      for (const HierEdge& e : h.removed_adj[v]) {
+        const auto& upper = labels[e.to];
+        for (const LabelEntry& le : upper) {
+          // Intermediate vertex for path reconstruction (§8.1): the direct
+          // entry inherits the augmenting edge's via; transitive entries
+          // record the neighbor u as the split point.
+          const VertexId via = (le.node == e.to) ? e.via : e.to;
+          scratch.emplace_back(le.node, static_cast<Distance>(e.w) + le.dist,
+                               via);
+        }
+      }
+      SortAndDedupe(&scratch);
+      labels[v] = scratch;
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = LabelingStats{};
+    for (const auto& l : labels) {
+      stats->total_entries += l.size();
+      stats->max_entries = std::max<std::uint64_t>(stats->max_entries,
+                                                   l.size());
+      stats->bytes_in_memory += l.size() * sizeof(LabelEntry);
+    }
+  }
+  return labels;
+}
+
+std::vector<LabelEntry> ComputeLabelDefinition3(const VertexHierarchy& h,
+                                                VertexId v) {
+  // The literal procedure: keep a set of marked vertices; repeatedly unmark
+  // the one with the smallest level number and relax its DAG out-edges.
+  // Levels strictly increase along DAG edges, so processing by level is a
+  // topological order and every d is final when its vertex is unmarked.
+  struct QEntry {
+    std::uint32_t level;
+    VertexId node;
+    bool operator>(const QEntry& o) const {
+      if (level != o.level) return level > o.level;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>>
+      marked;
+  std::unordered_map<VertexId, LabelEntry> best;
+
+  best.emplace(v, LabelEntry(v, 0));
+  marked.push({h.level[v], v});
+  while (!marked.empty()) {
+    QEntry top = marked.top();
+    marked.pop();
+    const VertexId u = top.node;
+    const Distance du = best.at(u).dist;
+    if (h.level[u] == h.k) continue;  // residual vertices are DAG sinks
+    for (const HierEdge& e : h.removed_adj[u]) {
+      const Distance cand = du + e.w;
+      const VertexId via = (u == v) ? e.via : u;
+      auto it = best.find(e.to);
+      if (it == best.end()) {
+        best.emplace(e.to, LabelEntry(e.to, cand, via));
+        marked.push({h.level[e.to], e.to});
+      } else if (cand < it->second.dist) {
+        it->second.dist = cand;
+        it->second.via = via;
+      }
+    }
+  }
+
+  std::vector<LabelEntry> out;
+  out.reserve(best.size());
+  for (const auto& [node, entry] : best) out.push_back(entry);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace islabel

@@ -1,0 +1,64 @@
+// Vertex labeling (Definition 3) and its efficient top-down computation
+// (Algorithm 4).
+//
+// label(v) holds one entry per ancestor u of v in the level-increasing
+// DAG, with d(v,u) = the shortest strictly-level-increasing path length
+// from v to u. d is an upper bound on dist_G(v,u) (Example 3: d(h,e)=4 >
+// dist(h,e)=3) yet Lemma 5 shows it is exact for the max-level vertex of
+// any shortest path, which is all Equation 1 needs.
+//
+// Two implementations are provided:
+//   * ComputeLabelDefinition3 — the literal marked-vertex procedure of
+//     Definition 3, per vertex; quadratic-ish and used as the test oracle.
+//   * ComputeLabelsTopDown — Algorithm 4: initialize each label with the
+//     vertex's DAG out-edges, then propagate complete labels from level
+//     k-1 down to 1 (Corollary 1). This is the production path.
+
+#ifndef ISLABEL_CORE_LABELING_H_
+#define ISLABEL_CORE_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/label_entry.h"
+#include "core/options.h"
+#include "util/io_stats.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// All vertex labels, indexed by vertex id; each label is sorted by
+/// ancestor id (the on-disk order, §6.2).
+using LabelSet = std::vector<std::vector<LabelEntry>>;
+
+/// Counters describing a labeling run.
+struct LabelingStats {
+  std::uint64_t total_entries = 0;
+  std::uint64_t max_entries = 0;      // largest single label
+  /// Serialized size estimate (the varint-coded on-disk footprint is
+  /// smaller; this is the 12-byte-per-entry in-memory figure).
+  std::uint64_t bytes_in_memory = 0;
+};
+
+/// Algorithm 4. Labels for every vertex of G, top-down.
+LabelSet ComputeLabelsTopDown(const VertexHierarchy& h,
+                              LabelingStats* stats = nullptr);
+
+/// Algorithm 4's I/O-efficient block nested loop join (§6.1.4): completed
+/// upper-level labels stream from a disk file; the current level is
+/// processed in blocks bounded by options.memory_budget_bytes. Produces
+/// labels identical to ComputeLabelsTopDown with I/O accounted in *io.
+/// Declared here, implemented in labeling_external.cc.
+Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
+                                              const IndexOptions& options,
+                                              LabelingStats* stats,
+                                              IoStats* io);
+
+/// Definition 3, literal, for one vertex. Test oracle.
+std::vector<LabelEntry> ComputeLabelDefinition3(const VertexHierarchy& h,
+                                                VertexId v);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_LABELING_H_

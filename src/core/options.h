@@ -1,0 +1,72 @@
+// Build-time configuration for the IS-LABEL index.
+
+#ifndef ISLABEL_CORE_OPTIONS_H_
+#define ISLABEL_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace islabel {
+
+/// Order in which Algorithm 2 considers vertices for the independent set.
+/// The paper uses min-degree-first (the greedy approximation of maximum
+/// independent set [16]); the alternatives exist for the ablation bench.
+enum class IsOrder {
+  kMinDegree,
+  kRandom,
+  kMaxDegree,
+};
+
+/// Options controlling hierarchy construction and labeling.
+struct IndexOptions {
+  /// σ of §5.1: stop peeling at the first level i ≥ 2 with
+  /// |G_i| / |G_{i-1}| > sigma (|G| = |V| + |E|). The paper's default
+  /// threshold is 0.95; Table 7 uses 0.90.
+  double sigma = 0.95;
+
+  /// If nonzero, ignore sigma and terminate at exactly this level (the
+  /// Table 6 experiment: forced k around the auto-selected one).
+  std::uint32_t forced_k = 0;
+
+  /// Peel every level regardless of sigma (k = h + 1, G_k empty) — the
+  /// §4 "full hierarchy" in which every query is answered by Equation 1.
+  bool full_hierarchy = false;
+
+  /// Safety bound on the number of levels (0 = none). Construction stops
+  /// with k = max_levels when reached.
+  std::uint32_t max_levels = 0;
+
+  /// Keep per-edge / per-entry intermediate vertices so shortest *paths*
+  /// (not just distances) can be reconstructed (§8.1). Costs one extra
+  /// VertexId per augmenting edge and label entry.
+  bool keep_vias = true;
+
+  /// Vertex consideration order for the independent set (see IsOrder).
+  IsOrder is_order = IsOrder::kMinDegree;
+
+  /// Seed for IsOrder::kRandom.
+  std::uint64_t seed = 42;
+
+  /// If nonzero, run the I/O-efficient construction pipeline (§6) with
+  /// this many bytes of working memory, spilling through tmp_dir; the
+  /// result is bit-identical to the in-memory pipeline, with I/O counted.
+  std::uint64_t memory_budget_bytes = 0;
+
+  /// Spill directory for the external pipeline.
+  std::string tmp_dir = "/tmp";
+
+  /// Capacity (in vertices) of the L' exclusion buffer of Algorithm 2's
+  /// external variant; 0 = unbounded. When the buffer fills, the on-disk
+  /// copy of G'_i is rewritten to evict excluded vertices — exercised by
+  /// tests with tiny capacities.
+  std::uint64_t lprime_buffer_capacity = 0;
+
+  /// Returns OK iff the option combination is valid.
+  Status Validate() const;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_OPTIONS_H_

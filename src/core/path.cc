@@ -1,0 +1,132 @@
+#include "core/path.h"
+
+#include <algorithm>
+
+#include "core/index.h"
+
+namespace islabel {
+
+namespace {
+
+// Expansion splits a segment into two strictly shorter ones, so depth is
+// bounded by the hop count of the final path; 4096 is far beyond any
+// realistic query and guards against a corrupted index looping forever.
+constexpr int kMaxDepth = 4096;
+
+}  // namespace
+
+Status PathReconstructor::Reconstruct(VertexId s, VertexId t,
+                                      const PathCapture& capture,
+                                      std::vector<VertexId>* out) {
+  out->clear();
+  if (capture.kind == MeetKind::kNone || capture.dist == kInfDistance) {
+    return Status::OK();  // unreachable: empty path by contract
+  }
+  out->push_back(s);
+  if (s == t) return Status::OK();
+
+  if (capture.kind == MeetKind::kEq1) {
+    // s → w, then w → t (the reverse expansion of t → w).
+    ISLABEL_RETURN_IF_ERROR(EmitEntry(s, capture.eq1_s, 0, out));
+    std::vector<VertexId> tail{t};
+    ISLABEL_RETURN_IF_ERROR(EmitEntry(t, capture.eq1_t, 0, &tail));
+    // tail = t ... w; append reversed, skipping the shared w.
+    for (std::size_t i = tail.size() - 1; i-- > 0;) out->push_back(tail[i]);
+    return Status::OK();
+  }
+
+  // kSearch: s → seed_s.node → (G_k tree edges) → meet → ... → seed_t.node
+  // → t, with every augmenting G_k edge expanded through its via vertex.
+  ISLABEL_RETURN_IF_ERROR(EmitEntry(s, capture.seed_s, 0, out));
+  for (const PathStep& step : capture.steps_s) {
+    if (out->back() != step.from) {
+      return Status::Internal("forward chain discontinuity");
+    }
+    ISLABEL_RETURN_IF_ERROR(EmitSegment(step.from, step.to, step.via, 0, out));
+  }
+  // Build the t-side walk t → seed → meet, then splice it on reversed.
+  std::vector<VertexId> tail{t};
+  ISLABEL_RETURN_IF_ERROR(EmitEntry(t, capture.seed_t, 0, &tail));
+  for (const PathStep& step : capture.steps_t) {
+    if (tail.back() != step.from) {
+      return Status::Internal("reverse chain discontinuity");
+    }
+    ISLABEL_RETURN_IF_ERROR(EmitSegment(step.from, step.to, step.via, 0,
+                                        &tail));
+  }
+  if (out->back() != capture.meet || tail.back() != capture.meet) {
+    return Status::Internal("search chains do not meet");
+  }
+  for (std::size_t i = tail.size() - 1; i-- > 0;) out->push_back(tail[i]);
+  return Status::OK();
+}
+
+Status PathReconstructor::EmitEntry(VertexId a, const LabelEntry& entry,
+                                    int depth,
+                                    std::vector<VertexId>* out) {
+  if (depth > kMaxDepth) return Status::Internal("path expansion too deep");
+  if (entry.node == a) return Status::OK();  // trivial self entry
+  return EmitSegment(a, entry.node, entry.via, depth, out);
+}
+
+Status PathReconstructor::EmitSegment(VertexId a, VertexId b, VertexId via,
+                                      int depth,
+                                      std::vector<VertexId>* out) {
+  if (depth > kMaxDepth) return Status::Internal("path expansion too deep");
+  if (via == kInvalidVertex) {
+    // Original edge of G.
+    out->push_back(b);
+    return Status::OK();
+  }
+  ISLABEL_RETURN_IF_ERROR(EmitQuery(a, via, depth + 1, out));
+  ISLABEL_RETURN_IF_ERROR(EmitQuery(via, b, depth + 1, out));
+  return Status::OK();
+}
+
+Status PathReconstructor::EmitQuery(VertexId a, VertexId b, int depth,
+                                    std::vector<VertexId>* out) {
+  if (depth > kMaxDepth) return Status::Internal("path expansion too deep");
+  PathCapture capture;
+  ISLABEL_RETURN_IF_ERROR(engine_->DistanceWithCapture(a, b, &capture));
+  if (capture.dist == kInfDistance) {
+    return Status::Internal("sub-path query unreachable; index corrupted?");
+  }
+  if (capture.kind == MeetKind::kEq1) {
+    ISLABEL_RETURN_IF_ERROR(EmitEntry(a, capture.eq1_s, depth + 1, out));
+    std::vector<VertexId> tail{b};
+    ISLABEL_RETURN_IF_ERROR(EmitEntry(b, capture.eq1_t, depth + 1, &tail));
+    for (std::size_t i = tail.size() - 1; i-- > 0;) out->push_back(tail[i]);
+    return Status::OK();
+  }
+  // kSearch sub-query.
+  ISLABEL_RETURN_IF_ERROR(EmitEntry(a, capture.seed_s, depth + 1, out));
+  for (const PathStep& step : capture.steps_s) {
+    ISLABEL_RETURN_IF_ERROR(
+        EmitSegment(step.from, step.to, step.via, depth + 1, out));
+  }
+  std::vector<VertexId> tail{b};
+  ISLABEL_RETURN_IF_ERROR(EmitEntry(b, capture.seed_t, depth + 1, &tail));
+  for (const PathStep& step : capture.steps_t) {
+    ISLABEL_RETURN_IF_ERROR(
+        EmitSegment(step.from, step.to, step.via, depth + 1, &tail));
+  }
+  for (std::size_t i = tail.size() - 1; i-- > 0;) out->push_back(tail[i]);
+  return Status::OK();
+}
+
+Status ISLabelIndex::ShortestPath(VertexId s, VertexId t,
+                                  std::vector<VertexId>* path,
+                                  Distance* dist) {
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  if (!vias_enabled_) {
+    return Status::FailedPrecondition(
+        "index was built without vias (IndexOptions::keep_vias)");
+  }
+  PathCapture capture;
+  ISLABEL_RETURN_IF_ERROR(Engine()->DistanceWithCapture(s, t, &capture));
+  *dist = capture.dist;
+  PathReconstructor reconstructor(Engine());
+  return reconstructor.Reconstruct(s, t, capture, path);
+}
+
+}  // namespace islabel

@@ -1,0 +1,295 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/timer.h"
+
+namespace islabel {
+
+namespace {
+
+/// Saturating add treating kInfDistance as +infinity.
+inline Distance SatAdd(Distance a, Distance b) {
+  if (a == kInfDistance || b == kInfDistance) return kInfDistance;
+  if (a > kInfDistance - b) return kInfDistance;
+  return a + b;
+}
+
+}  // namespace
+
+Status LabelProvider::View(VertexId v, const std::vector<LabelEntry>** view,
+                           std::vector<LabelEntry>* scratch,
+                           std::uint64_t* ios) {
+  if (mem_ != nullptr) {
+    if (v >= mem_->size()) return Status::OutOfRange("vertex out of range");
+    *view = &(*mem_)[v];
+    return Status::OK();
+  }
+  ISLABEL_RETURN_IF_ERROR(store_->GetLabel(v, scratch));
+  if (ios != nullptr) *ios += 1;
+  *view = scratch;
+  return Status::OK();
+}
+
+QueryEngine::QueryEngine(const VertexHierarchy* hierarchy,
+                         LabelProvider provider)
+    : h_(hierarchy), provider_(provider) {}
+
+void QueryEngine::EnsureScratch() {
+  const std::size_t n = h_->level.size();
+  for (SideState& s : sides_) {
+    if (s.dist.size() != n) {
+      s.dist.assign(n, kInfDistance);
+      s.parent.assign(n, kInvalidVertex);
+      s.parent_via.assign(n, kInvalidVertex);
+      s.stamp.assign(n, 0);
+      s.settled_stamp.assign(n, 0);
+    }
+  }
+}
+
+Status QueryEngine::Query(VertexId s, VertexId t, Distance* out,
+                          QueryStats* stats) {
+  return Run(s, t, out, stats, nullptr);
+}
+
+Status QueryEngine::DistanceWithCapture(VertexId s, VertexId t,
+                                        PathCapture* capture,
+                                        QueryStats* stats) {
+  *capture = PathCapture{};
+  Distance d = kInfDistance;
+  ISLABEL_RETURN_IF_ERROR(Run(s, t, &d, stats, capture));
+  capture->dist = d;
+  return Status::OK();
+}
+
+Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
+                        QueryStats* stats, PathCapture* capture) {
+  const VertexId n = h_->NumVertices();
+  if (s >= n || t >= n) {
+    return Status::OutOfRange("query vertex id out of range");
+  }
+  if (stats != nullptr) *stats = QueryStats{};
+
+  if (s == t) {
+    *out = 0;
+    if (capture != nullptr) {
+      capture->kind = MeetKind::kEq1;
+      capture->meet = s;
+      capture->eq1_s = LabelEntry(s, 0);
+      capture->eq1_t = LabelEntry(s, 0);
+    }
+    return Status::OK();
+  }
+
+  // Stage 1: label retrieval — the paper's query Time (a). Core vertices
+  // carry the trivial label {(v, 0)}, so their lookup is synthesized
+  // without touching the store; this is why the paper's Type 1 queries
+  // (both endpoints in G_k) have Time (a) = 0.
+  WallTimer fetch_timer;
+  std::uint64_t ios = 0;
+  const std::vector<LabelEntry>* label_s = nullptr;
+  const std::vector<LabelEntry>* label_t = nullptr;
+  if (h_->InCore(s)) {
+    scratch_s_.assign(1, LabelEntry(s, 0));
+    label_s = &scratch_s_;
+  } else {
+    ISLABEL_RETURN_IF_ERROR(provider_.View(s, &label_s, &scratch_s_, &ios));
+  }
+  if (h_->InCore(t)) {
+    scratch_t_.assign(1, LabelEntry(t, 0));
+    label_t = &scratch_t_;
+  } else {
+    ISLABEL_RETURN_IF_ERROR(provider_.View(t, &label_t, &scratch_t_, &ios));
+  }
+  const Eq1Result eq1 = EvaluateEq1(*label_s, *label_t);
+  if (stats != nullptr) {
+    stats->label_fetch_seconds = fetch_timer.ElapsedSeconds();
+    stats->label_ios = ios;
+    const int in_core =
+        (h_->InCore(s) ? 1 : 0) + (h_->InCore(t) ? 1 : 0);
+    stats->location = in_core == 2   ? LocationType::kBothInCore
+                      : in_core == 1 ? LocationType::kOneInCore
+                                     : LocationType::kNoneInCore;
+    stats->intersection_size = eq1.intersection_size;
+  }
+  if (capture != nullptr && eq1.witness != kInvalidVertex) {
+    capture->kind = MeetKind::kEq1;
+    capture->meet = eq1.witness;
+    capture->eq1_s = eq1.s_entry;
+    capture->eq1_t = eq1.t_entry;
+  }
+
+  // Seeds: label entries landing in G_k (Algorithm 1 lines 1-2). Empty on
+  // either side means the query is Type 1 and Equation 1 already answered
+  // it (Theorem 3).
+  std::vector<LabelEntry> seeds_s, seeds_t;
+  for (const LabelEntry& e : *label_s) {
+    if (h_->InCore(e.node)) seeds_s.push_back(e);
+  }
+  for (const LabelEntry& e : *label_t) {
+    if (h_->InCore(e.node)) seeds_t.push_back(e);
+  }
+  if (seeds_s.empty() || seeds_t.empty()) {
+    *out = eq1.dist;
+    return Status::OK();
+  }
+
+  // Stage 2: label-based bidirectional Dijkstra on G_k — Time (b).
+  WallTimer search_timer;
+  if (stats != nullptr) stats->used_search = true;
+  const Distance mu = disable_mu_pruning_ ? kInfDistance : eq1.dist;
+  Distance d = BiDijkstra(seeds_s, seeds_t, mu, stats, capture);
+  if (disable_mu_pruning_ && eq1.dist < d) d = eq1.dist;
+  if (stats != nullptr) stats->search_seconds = search_timer.ElapsedSeconds();
+  *out = d;
+  return Status::OK();
+}
+
+Distance QueryEngine::BiDijkstra(const std::vector<LabelEntry>& seeds_s,
+                                 const std::vector<LabelEntry>& seeds_t,
+                                 Distance mu, QueryStats* stats,
+                                 PathCapture* capture) {
+  EnsureScratch();
+  ++epoch_;
+  const std::uint32_t epoch = epoch_;
+  const Graph& gk = h_->g_k;
+
+  auto dist_of = [&](int side, VertexId v) -> Distance {
+    return sides_[side].stamp[v] == epoch ? sides_[side].dist[v]
+                                          : kInfDistance;
+  };
+  auto is_settled = [&](int side, VertexId v) {
+    return sides_[side].settled_stamp[v] == epoch;
+  };
+
+  using PqEntry = std::pair<Distance, VertexId>;
+  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
+      pq[2];
+
+  auto seed_side = [&](int side, const std::vector<LabelEntry>& seeds) {
+    for (const LabelEntry& e : seeds) {
+      if (e.dist < dist_of(side, e.node)) {
+        sides_[side].dist[e.node] = e.dist;
+        sides_[side].stamp[e.node] = epoch;
+        sides_[side].parent[e.node] = kInvalidVertex;  // marks "label seed"
+        sides_[side].parent_via[e.node] = kInvalidVertex;
+        pq[side].push({e.dist, e.node});
+      }
+    }
+  };
+  seed_side(0, seeds_s);
+  seed_side(1, seeds_t);
+
+  Distance best = mu;
+  VertexId meet = kInvalidVertex;
+
+  auto purge = [&](int side) {
+    while (!pq[side].empty()) {
+      const auto& [d, v] = pq[side].top();
+      if (is_settled(side, v) || d != dist_of(side, v)) {
+        pq[side].pop();
+      } else {
+        break;
+      }
+    }
+  };
+
+  while (true) {
+    purge(0);
+    purge(1);
+    const Distance mf = pq[0].empty() ? kInfDistance : pq[0].top().first;
+    const Distance mr = pq[1].empty() ? kInfDistance : pq[1].top().first;
+    // Pruning condition of Algorithm 1 line 8: stop when no s-t path
+    // through G_k can beat µ (Theorem 4).
+    if (SatAdd(mf, mr) >= best) break;
+
+    const int side = (mf <= mr) ? 0 : 1;
+    const int opp = 1 - side;
+    const auto [d, v] = pq[side].top();
+    pq[side].pop();
+    sides_[side].settled_stamp[v] = epoch;
+    if (stats != nullptr) ++stats->settled;
+
+    // µ tightening. NOTE (deviation from the paper, documented in
+    // DESIGN.md): Algorithm 1 lines 17-18 consult only *settled* opposite
+    // vertices, which makes the line-8 stop rule tie-order dependent (on
+    // the paper's own example the query (c,f) can terminate with 6 instead
+    // of 5). The standard remedy — and what Theorem 4's proof actually
+    // uses — is to consult the opposite side's *tentative* distance, which
+    // is always a valid path length.
+    {
+      const Distance cand = SatAdd(dist_of(0, v), dist_of(1, v));
+      if (cand < best) {
+        best = cand;
+        meet = v;
+      }
+    }
+
+    auto nbrs = gk.Neighbors(v);
+    auto ws = gk.NeighborWeights(v);
+    const bool vias = gk.has_vias();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId u = nbrs[i];
+      const Distance nd = d + ws[i];
+      if (stats != nullptr) ++stats->relaxed;
+      if (nd < dist_of(side, u)) {
+        sides_[side].dist[u] = nd;
+        sides_[side].stamp[u] = epoch;
+        sides_[side].parent[u] = v;
+        sides_[side].parent_via[u] =
+            vias ? gk.NeighborVias(v)[i] : kInvalidVertex;
+        pq[side].push({nd, u});
+      }
+      // µ tightening (Algorithm 1 lines 17-18, with the tentative-distance
+      // fix described above): u reached from both directions closes a
+      // candidate s-t path.
+      {
+        const Distance cand = SatAdd(dist_of(side, u), dist_of(opp, u));
+        if (cand < best) {
+          best = cand;
+          meet = u;
+        }
+      }
+    }
+  }
+
+  if (capture != nullptr && meet != kInvalidVertex) {
+    capture->kind = MeetKind::kSearch;
+    capture->meet = meet;
+    TraceSide(0, meet, seeds_s.data(), seeds_s.size(), &capture->seed_s,
+              &capture->steps_s);
+    TraceSide(1, meet, seeds_t.data(), seeds_t.size(), &capture->seed_t,
+              &capture->steps_t);
+  }
+  return best;
+}
+
+void QueryEngine::TraceSide(int side, VertexId meet,
+                            const LabelEntry* seeds_begin,
+                            std::size_t seeds_count, LabelEntry* seed_out,
+                            std::vector<PathStep>* steps_out) const {
+  steps_out->clear();
+  VertexId v = meet;
+  while (sides_[side].parent[v] != kInvalidVertex) {
+    PathStep step;
+    step.from = sides_[side].parent[v];
+    step.to = v;
+    step.via = sides_[side].parent_via[v];
+    steps_out->push_back(step);
+    v = step.from;
+  }
+  std::reverse(steps_out->begin(), steps_out->end());
+  // v is now the chain head — a seeded G_k vertex; find its label entry.
+  for (std::size_t i = 0; i < seeds_count; ++i) {
+    if (seeds_begin[i].node == v) {
+      *seed_out = seeds_begin[i];
+      return;
+    }
+  }
+  // Unreachable if the search is correct.
+  *seed_out = LabelEntry(v, sides_[side].dist[v]);
+}
+
+}  // namespace islabel

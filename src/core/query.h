@@ -1,0 +1,155 @@
+// Query processing over the k-level vertex hierarchy (§5.2).
+//
+// A query (s, t) is answered in two stages:
+//   1. Fetch label(s) and label(t) (from memory, or one disk read each —
+//      the paper's Time (a)) and evaluate Equation 1 over their
+//      intersection, giving the pruning bound µ.
+//   2. If the query is Type 1 — both endpoints outside G_k and at least one
+//      label not reaching G_k — µ is the answer (Theorem 3). Otherwise run
+//      the label-based bidirectional Dijkstra of Algorithm 1 on G_k, seeded
+//      with the label entries that land in G_k and pruned by
+//      min(FQ) + min(RQ) >= µ (Theorem 4). This is the paper's Time (b).
+
+#ifndef ISLABEL_CORE_QUERY_H_
+#define ISLABEL_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/label.h"
+#include "core/labeling.h"
+#include "storage/label_store.h"
+#include "util/status.h"
+
+namespace islabel {
+
+/// Where the two endpoints sit relative to G_k — the three query classes of
+/// Table 5 (1: both in G_k, 2: exactly one, 3: neither).
+enum class LocationType : std::uint8_t {
+  kBothInCore = 1,
+  kOneInCore = 2,
+  kNoneInCore = 3,
+};
+
+/// Per-query measurements backing Tables 4, 5 and 8.
+struct QueryStats {
+  double label_fetch_seconds = 0.0;  // Time (a)
+  double search_seconds = 0.0;       // Time (b)
+  std::uint64_t label_ios = 0;       // physical label reads issued
+  LocationType location = LocationType::kNoneInCore;
+  bool used_search = false;          // false = answered by Equation 1 alone
+  std::uint64_t settled = 0;         // vertices settled by bi-Dijkstra
+  std::uint64_t relaxed = 0;         // edge relaxations
+  std::size_t intersection_size = 0;
+};
+
+/// How a path-capturing query met in the middle.
+enum class MeetKind : std::uint8_t {
+  kNone = 0,  // unreachable
+  kEq1 = 1,   // µ from Equation 1 (common ancestor witness)
+  kSearch = 2 // bi-Dijkstra meet vertex in G_k
+};
+
+/// One G_k tree edge on a reconstructed search path.
+struct PathStep {
+  VertexId from = kInvalidVertex;
+  VertexId to = kInvalidVertex;
+  VertexId via = kInvalidVertex;  // augmenting-edge intermediate, if any
+};
+
+/// Everything path reconstruction (§8.1) needs from a query.
+struct PathCapture {
+  MeetKind kind = MeetKind::kNone;
+  Distance dist = kInfDistance;
+  VertexId meet = kInvalidVertex;
+  // kind == kEq1: the two label entries of the witness.
+  LabelEntry eq1_s;
+  LabelEntry eq1_t;
+  // kind == kSearch: label entries seeding each side's chain (node is the
+  // chain's first G_k vertex), then the G_k tree edges toward `meet`,
+  // ordered from seed to meet.
+  LabelEntry seed_s;
+  LabelEntry seed_t;
+  std::vector<PathStep> steps_s;
+  std::vector<PathStep> steps_t;
+};
+
+/// Serves labels either from an in-memory LabelSet (the paper's IM-ISL) or
+/// from a disk-resident LabelStore (one read per label).
+class LabelProvider {
+ public:
+  explicit LabelProvider(const LabelSet* in_memory) : mem_(in_memory) {}
+  explicit LabelProvider(LabelStore* store) : store_(store) {}
+
+  /// Points *view at label(v); `scratch` backs the disk path.
+  Status View(VertexId v, const std::vector<LabelEntry>** view,
+              std::vector<LabelEntry>* scratch, std::uint64_t* ios);
+
+  bool on_disk() const { return store_ != nullptr; }
+
+ private:
+  const LabelSet* mem_ = nullptr;
+  LabelStore* store_ = nullptr;
+};
+
+/// Executes distance queries against a built hierarchy + labels.
+/// Owns reusable per-query scratch; not thread-safe (clone one engine per
+/// thread if needed — the hierarchy itself is immutable and shared).
+class QueryEngine {
+ public:
+  QueryEngine(const VertexHierarchy* hierarchy, LabelProvider provider);
+
+  /// Point-to-point distance (Equation 1 / Algorithm 1). kInfDistance means
+  /// unreachable.
+  Status Query(VertexId s, VertexId t, Distance* out,
+               QueryStats* stats = nullptr);
+
+  /// Distance plus the bookkeeping needed to reconstruct the path.
+  Status DistanceWithCapture(VertexId s, VertexId t, PathCapture* capture,
+                             QueryStats* stats = nullptr);
+
+  /// Ablation hook (bench_ablation_pruning): when true, the bi-Dijkstra
+  /// starts with µ = ∞ instead of the Equation-1 bound; answers stay exact
+  /// (the final result still takes min with Equation 1) but the search
+  /// loses its pruning.
+  void set_disable_mu_pruning(bool v) { disable_mu_pruning_ = v; }
+
+  const VertexHierarchy& hierarchy() const { return *h_; }
+
+ private:
+  Status Run(VertexId s, VertexId t, Distance* out, QueryStats* stats,
+             PathCapture* capture);
+
+  /// Algorithm 1 stage 2. Seeds must be label entries whose node is in G_k.
+  Distance BiDijkstra(const std::vector<LabelEntry>& seeds_s,
+                      const std::vector<LabelEntry>& seeds_t, Distance mu,
+                      QueryStats* stats, PathCapture* capture);
+
+  void EnsureScratch();
+  void TraceSide(int side, VertexId meet, const LabelEntry* seeds_begin,
+                 std::size_t seeds_count, LabelEntry* seed_out,
+                 std::vector<PathStep>* steps_out) const;
+
+  const VertexHierarchy* h_;
+  LabelProvider provider_;
+
+  // Epoch-stamped per-vertex search state; allocated lazily at first query,
+  // reused across queries without O(n) clearing.
+  struct SideState {
+    std::vector<Distance> dist;
+    std::vector<VertexId> parent;      // kInvalidVertex = seeded entry
+    std::vector<VertexId> parent_via;  // via of the parent edge
+    std::vector<std::uint32_t> stamp;  // epoch when dist became valid
+    std::vector<std::uint32_t> settled_stamp;
+  };
+  SideState sides_[2];
+  std::uint32_t epoch_ = 0;
+  std::vector<LabelEntry> scratch_s_;
+  std::vector<LabelEntry> scratch_t_;
+  bool disable_mu_pruning_ = false;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_QUERY_H_

@@ -1,0 +1,70 @@
+#include "graph/components.h"
+
+#include <vector>
+
+namespace islabel {
+
+ComponentsResult FindComponents(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  ComponentsResult res;
+  res.component.assign(n, UINT32_MAX);
+
+  std::vector<VertexId> queue;
+  std::vector<std::uint64_t> comp_sizes;
+  for (VertexId start = 0; start < n; ++start) {
+    if (res.component[start] != UINT32_MAX) continue;
+    std::uint32_t cid = res.num_components++;
+    std::uint64_t size = 0;
+    queue.clear();
+    queue.push_back(start);
+    res.component[start] = cid;
+    while (!queue.empty()) {
+      VertexId v = queue.back();
+      queue.pop_back();
+      ++size;
+      for (VertexId u : g.Neighbors(v)) {
+        if (res.component[u] == UINT32_MAX) {
+          res.component[u] = cid;
+          queue.push_back(u);
+        }
+      }
+    }
+    comp_sizes.push_back(size);
+  }
+  for (std::uint32_t c = 0; c < res.num_components; ++c) {
+    if (comp_sizes[c] > res.largest_size) {
+      res.largest_size = comp_sizes[c];
+      res.largest = c;
+    }
+  }
+  return res;
+}
+
+LargestComponent ExtractLargestComponent(const Graph& g) {
+  ComponentsResult comps = FindComponents(g);
+  LargestComponent out;
+  const VertexId n = g.NumVertices();
+  out.old_to_new.assign(n, kInvalidVertex);
+  out.new_to_old.reserve(comps.largest_size);
+  for (VertexId v = 0; v < n; ++v) {
+    if (comps.component[v] == comps.largest) {
+      out.old_to_new[v] = static_cast<VertexId>(out.new_to_old.size());
+      out.new_to_old.push_back(v);
+    }
+  }
+  EdgeList edges(static_cast<VertexId>(out.new_to_old.size()));
+  for (VertexId u = 0; u < n; ++u) {
+    if (out.old_to_new[u] == kInvalidVertex) continue;
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.NeighborWeights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        edges.Add(out.old_to_new[u], out.old_to_new[nbrs[i]], ws[i]);
+      }
+    }
+  }
+  out.graph = Graph::FromEdgeList(std::move(edges));
+  return out;
+}
+
+}  // namespace islabel

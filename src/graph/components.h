@@ -1,0 +1,45 @@
+// Connected components and largest-connected-component extraction. The
+// paper extracts the largest connected component of the Web dataset (§7);
+// the bench harness does the same for its synthetic stand-ins.
+
+#ifndef ISLABEL_GRAPH_COMPONENTS_H_
+#define ISLABEL_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace islabel {
+
+/// Result of a components scan.
+struct ComponentsResult {
+  /// comp[v] = component id in [0, num_components).
+  std::vector<std::uint32_t> component;
+  std::uint32_t num_components = 0;
+  /// Id of the component with the most vertices.
+  std::uint32_t largest = 0;
+  /// Vertex count of the largest component.
+  std::uint64_t largest_size = 0;
+};
+
+/// Labels connected components with an iterative BFS (no recursion, safe on
+/// huge path-like graphs).
+ComponentsResult FindComponents(const Graph& g);
+
+/// Extracted largest component with the id remapping that produced it.
+struct LargestComponent {
+  Graph graph;
+  /// old vertex id -> new id, kInvalidVertex for vertices outside the LCC.
+  std::vector<VertexId> old_to_new;
+  /// new vertex id -> old id.
+  std::vector<VertexId> new_to_old;
+};
+
+/// Builds the subgraph induced by the largest connected component, with
+/// vertices renumbered densely.
+LargestComponent ExtractLargestComponent(const Graph& g);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_GRAPH_COMPONENTS_H_

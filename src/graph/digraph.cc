@@ -1,0 +1,82 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace islabel {
+
+DiGraph DiGraph::FromArcs(std::vector<Arc> arcs, VertexId num_vertices,
+                          bool keep_vias) {
+  // Drop self-loops; find vertex count.
+  std::size_t out = 0;
+  VertexId n = num_vertices;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (arcs[i].from == arcs[i].to) continue;
+    arcs[out++] = arcs[i];
+    n = std::max(n, std::max(arcs[i].from, arcs[i].to) + 1);
+  }
+  arcs.resize(out);
+
+  // Merge parallel arcs keeping min weight.
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.from != b.from) return a.from < b.from;
+    if (a.to != b.to) return a.to < b.to;
+    return a.w < b.w;
+  });
+  out = 0;
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    if (out > 0 && arcs[out - 1].from == arcs[i].from &&
+        arcs[out - 1].to == arcs[i].to) {
+      continue;
+    }
+    arcs[out++] = arcs[i];
+  }
+  arcs.resize(out);
+
+  DiGraph g;
+  g.out_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.in_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.out_targets_.resize(arcs.size());
+  g.out_weights_.resize(arcs.size());
+  g.in_sources_.resize(arcs.size());
+  g.in_weights_.resize(arcs.size());
+  if (keep_vias) {
+    g.out_vias_.resize(arcs.size());
+    g.in_vias_.resize(arcs.size());
+  }
+
+  // Out-CSR: arcs already sorted by (from, to).
+  for (const Arc& a : arcs) ++g.out_offsets_[a.from + 1];
+  for (std::size_t i = 1; i < g.out_offsets_.size(); ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+  }
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    g.out_targets_[i] = arcs[i].to;
+    g.out_weights_[i] = arcs[i].w;
+    if (keep_vias) g.out_vias_[i] = arcs[i].via;
+  }
+
+  // In-CSR: re-sort by (to, from).
+  std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+    if (a.to != b.to) return a.to < b.to;
+    return a.from < b.from;
+  });
+  for (const Arc& a : arcs) ++g.in_offsets_[a.to + 1];
+  for (std::size_t i = 1; i < g.in_offsets_.size(); ++i) {
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    g.in_sources_[i] = arcs[i].from;
+    g.in_weights_[i] = arcs[i].w;
+    if (keep_vias) g.in_vias_[i] = arcs[i].via;
+  }
+  return g;
+}
+
+Distance DiGraph::ArcWeight(VertexId u, VertexId v) const {
+  auto nbrs = OutNeighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInfDistance;
+  return OutWeights(u)[static_cast<std::size_t>(it - nbrs.begin())];
+}
+
+}  // namespace islabel

@@ -1,0 +1,39 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+namespace islabel {
+
+void EdgeList::Normalize() {
+  // Orient u < v and drop self-loops.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    Edge e = edges_[i];
+    if (e.u == e.v) continue;
+    if (e.u > e.v) std::swap(e.u, e.v);
+    edges_[out++] = e;
+  }
+  edges_.resize(out);
+
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    if (a.w != b.w) return a.w < b.w;
+    return a.via < b.via;  // deterministic winner among equal weights
+  });
+
+  // Deduplicate; the sort above puts the minimum-weight copy first, so the
+  // kept edge carries the weight (and via vertex) of the cheapest parallel
+  // edge — the same min() rule the augmenting-edge construction uses.
+  out = 0;
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (out > 0 && edges_[out - 1].u == edges_[i].u &&
+        edges_[out - 1].v == edges_[i].v) {
+      continue;
+    }
+    edges_[out++] = edges_[i];
+  }
+  edges_.resize(out);
+}
+
+}  // namespace islabel

@@ -1,0 +1,62 @@
+// EdgeList: the mutable, order-insensitive edge container that graph
+// generators and readers produce and from which CSR graphs are built.
+
+#ifndef ISLABEL_GRAPH_EDGE_LIST_H_
+#define ISLABEL_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_defs.h"
+
+namespace islabel {
+
+/// A bag of undirected edges plus a vertex-count hint. Edges may appear in
+/// any orientation and may contain duplicates until Normalize() is called.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  /// Adds an undirected edge; orientation is irrelevant. Grows the vertex
+  /// count to cover the endpoints.
+  void Add(VertexId u, VertexId v, Weight w = 1,
+           VertexId via = kInvalidVertex) {
+    edges_.emplace_back(u, v, w, via);
+    if (u >= num_vertices_) num_vertices_ = u + 1;
+    if (v >= num_vertices_) num_vertices_ = v + 1;
+  }
+
+  /// Canonicalizes the list in place:
+  ///  - self-loops are dropped (the paper's graphs are simple),
+  ///  - each edge is oriented u < v,
+  ///  - duplicates are merged keeping the minimum weight (and that edge's
+  ///    via vertex), matching the weight rule for augmenting edges.
+  void Normalize();
+
+  /// Ensures the vertex-id space is at least n.
+  void EnsureVertices(VertexId n) {
+    if (n > num_vertices_) num_vertices_ = n;
+  }
+
+  VertexId num_vertices() const { return num_vertices_; }
+  std::size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void Reserve(std::size_t n) { edges_.reserve(n); }
+  void Clear() {
+    edges_.clear();
+    num_vertices_ = 0;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId num_vertices_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,215 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+namespace islabel {
+
+EdgeList GenerateErdosRenyi(VertexId n, std::uint64_t m, Rng* rng) {
+  EdgeList edges(n);
+  if (n < 2) return edges;
+  // Cap m at the number of distinct pairs to guarantee termination.
+  const std::uint64_t max_m =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_m);
+  edges.Reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    VertexId u = static_cast<VertexId>(rng->Uniform(n));
+    VertexId v = static_cast<VertexId>(rng->Uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) edges.Add(u, v, 1);
+  }
+  return edges;
+}
+
+EdgeList GenerateBarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                                Rng* rng) {
+  EdgeList edges(n);
+  if (n == 0) return edges;
+  const std::uint32_t m0 = std::max<std::uint32_t>(edges_per_vertex, 1);
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportional to degree.
+  std::vector<VertexId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(n) * 2 * m0);
+
+  // Seed: a small path among the first min(n, m0+1) vertices.
+  VertexId seed = std::min<VertexId>(n, m0 + 1);
+  for (VertexId v = 1; v < seed; ++v) {
+    edges.Add(v - 1, v, 1);
+    endpoint_pool.push_back(v - 1);
+    endpoint_pool.push_back(v);
+  }
+
+  std::vector<VertexId> picks;
+  for (VertexId v = seed; v < n; ++v) {
+    picks.clear();
+    // Sample m0 distinct attachment points proportional to degree.
+    std::uint32_t attempts = 0;
+    while (picks.size() < m0 && attempts < 16 * m0) {
+      ++attempts;
+      VertexId t =
+          endpoint_pool[rng->Uniform(endpoint_pool.size())];
+      if (t == v) continue;
+      if (std::find(picks.begin(), picks.end(), t) != picks.end()) continue;
+      picks.push_back(t);
+    }
+    for (VertexId t : picks) {
+      edges.Add(v, t, 1);
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateRMat(std::uint32_t scale, std::uint64_t m, double a, double b,
+                      double c, Rng* rng) {
+  assert(a + b + c <= 1.0 + 1e-9);
+  const VertexId n = static_cast<VertexId>(1ULL << scale);
+  EdgeList edges(n);
+  edges.Reserve(m);
+  // R-MAT drops duplicate/self-loop samples at Normalize() time, so sample
+  // some extra to approximately hit m distinct edges.
+  for (std::uint64_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      // Add per-level noise so the quadrant probabilities vary slightly,
+      // which avoids the artificial structure of exact Kronecker powers.
+      double r = rng->NextDouble();
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= (1u << bit);
+      } else if (r < a + b + c) {
+        u |= (1u << bit);
+      } else {
+        u |= (1u << bit);
+        v |= (1u << bit);
+      }
+    }
+    if (u == v) continue;
+    edges.Add(u, v, 1);
+  }
+  return edges;
+}
+
+EdgeList GenerateWattsStrogatz(VertexId n, std::uint32_t k, double beta,
+                               Rng* rng) {
+  EdgeList edges(n);
+  if (n < 2 || k == 0) return edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (std::uint32_t j = 1; j <= k; ++j) {
+      VertexId v = static_cast<VertexId>((u + j) % n);
+      if (rng->Bernoulli(beta)) {
+        // Rewire to a uniform random endpoint (self-loops / duplicates are
+        // cleaned up by Normalize()).
+        v = static_cast<VertexId>(rng->Uniform(n));
+      }
+      edges.Add(u, v, 1);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateGrid2D(std::uint32_t rows, std::uint32_t cols) {
+  EdgeList edges(static_cast<VertexId>(rows) * cols);
+  auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.Add(id(r, c), id(r, c + 1), 1);
+      if (r + 1 < rows) edges.Add(id(r, c), id(r + 1, c), 1);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateCliqueCommunity(VertexId n, VertexId clique_size,
+                                 double ext_prob, double chain_frac,
+                                 double mean_chain_len, Rng* rng) {
+  assert(clique_size >= 2);
+  EdgeList edges(n);
+  const VertexId clique_verts =
+      static_cast<VertexId>(static_cast<double>(n) * (1.0 - chain_frac));
+  const VertexId num_cliques = clique_verts / clique_size;
+  for (VertexId c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * clique_size;
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        edges.Add(base + i, base + j, 1);
+      }
+    }
+  }
+  const VertexId used = num_cliques * clique_size;
+  if (used == 0) return edges;
+  // Sparse inter-clique links, biased toward low ids (hub communities).
+  for (VertexId v = 0; v < used; ++v) {
+    if (!rng->Bernoulli(ext_prob)) continue;
+    const double u = rng->NextDouble();
+    const VertexId t = static_cast<VertexId>(u * u * u * used);
+    if (t != v) edges.Add(v, t, 1);
+  }
+  // Chain periphery (URL-hierarchy tendrils).
+  VertexId next = used;
+  while (next < n) {
+    int len = 1 + static_cast<int>(-mean_chain_len *
+                                   std::log(1.0 - rng->NextDouble()));
+    VertexId attach = static_cast<VertexId>(rng->Uniform(used));
+    for (int i = 0; i < len && next < n; ++i) {
+      edges.Add(attach, next, 1);
+      attach = next++;
+    }
+  }
+  return edges;
+}
+
+EdgeList GeneratePath(VertexId n) {
+  EdgeList edges(n);
+  for (VertexId v = 1; v < n; ++v) edges.Add(v - 1, v, 1);
+  return edges;
+}
+
+EdgeList GenerateCycle(VertexId n) {
+  EdgeList edges = GeneratePath(n);
+  if (n >= 3) edges.Add(n - 1, 0, 1);
+  return edges;
+}
+
+EdgeList GenerateStar(VertexId n) {
+  EdgeList edges(n);
+  for (VertexId v = 1; v < n; ++v) edges.Add(0, v, 1);
+  return edges;
+}
+
+EdgeList GenerateClique(VertexId n) {
+  EdgeList edges(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) edges.Add(u, v, 1);
+  }
+  return edges;
+}
+
+EdgeList GenerateCompleteBinaryTree(VertexId n) {
+  EdgeList edges(n);
+  for (VertexId v = 1; v < n; ++v) edges.Add((v - 1) / 2, v, 1);
+  return edges;
+}
+
+void AssignUniformWeights(EdgeList* edges, Weight lo, Weight hi, Rng* rng) {
+  assert(lo >= 1 && lo <= hi);
+  for (Edge& e : edges->edges()) {
+    e.w = static_cast<Weight>(
+        rng->UniformInt(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(hi)));
+  }
+}
+
+}  // namespace islabel

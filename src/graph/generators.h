@@ -1,0 +1,73 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on five real graphs (BTC, Web, as-Skitter, wiki-Talk,
+// web-Google) that are not redistributable here, so the benchmark harness
+// generates structural stand-ins with matching average degree and a
+// heavy-tailed degree distribution (see DESIGN.md §3). The generators are
+// also the workload source for property-based tests.
+//
+// All generators are deterministic given the seed.
+
+#ifndef ISLABEL_GRAPH_GENERATORS_H_
+#define ISLABEL_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/random.h"
+
+namespace islabel {
+
+/// G(n, m) Erdős–Rényi: m distinct uniform random edges.
+EdgeList GenerateErdosRenyi(VertexId n, std::uint64_t m, Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+/// Produces power-law degree distributions (exponent ≈ 3) — the shape of
+/// as-Skitter and web-Google.
+EdgeList GenerateBarabasiAlbert(VertexId n, std::uint32_t edges_per_vertex,
+                                Rng* rng);
+
+/// R-MAT / Kronecker-style recursive generator: 2^scale vertices, m edges
+/// sampled with quadrant probabilities (a, b, c, implicit d = 1-a-b-c).
+/// Skewed parameters (a >> d) yield extreme hubs — the shape of BTC and
+/// wiki-Talk.
+EdgeList GenerateRMat(std::uint32_t scale, std::uint64_t m, double a, double b,
+                      double c, Rng* rng);
+
+/// Watts–Strogatz small world: ring lattice with k neighbors per side,
+/// each edge rewired with probability beta.
+EdgeList GenerateWattsStrogatz(VertexId n, std::uint32_t k, double beta,
+                               Rng* rng);
+
+/// 2D grid (rows × cols), 4-connected — a road-network-like topology.
+EdgeList GenerateGrid2D(std::uint32_t rows, std::uint32_t cols);
+
+/// Clique-community graph: disjoint `clique_size`-cliques (web-host link
+/// blocks) joined by sparse preferential inter-clique edges (probability
+/// `ext_prob` per vertex, hub-biased), plus an optional chain periphery
+/// (`chain_frac` of the vertices in chains of geometric mean length
+/// `mean_chain_len` hanging off random clique vertices).
+///
+/// This is the structural stand-in for clustered web graphs: removing an
+/// independent-set vertex inside a clique deletes deg(v) edges and adds
+/// none (its neighbors are already pairwise adjacent), so the hierarchy
+/// construction keeps shrinking for ~clique_size levels — the deep-k
+/// regime the paper observes on its Web dataset.
+EdgeList GenerateCliqueCommunity(VertexId n, VertexId clique_size,
+                                 double ext_prob, double chain_frac,
+                                 double mean_chain_len, Rng* rng);
+
+/// Simple deterministic shapes used heavily by unit tests.
+EdgeList GeneratePath(VertexId n);
+EdgeList GenerateCycle(VertexId n);
+EdgeList GenerateStar(VertexId n);  // vertex 0 is the hub
+EdgeList GenerateClique(VertexId n);
+EdgeList GenerateCompleteBinaryTree(VertexId n);
+
+/// Overwrites every weight with a uniform draw from [lo, hi].
+void AssignUniformWeights(EdgeList* edges, Weight lo, Weight hi, Rng* rng);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_GRAPH_GENERATORS_H_

@@ -1,0 +1,196 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/varint.h"
+
+namespace islabel {
+
+namespace {
+
+constexpr std::uint32_t kGraphMagic = 0x49534C47;  // "ISLG"
+constexpr std::uint32_t kGraphVersion = 1;
+
+// RAII stdio wrapper; keeps the I/O layer exception-free.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* get() const { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+Status WriteEdgeListText(const Graph& g, const std::string& path) {
+  File f(path, "w");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for write: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::fprintf(f.get(), "# islabel edge list: %u vertices, %llu edges\n",
+               g.NumVertices(),
+               static_cast<unsigned long long>(g.NumEdges()));
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.NeighborWeights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u < nbrs[i]) {
+        std::fprintf(f.get(), "%u %u %u\n", u, nbrs[i], ws[i]);
+      }
+    }
+  }
+  if (std::ferror(f.get())) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<EdgeList> ReadEdgeListText(const std::string& path) {
+  File f(path, "r");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  EdgeList edges;
+  char line[256];
+  std::uint64_t line_no = 0;
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n' ||
+        line[0] == '\0') {
+      continue;
+    }
+    unsigned long long u, v, w = 1;
+    int n = std::sscanf(line, "%llu %llu %llu", &u, &v, &w);
+    if (n < 2) {
+      return Status::Corruption("malformed line " + std::to_string(line_no) +
+                                " in " + path);
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      return Status::OutOfRange("vertex id too large at line " +
+                                std::to_string(line_no));
+    }
+    if (n == 2) w = 1;
+    if (w == 0 || w > std::numeric_limits<Weight>::max()) {
+      return Status::OutOfRange("weight out of range at line " +
+                                std::to_string(line_no));
+    }
+    edges.Add(static_cast<VertexId>(u), static_cast<VertexId>(v),
+              static_cast<Weight>(w));
+  }
+  if (std::ferror(f.get())) return Status::IOError("read failed: " + path);
+  return edges;
+}
+
+Status WriteGraphBinary(const Graph& g, const std::string& path) {
+  File f(path, "wb");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for write: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string header;
+  PutFixed32(&header, kGraphMagic);
+  PutFixed32(&header, kGraphVersion);
+  PutFixed32(&header, g.NumVertices());
+  PutFixed64(&header, g.NumEdges());
+  PutFixed32(&header, g.has_vias() ? 1 : 0);
+  if (std::fwrite(header.data(), 1, header.size(), f.get()) != header.size()) {
+    return Status::IOError("header write failed: " + path);
+  }
+  // Body: per-edge records (u, v, w [, via]) for u < v, varint-delta coded.
+  std::string body;
+  VertexId prev_u = 0;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.NeighborWeights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (u >= nbrs[i]) continue;
+      PutVarint64(&body, u - prev_u);
+      PutVarint64(&body, nbrs[i]);
+      PutVarint64(&body, ws[i]);
+      if (g.has_vias()) {
+        VertexId via = g.NeighborVias(u)[i];
+        PutVarint64(&body, via == kInvalidVertex ? 0 : via + 1ULL);
+      }
+      prev_u = u;
+      if (body.size() >= (1u << 20)) {
+        if (std::fwrite(body.data(), 1, body.size(), f.get()) != body.size()) {
+          return Status::IOError("body write failed: " + path);
+        }
+        body.clear();
+      }
+    }
+  }
+  if (!body.empty() &&
+      std::fwrite(body.data(), 1, body.size(), f.get()) != body.size()) {
+    return Status::IOError("body write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphBinary(const std::string& path) {
+  File f(path, "rb");
+  if (!f.ok()) {
+    return Status::IOError("cannot open for read: " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Slurp: binary graphs are read once at startup; streaming adds nothing.
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    data.append(buf, n);
+  }
+  if (std::ferror(f.get())) return Status::IOError("read failed: " + path);
+
+  Decoder dec(data);
+  std::uint32_t magic, version, num_vertices, has_vias;
+  std::uint64_t num_edges;
+  if (!dec.GetFixed32(&magic) || magic != kGraphMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!dec.GetFixed32(&version) || version != kGraphVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  if (!dec.GetFixed32(&num_vertices) || !dec.GetFixed64(&num_edges) ||
+      !dec.GetFixed32(&has_vias)) {
+    return Status::Corruption("truncated header in " + path);
+  }
+
+  EdgeList edges(num_vertices);
+  edges.Reserve(num_edges);
+  VertexId prev_u = 0;
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    std::uint64_t du, v, w, via_plus1 = 0;
+    if (!dec.GetVarint64(&du) || !dec.GetVarint64(&v) ||
+        !dec.GetVarint64(&w)) {
+      return Status::Corruption("truncated edge record in " + path);
+    }
+    if (has_vias && !dec.GetVarint64(&via_plus1)) {
+      return Status::Corruption("truncated via record in " + path);
+    }
+    VertexId u = prev_u + static_cast<VertexId>(du);
+    prev_u = u;
+    if (v >= num_vertices || u >= num_vertices || w == 0 ||
+        w > std::numeric_limits<Weight>::max()) {
+      return Status::Corruption("edge out of range in " + path);
+    }
+    edges.Add(u, static_cast<VertexId>(v), static_cast<Weight>(w),
+              via_plus1 == 0 ? kInvalidVertex
+                             : static_cast<VertexId>(via_plus1 - 1));
+  }
+  return Graph::FromEdgeList(std::move(edges), has_vias != 0);
+}
+
+}  // namespace islabel

@@ -1,0 +1,32 @@
+// Graph serialization: a human-readable edge-list text format (SNAP
+// compatible: '#' comments, "u v [w]" lines) and a compact binary format
+// with a magic/version header.
+
+#ifndef ISLABEL_GRAPH_GRAPH_IO_H_
+#define ISLABEL_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/graph.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace islabel {
+
+/// Writes "u v w" lines (one undirected edge per line).
+Status WriteEdgeListText(const Graph& g, const std::string& path);
+
+/// Reads a text edge list. Lines starting with '#' or '%' are comments.
+/// Each data line is "u v" (weight 1) or "u v w". Duplicate edges merge to
+/// the minimum weight; self-loops are dropped.
+Result<EdgeList> ReadEdgeListText(const std::string& path);
+
+/// Binary graph format: magic, version, |V|, |E|, CSR arrays. Fast and
+/// exact round-trip, including via arrays.
+Status WriteGraphBinary(const Graph& g, const std::string& path);
+Result<Graph> ReadGraphBinary(const std::string& path);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_GRAPH_GRAPH_IO_H_

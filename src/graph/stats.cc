@@ -1,0 +1,53 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace islabel {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_edges = g.NumEdges();
+  s.avg_degree =
+      s.num_vertices == 0
+          ? 0.0
+          : 2.0 * static_cast<double>(s.num_edges) /
+                static_cast<double>(s.num_vertices);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    s.max_degree = std::max(s.max_degree, g.Degree(v));
+  }
+  s.disk_size_bytes = g.TextDiskSizeBytes();
+  return s;
+}
+
+std::string HumanCount(std::uint64_t n) {
+  char buf[32];
+  if (n >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", static_cast<double>(n) / 1e9);
+  } else if (n >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", b / static_cast<double>(1ULL << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / static_cast<double>(1ULL << 20));
+  } else if (bytes >= (1ULL << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / static_cast<double>(1ULL << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace islabel

@@ -1,0 +1,33 @@
+// Degree statistics, used to print the Table 2 dataset summary.
+
+#ifndef ISLABEL_GRAPH_STATS_H_
+#define ISLABEL_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace islabel {
+
+/// The columns of the paper's Table 2.
+struct GraphStats {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  double avg_degree = 0.0;
+  std::uint32_t max_degree = 0;
+  std::uint64_t disk_size_bytes = 0;  // text edge-list size
+};
+
+/// Scans the graph once and fills a GraphStats.
+GraphStats ComputeStats(const Graph& g);
+
+/// "164.7M" / "22.2K"-style compact count, matching the paper's table style.
+std::string HumanCount(std::uint64_t n);
+
+/// "5.6 GB" / "200 MB"-style byte size.
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_GRAPH_STATS_H_

@@ -1,0 +1,107 @@
+#include "storage/block_file.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace islabel {
+
+Status BlockFile::Open(const std::string& path, bool truncate,
+                       std::size_t block_size) {
+  Close();
+  file_ = std::fopen(path.c_str(), truncate ? "w+b" : "r+b");
+  if (file_ == nullptr && !truncate) {
+    // Allow opening a not-yet-existing file for read/write.
+    file_ = std::fopen(path.c_str(), "w+b");
+  }
+  if (file_ == nullptr) {
+    return Status::IOError("open failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  path_ = path;
+  block_size_ = block_size;
+  std::fseek(file_, 0, SEEK_END);
+  file_size_ = static_cast<std::uint64_t>(std::ftell(file_));
+  next_sequential_read_ = UINT64_MAX;
+  next_sequential_write_ = UINT64_MAX;
+  stats_.Clear();
+  return Status::OK();
+}
+
+void BlockFile::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void BlockFile::Account(std::uint64_t offset, std::size_t n, bool is_write) {
+  const std::uint64_t blocks =
+      (offset % block_size_ + n + block_size_ - 1) / block_size_;
+  std::uint64_t& next_seq =
+      is_write ? next_sequential_write_ : next_sequential_read_;
+  if (offset != next_seq) ++stats_.seeks;
+  next_seq = offset + n;
+  if (is_write) {
+    stats_.block_writes += blocks;
+    stats_.bytes_written += n;
+  } else {
+    stats_.block_reads += blocks;
+    stats_.bytes_read += n;
+  }
+}
+
+Status BlockFile::Append(const void* data, std::size_t n,
+                         std::uint64_t* offset) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + path_);
+  }
+  std::uint64_t at = static_cast<std::uint64_t>(std::ftell(file_));
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("append failed: " + path_);
+  }
+  Account(at, n, /*is_write=*/true);
+  file_size_ = at + n;
+  if (offset != nullptr) *offset = at;
+  return Status::OK();
+}
+
+Status BlockFile::ReadAt(std::uint64_t offset, void* dst, std::size_t n) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (offset + n > file_size_) {
+    return Status::OutOfRange("read past EOF in " + path_);
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + path_);
+  }
+  if (std::fread(dst, 1, n, file_) != n) {
+    return Status::IOError("short read: " + path_);
+  }
+  Account(offset, n, /*is_write=*/false);
+  return Status::OK();
+}
+
+Status BlockFile::WriteAt(std::uint64_t offset, const void* data,
+                          std::size_t n) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + path_);
+  }
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("write failed: " + path_);
+  }
+  Account(offset, n, /*is_write=*/true);
+  file_size_ = std::max(file_size_, offset + n);
+  return Status::OK();
+}
+
+Status BlockFile::Flush() {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace islabel

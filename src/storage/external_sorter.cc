@@ -1,0 +1,16 @@
+#include "storage/external_sorter.h"
+
+#include <atomic>
+
+#include <unistd.h>
+
+namespace islabel {
+
+std::string NextTempPath(const std::string& dir, const char* tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return dir + "/" + tag + "." + std::to_string(::getpid()) + "." +
+         std::to_string(id) + ".tmp";
+}
+
+}  // namespace islabel

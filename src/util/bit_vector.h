@@ -1,0 +1,90 @@
+// Compact fixed-size bit vector with word-level population count.
+
+#ifndef ISLABEL_UTIL_BIT_VECTOR_H_
+#define ISLABEL_UTIL_BIT_VECTOR_H_
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace islabel {
+
+/// Dense bitset sized at construction (resizable), used for visited sets and
+/// independent-set membership marks on vertex id ranges.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n, bool value = false) { Resize(n, value); }
+
+  void Resize(std::size_t n, bool value = false) {
+    size_ = n;
+    words_.assign((n + 63) / 64, value ? ~0ULL : 0ULL);
+    TrimTail();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool Get(std::size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  bool operator[](std::size_t i) const { return Get(i); }
+
+  void Set(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Clear(std::size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Sets all bits to zero, keeping the size.
+  void Reset() { words_.assign(words_.size(), 0ULL); }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t FindNextSet(std::size_t from) const {
+    if (from >= size_) return size_;
+    std::size_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~0ULL << (from & 63));
+    while (true) {
+      if (w != 0) {
+        std::size_t bit = (wi << 6) +
+                          static_cast<std::size_t>(std::countr_zero(w));
+        return bit < size_ ? bit : size_;
+      }
+      if (++wi >= words_.size()) return size_;
+      w = words_[wi];
+    }
+  }
+
+ private:
+  void TrimTail() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (~0ULL >> (64 - (size_ % 64)));
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_BIT_VECTOR_H_

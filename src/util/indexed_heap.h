@@ -1,0 +1,148 @@
+// Indexed binary min-heap with decrease-key, the priority queue the paper
+// prescribes for Dijkstra runs ("a binary heap can be used", §6.2).
+//
+// Keys are 64-bit distances; items are dense ids in [0, capacity). The index
+// array gives O(log n) DecreaseKey and O(1) Contains.
+
+#ifndef ISLABEL_UTIL_INDEXED_HEAP_H_
+#define ISLABEL_UTIL_INDEXED_HEAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace islabel {
+
+/// Binary min-heap over items 0..capacity-1 with 64-bit keys.
+class IndexedHeap {
+ public:
+  static constexpr std::uint32_t kInvalidPos =
+      std::numeric_limits<std::uint32_t>::max();
+
+  IndexedHeap() = default;
+  explicit IndexedHeap(std::uint32_t capacity) { Reset(capacity); }
+
+  /// Clears the heap and resizes for ids in [0, capacity).
+  void Reset(std::uint32_t capacity) {
+    heap_.clear();
+    pos_.assign(capacity, kInvalidPos);
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+  std::uint32_t Capacity() const {
+    return static_cast<std::uint32_t>(pos_.size());
+  }
+
+  bool Contains(std::uint32_t item) const {
+    return item < pos_.size() && pos_[item] != kInvalidPos;
+  }
+
+  /// Key of an item currently in the heap.
+  std::uint64_t KeyOf(std::uint32_t item) const {
+    assert(Contains(item));
+    return heap_[pos_[item]].key;
+  }
+
+  /// Smallest key in the heap; heap must be non-empty.
+  std::uint64_t MinKey() const {
+    assert(!Empty());
+    return heap_[0].key;
+  }
+  /// Item with the smallest key; heap must be non-empty.
+  std::uint32_t MinItem() const {
+    assert(!Empty());
+    return heap_[0].item;
+  }
+
+  /// Inserts a new item (must not be present).
+  void Push(std::uint32_t item, std::uint64_t key) {
+    assert(item < pos_.size());
+    assert(!Contains(item));
+    heap_.push_back(Entry{key, item});
+    pos_[item] = static_cast<std::uint32_t>(heap_.size() - 1);
+    SiftUp(static_cast<std::uint32_t>(heap_.size() - 1));
+  }
+
+  /// Lowers the key of an existing item; `key` must be <= current key.
+  void DecreaseKey(std::uint32_t item, std::uint64_t key) {
+    assert(Contains(item));
+    std::uint32_t i = pos_[item];
+    assert(key <= heap_[i].key);
+    heap_[i].key = key;
+    SiftUp(i);
+  }
+
+  /// Push if absent, otherwise decrease-key if the new key is smaller.
+  /// Returns true if the stored key changed.
+  bool PushOrDecrease(std::uint32_t item, std::uint64_t key) {
+    if (!Contains(item)) {
+      Push(item, key);
+      return true;
+    }
+    if (key < KeyOf(item)) {
+      DecreaseKey(item, key);
+      return true;
+    }
+    return false;
+  }
+
+  /// Removes and returns the (item, key) with the smallest key.
+  std::pair<std::uint32_t, std::uint64_t> PopMin() {
+    assert(!Empty());
+    Entry top = heap_[0];
+    pos_[top.item] = kInvalidPos;
+    Entry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      pos_[last.item] = 0;
+      SiftDown(0);
+    }
+    return {top.item, top.key};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t item;
+  };
+
+  void SiftUp(std::uint32_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      std::uint32_t parent = (i - 1) / 2;
+      if (heap_[parent].key <= e.key) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].item] = i;
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.item] = i;
+  }
+
+  void SiftDown(std::uint32_t i) {
+    Entry e = heap_[i];
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    while (true) {
+      std::uint32_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].key < heap_[child].key) ++child;
+      if (heap_[child].key >= e.key) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i].item] = i;
+      i = child;
+    }
+    heap_[i] = e;
+    pos_[e.item] = i;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;  // item -> heap slot, kInvalidPos if absent
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_INDEXED_HEAP_H_

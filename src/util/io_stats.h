@@ -1,0 +1,51 @@
+// I/O accounting shared by the external-memory substrate.
+//
+// The paper analyzes its algorithms in the standard external-memory model
+// (scan(N), sort(N)) and reports query label-fetch times dominated by one
+// ~10 ms seek of a 7200 RPM disk. Physical disks in the test environment are
+// much faster, so every component that touches disk counts logical block
+// reads/writes here, and benches derive a *modeled* HDD time from the counts
+// alongside the measured wall time (see DESIGN.md §3).
+
+#ifndef ISLABEL_UTIL_IO_STATS_H_
+#define ISLABEL_UTIL_IO_STATS_H_
+
+#include <cstdint>
+
+namespace islabel {
+
+/// Counters for logical block I/O. Not thread-safe (the library is
+/// single-threaded by design, matching the paper's setting).
+struct IoStats {
+  std::uint64_t block_reads = 0;
+  std::uint64_t block_writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Random accesses (seeks) as opposed to sequential continuation reads.
+  std::uint64_t seeks = 0;
+
+  void Clear() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& o) {
+    block_reads += o.block_reads;
+    block_writes += o.block_writes;
+    bytes_read += o.bytes_read;
+    bytes_written += o.bytes_written;
+    seeks += o.seeks;
+    return *this;
+  }
+
+  /// Modeled elapsed time on the paper's hardware: a 7200 RPM SATA disk with
+  /// ~10 ms per random access and ~100 MB/s sequential bandwidth.
+  double ModeledHddSeconds(double seek_ms = 10.0,
+                           double seq_mb_per_s = 100.0) const {
+    double seek_s = static_cast<double>(seeks) * seek_ms * 1e-3;
+    double stream_s = static_cast<double>(bytes_read + bytes_written) /
+                      (seq_mb_per_s * 1e6);
+    return seek_s + stream_s;
+  }
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_IO_STATS_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logger. Intended for construction progress reporting and
+// debugging; benches/tests default to kWarn to keep output machine-parseable.
+
+#ifndef ISLABEL_UTIL_LOGGING_H_
+#define ISLABEL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace islabel {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are dropped. Default: kWarn,
+/// overridable with the ISLABEL_LOG environment variable
+/// (debug|info|warn|error|off) read on first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style message builder; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace islabel
+
+#define ISLABEL_LOG(level)                                          \
+  if (::islabel::LogLevel::level < ::islabel::GetLogLevel()) {      \
+  } else                                                            \
+    ::islabel::internal::LogMessage(::islabel::LogLevel::level,     \
+                                    __FILE__, __LINE__)
+
+#define ISLABEL_DCHECK(cond)                                         \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::islabel::internal::LogMessage(::islabel::LogLevel::kError,     \
+                                    __FILE__, __LINE__)              \
+        << "Check failed: " #cond " "
+
+#endif  // ISLABEL_UTIL_LOGGING_H_

@@ -1,0 +1,46 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (graph generators, query workload
+// sampling, property tests) take an explicit seed so every experiment is
+// reproducible bit-for-bit. The engine is xoshiro256** seeded via SplitMix64,
+// which is both faster and statistically stronger than std::mt19937 for our
+// use and has a trivially copyable state.
+
+#ifndef ISLABEL_UTIL_RANDOM_H_
+#define ISLABEL_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace islabel {
+
+/// SplitMix64 step; used for seeding and cheap hash mixing.
+std::uint64_t SplitMix64(std::uint64_t* state);
+
+/// xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_RANDOM_H_

@@ -1,0 +1,73 @@
+// Result<T>: a value-or-Status return type (Arrow-style), for fallible
+// operations that produce a value on success.
+
+#ifndef ISLABEL_UTIL_RESULT_H_
+#define ISLABEL_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace islabel {
+
+/// Holds either a T or a non-OK Status. Construction from a T yields an OK
+/// result; construction from a non-OK Status yields an error result.
+template <typename T>
+class Result {
+ public:
+  /// Error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  /// Success result.
+  Result(T value)  // NOLINT(implicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or a fallback if this is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace islabel
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error Status out of the current function.
+#define ISLABEL_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto ISLABEL_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!ISLABEL_CONCAT_(_res_, __LINE__).ok())     \
+    return ISLABEL_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(ISLABEL_CONCAT_(_res_, __LINE__)).value();
+
+#define ISLABEL_CONCAT_(a, b) ISLABEL_CONCAT_IMPL_(a, b)
+#define ISLABEL_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ISLABEL_UTIL_RESULT_H_

@@ -1,0 +1,122 @@
+// Status: lightweight error-carrying return type used across the library.
+//
+// Library code never throws across public API boundaries; fallible
+// operations return Status (or Result<T> from result.h). The design follows
+// the RocksDB / Arrow convention: a Status is cheap to pass by value, an OK
+// status carries no allocation, and error statuses carry a code plus a
+// human-readable message.
+
+#ifndef ISLABEL_UTIL_STATUS_H_
+#define ISLABEL_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace islabel {
+
+/// Error categories used across the library.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kCorruption = 3,
+  kIOError = 4,
+  kNotSupported = 5,
+  kOutOfRange = 6,
+  kFailedPrecondition = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "IOError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status is either OK (the common, allocation-free case) or an error with
+/// a code and message. Copyable, movable, cheap when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  explicit operator bool() const { return ok(); }
+
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  // shared_ptr keeps Status copyable without bespoke deep-copy code; error
+  // statuses are rare and never mutated after construction.
+  std::shared_ptr<const Rep> rep_;
+};
+
+}  // namespace islabel
+
+/// Propagates an error Status out of the current function.
+#define ISLABEL_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::islabel::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // ISLABEL_UTIL_STATUS_H_

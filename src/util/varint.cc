@@ -1,0 +1,89 @@
+#include "util/varint.h"
+
+namespace islabel {
+
+void PutVarint64(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutVarintSigned64(std::string* out, std::int64_t v) {
+  // Zigzag: maps small-magnitude signed values to small unsigned values.
+  std::uint64_t u =
+      (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+  PutVarint64(out, u);
+}
+
+void PutFixed32(std::string* out, std::uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v);
+  buf[1] = static_cast<char>(v >> 8);
+  buf[2] = static_cast<char>(v >> 16);
+  buf[3] = static_cast<char>(v >> 24);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out->append(buf, 8);
+}
+
+bool Decoder::GetVarint64(std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (cur_ < end_ && shift <= 63) {
+    std::uint8_t byte = static_cast<std::uint8_t>(*cur_++);
+    if (shift == 63 && (byte & 0x7f) > 1) return false;  // overflow
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool Decoder::GetVarintSigned64(std::int64_t* v) {
+  std::uint64_t u;
+  if (!GetVarint64(&u)) return false;
+  *v = static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  return true;
+}
+
+bool Decoder::GetFixed32(std::uint32_t* v) {
+  if (Remaining() < 4) return false;
+  std::uint32_t r = 0;
+  for (int i = 0; i < 4; ++i) {
+    r |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(cur_[i]))
+         << (8 * i);
+  }
+  cur_ += 4;
+  *v = r;
+  return true;
+}
+
+bool Decoder::GetFixed64(std::uint64_t* v) {
+  if (Remaining() < 8) return false;
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(cur_[i]))
+         << (8 * i);
+  }
+  cur_ += 8;
+  *v = r;
+  return true;
+}
+
+bool Decoder::GetBytes(void* dst, std::size_t n) {
+  if (Remaining() < n) return false;
+  std::memcpy(dst, cur_, n);
+  cur_ += n;
+  return true;
+}
+
+}  // namespace islabel

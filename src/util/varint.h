@@ -1,0 +1,51 @@
+// Variable-length and fixed-width little-endian integer coding for on-disk
+// structures (graph binary format, label store).
+
+#ifndef ISLABEL_UTIL_VARINT_H_
+#define ISLABEL_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace islabel {
+
+/// Appends a LEB128 varint encoding of `v` to `*out`.
+void PutVarint64(std::string* out, std::uint64_t v);
+
+/// Appends a zigzag-encoded signed varint.
+void PutVarintSigned64(std::string* out, std::int64_t v);
+
+/// Appends fixed-width little-endian integers.
+void PutFixed32(std::string* out, std::uint32_t v);
+void PutFixed64(std::string* out, std::uint64_t v);
+
+/// Cursor-style decoder over a byte range. All Get* methods return false on
+/// truncation/overflow and leave the cursor unspecified.
+class Decoder {
+ public:
+  Decoder(const char* data, std::size_t size)
+      : cur_(data), end_(data + size) {}
+  explicit Decoder(const std::string& s) : Decoder(s.data(), s.size()) {}
+
+  bool GetVarint64(std::uint64_t* v);
+  bool GetVarintSigned64(std::int64_t* v);
+  bool GetFixed32(std::uint32_t* v);
+  bool GetFixed64(std::uint64_t* v);
+  bool GetBytes(void* dst, std::size_t n);
+
+  /// Bytes remaining.
+  std::size_t Remaining() const { return static_cast<std::size_t>(end_ - cur_); }
+  bool Done() const { return cur_ == end_; }
+  const char* Position() const { return cur_; }
+
+ private:
+  const char* cur_;
+  const char* end_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_VARINT_H_

@@ -1,0 +1,397 @@
+// Tests for hierarchy construction: Algorithm 2 (independent set),
+// Algorithm 3 (distance-preserving augmentation), the σ / forced-k / full
+// termination rules, and the structural invariants of Definition 1.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/dijkstra.h"
+#include "core/augment.h"
+#include "core/hierarchy.h"
+#include "core/independent_set.h"
+#include "core/level_graph.h"
+#include "tests/test_common.h"
+#include "util/random.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+
+// ---------- Independent set (Algorithm 2) ----------
+
+class IsOrderTest : public ::testing::TestWithParam<
+                        std::tuple<Family, VertexId, IsOrder>> {};
+
+TEST_P(IsOrderTest, IndependentAndMaximal) {
+  const auto [family, n, order] = GetParam();
+  Graph g = MakeTestGraph(family, n, /*weighted=*/false, /*seed=*/4);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  Rng rng(7);
+  std::vector<VertexId> is = ComputeIndependentSet(lg, order, &rng);
+
+  BitVector in_set(g.NumVertices());
+  for (VertexId v : is) in_set.Set(v);
+  // Independence: no edge inside the set.
+  for (VertexId v : is) {
+    for (VertexId u : g.Neighbors(v)) {
+      ASSERT_FALSE(in_set[u]) << "edge inside independent set";
+    }
+  }
+  // Maximality: every vertex outside the set has a neighbor inside.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (VertexId u : g.Neighbors(v)) dominated |= in_set[u];
+    ASSERT_TRUE(dominated) << "vertex " << v << " could be added";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, IsOrderTest,
+    ::testing::Combine(
+        ::testing::Values(Family::kErdosRenyi, Family::kBarabasiAlbert,
+                          Family::kRMat, Family::kGrid, Family::kStar,
+                          Family::kClique, Family::kDisconnected),
+        ::testing::Values(60, 300),
+        ::testing::Values(IsOrder::kMinDegree, IsOrder::kRandom,
+                          IsOrder::kMaxDegree)),
+    ([](const auto& info) {
+      const auto [family, n, order] = info.param;
+      std::string o = order == IsOrder::kMinDegree  ? "MinDeg"
+                      : order == IsOrder::kRandom   ? "Random"
+                                                    : "MaxDeg";
+      return std::string(testing::FamilyName(family)) + "_" +
+             std::to_string(n) + "_" + o;
+    }));
+
+TEST(IndependentSet, MinDegreeSelectsIsolatedAndLeavesFirst) {
+  // Star: the leaves (degree 1) come before the hub (degree n-1), so the
+  // greedy set is exactly the leaves.
+  Graph g = Graph::FromEdgeList(GenerateStar(50));
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  Rng rng(1);
+  auto is = ComputeIndependentSet(lg, IsOrder::kMinDegree, &rng);
+  EXPECT_EQ(is.size(), 49u);
+  for (VertexId v : is) EXPECT_NE(v, 0u);
+}
+
+TEST(IndependentSet, IncludesIsolatedVertices) {
+  EdgeList el(6);
+  el.Add(0, 1);
+  Graph g = Graph::FromEdgeList(el);  // 2,3,4,5 isolated
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  Rng rng(1);
+  auto is = ComputeIndependentSet(lg, IsOrder::kMinDegree, &rng);
+  BitVector in_set(6);
+  for (VertexId v : is) in_set.Set(v);
+  for (VertexId v = 2; v < 6; ++v) EXPECT_TRUE(in_set[v]);
+}
+
+TEST(IndependentSet, DeterministicForFixedSeed) {
+  Graph g = MakeTestGraph(Family::kRMat, 256, false, 11);
+  LevelGraph lg1 = LevelGraph::FromGraph(g);
+  LevelGraph lg2 = LevelGraph::FromGraph(g);
+  Rng r1(5), r2(5);
+  EXPECT_EQ(ComputeIndependentSet(lg1, IsOrder::kRandom, &r1),
+            ComputeIndependentSet(lg2, IsOrder::kRandom, &r2));
+}
+
+// ---------- Augmentation (Algorithm 3, Lemma 2) ----------
+
+class AugmentTest
+    : public ::testing::TestWithParam<std::tuple<Family, bool, int>> {};
+
+TEST_P(AugmentTest, PreservesAllPairDistances) {
+  const auto [family, weighted, seed] = GetParam();
+  Graph g = MakeTestGraph(family, 48, weighted, seed);
+  const VertexId n = g.NumVertices();
+
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  Rng rng(seed);
+  std::vector<VertexId> is = ComputeIndependentSet(lg, IsOrder::kMinDegree,
+                                                   &rng);
+  std::vector<std::vector<HierEdge>> removed_adj(n);
+  for (VertexId v : is) removed_adj[v] = std::move(lg.adj[v]);
+  auto aug = AugmentInPlace(&lg, is, removed_adj);
+  ASSERT_TRUE(aug.ok()) << aug.status().ToString();
+
+  Graph g2 = lg.ToGraph(/*keep_vias=*/true);
+  // Distance preservation (Lemma 2): every surviving pair keeps its exact
+  // distance.
+  BitVector removed(n);
+  for (VertexId v : is) removed.Set(v);
+  for (VertexId s = 0; s < n; ++s) {
+    if (removed[s]) continue;
+    SsspResult before = DijkstraSssp(g, s);
+    SsspResult after = DijkstraSssp(g2, s);
+    for (VertexId t = 0; t < n; ++t) {
+      if (removed[t]) continue;
+      ASSERT_EQ(after.dist[t], before.dist[t])
+          << "dist(" << s << "," << t << ") changed";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AugmentTest,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyi, Family::kRMat,
+                                         Family::kGrid, Family::kStar,
+                                         Family::kTree, Family::kCycle,
+                                         Family::kDisconnected),
+                       ::testing::Bool(), ::testing::Values(1, 2)),
+    ([](const auto& info) {
+      const auto [family, weighted, seed] = info.param;
+      return std::string(testing::FamilyName(family)) +
+             (weighted ? "_Weighted_" : "_Unit_") + std::to_string(seed);
+    }));
+
+TEST(Augment, ViaRecordsIntermediateVertex) {
+  // Path 0-1-2: removing 1 creates (0,2) with via=1, weight sum.
+  EdgeList el(3);
+  el.Add(0, 1, 2);
+  el.Add(1, 2, 3);
+  Graph g = Graph::FromEdgeList(el);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  std::vector<std::vector<HierEdge>> removed_adj(3);
+  removed_adj[1] = std::move(lg.adj[1]);
+  auto aug = AugmentInPlace(&lg, {1}, removed_adj);
+  ASSERT_TRUE(aug.ok());
+  EXPECT_EQ(aug->edges_inserted, 1u);
+  ASSERT_EQ(lg.adj[0].size(), 1u);
+  EXPECT_EQ(lg.adj[0][0].to, 2u);
+  EXPECT_EQ(lg.adj[0][0].w, 5u);
+  EXPECT_EQ(lg.adj[0][0].via, 1u);
+}
+
+TEST(Augment, ExistingEdgeKeepsSmallerWeight) {
+  // Triangle 0-1-2 with direct (0,2) cheaper than the 2-path through 1.
+  EdgeList el(3);
+  el.Add(0, 1, 4);
+  el.Add(1, 2, 4);
+  el.Add(0, 2, 1);
+  Graph g = Graph::FromEdgeList(el);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  std::vector<std::vector<HierEdge>> removed_adj(3);
+  removed_adj[1] = std::move(lg.adj[1]);
+  auto aug = AugmentInPlace(&lg, {1}, removed_adj);
+  ASSERT_TRUE(aug.ok());
+  EXPECT_EQ(lg.adj[0][0].w, 1u);
+  EXPECT_EQ(lg.adj[0][0].via, kInvalidVertex);  // original edge won
+}
+
+TEST(Augment, ExistingEdgeLoweredBy2Path) {
+  EdgeList el(3);
+  el.Add(0, 1, 1);
+  el.Add(1, 2, 1);
+  el.Add(0, 2, 10);
+  Graph g = Graph::FromEdgeList(el);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  std::vector<std::vector<HierEdge>> removed_adj(3);
+  removed_adj[1] = std::move(lg.adj[1]);
+  auto aug = AugmentInPlace(&lg, {1}, removed_adj);
+  ASSERT_TRUE(aug.ok());
+  EXPECT_EQ(aug->weights_lowered, 1u);
+  EXPECT_EQ(lg.adj[0][0].w, 2u);
+  EXPECT_EQ(lg.adj[0][0].via, 1u);
+}
+
+TEST(Augment, RejectsNonIndependentSet) {
+  EdgeList el(2);
+  el.Add(0, 1, 1);
+  Graph g = Graph::FromEdgeList(el);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  std::vector<std::vector<HierEdge>> removed_adj(2);
+  removed_adj[0] = lg.adj[0];
+  removed_adj[1] = lg.adj[1];
+  LevelGraph lg2 = lg;
+  auto aug = AugmentInPlace(&lg2, {0, 1}, removed_adj);
+  EXPECT_FALSE(aug.ok());
+}
+
+TEST(Augment, WeightOverflowDetected) {
+  EdgeList el(3);
+  const Weight big = std::numeric_limits<Weight>::max() - 1;
+  el.Add(0, 1, big);
+  el.Add(1, 2, big);
+  Graph g = Graph::FromEdgeList(el);
+  LevelGraph lg = LevelGraph::FromGraph(g);
+  std::vector<std::vector<HierEdge>> removed_adj(3);
+  removed_adj[1] = std::move(lg.adj[1]);
+  auto aug = AugmentInPlace(&lg, {1}, removed_adj);
+  ASSERT_FALSE(aug.ok());
+  EXPECT_TRUE(aug.status().IsOutOfRange());
+}
+
+// ---------- Full hierarchy construction ----------
+
+class HierarchyTest
+    : public ::testing::TestWithParam<std::tuple<Family, bool>> {};
+
+TEST_P(HierarchyTest, StructuralInvariants) {
+  const auto [family, weighted] = GetParam();
+  Graph g = MakeTestGraph(family, 200, weighted, 9);
+  IndexOptions opts;
+  auto hr = BuildHierarchy(g, opts);
+  ASSERT_TRUE(hr.ok()) << hr.status().ToString();
+  const VertexHierarchy& h = *hr;
+
+  ASSERT_GE(h.k, 1u);
+  ASSERT_EQ(h.level.size(), g.NumVertices());
+  ASSERT_EQ(h.levels.size(), h.k);  // index 0 unused + levels 1..k-1
+
+  // Every vertex has a level in [1, k]; level partition matches h.levels.
+  std::vector<std::uint64_t> count_per_level(h.k + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_GE(h.level[v], 1u);
+    ASSERT_LE(h.level[v], h.k);
+    ++count_per_level[h.level[v]];
+  }
+  for (std::uint32_t i = 1; i < h.k; ++i) {
+    ASSERT_EQ(h.levels[i].size(), count_per_level[i]);
+    for (VertexId v : h.levels[i]) ASSERT_EQ(h.level[v], i);
+  }
+
+  // Ancestor-DAG edges strictly increase in level (removed_adj targets all
+  // survive past their source's level).
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const HierEdge& e : h.removed_adj[v]) {
+      ASSERT_GT(h.level[e.to], h.level[v])
+          << "DAG edge does not increase level";
+    }
+    if (h.level[v] == h.k) {
+      ASSERT_TRUE(h.removed_adj[v].empty());
+    }
+  }
+
+  // G_k spans exactly the level-k vertices.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (h.level[v] < h.k) {
+      ASSERT_EQ(h.g_k.Degree(v), 0u) << "removed vertex still in G_k";
+    }
+    for (VertexId u : h.g_k.Neighbors(v)) {
+      ASSERT_EQ(h.level[u], h.k);
+    }
+  }
+
+  // G_k preserves distances of G among core vertices (Lemma 1).
+  std::vector<VertexId> core;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (h.level[v] == h.k) core.push_back(v);
+  }
+  const std::size_t check = std::min<std::size_t>(core.size(), 5);
+  for (std::size_t i = 0; i < check; ++i) {
+    SsspResult in_g = DijkstraSssp(g, core[i]);
+    SsspResult in_gk = DijkstraSssp(h.g_k, core[i]);
+    for (VertexId t : core) {
+      ASSERT_EQ(in_gk.dist[t], in_g.dist[t])
+          << "G_k distance mismatch from " << core[i] << " to " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, HierarchyTest,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyi,
+                                         Family::kBarabasiAlbert,
+                                         Family::kRMat, Family::kGrid,
+                                         Family::kWattsStrogatz, Family::kPath,
+                                         Family::kStar, Family::kTree,
+                                         Family::kClique,
+                                         Family::kDisconnected),
+                       ::testing::Bool()),
+    ([](const auto& info) {
+      const auto [family, weighted] = info.param;
+      return std::string(testing::FamilyName(family)) +
+             (weighted ? "_Weighted" : "_Unit");
+    }));
+
+TEST(Hierarchy, FullHierarchyEmptiesTheGraph) {
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 150, false, 3);
+  IndexOptions opts;
+  opts.full_hierarchy = true;
+  auto hr = BuildHierarchy(g, opts);
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->g_k.NumEdges(), 0u);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LT(hr->level[v], hr->k) << "no vertex should remain at level k";
+  }
+}
+
+TEST(Hierarchy, ForcedKStopsExactlyThere) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 400, false, 6);
+  for (std::uint32_t want_k : {2u, 3u, 5u}) {
+    IndexOptions opts;
+    opts.forced_k = want_k;
+    auto hr = BuildHierarchy(g, opts);
+    ASSERT_TRUE(hr.ok());
+    EXPECT_EQ(hr->k, want_k);
+  }
+}
+
+TEST(Hierarchy, SigmaMonotonicity) {
+  // A lower sigma threshold makes termination easier, so k is no larger.
+  Graph g = MakeTestGraph(Family::kRMat, 1024, false, 12);
+  IndexOptions strict;  // 0.95
+  IndexOptions loose;
+  loose.sigma = 0.80;
+  auto h1 = BuildHierarchy(g, strict);
+  auto h2 = BuildHierarchy(g, loose);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_LE(h2->k, h1->k);
+}
+
+TEST(Hierarchy, MaxLevelsBound) {
+  Graph g = MakeTestGraph(Family::kGrid, 400, false, 2);
+  IndexOptions opts;
+  opts.full_hierarchy = true;
+  opts.max_levels = 3;
+  auto hr = BuildHierarchy(g, opts);
+  ASSERT_TRUE(hr.ok());
+  EXPECT_EQ(hr->k, 3u);
+}
+
+TEST(Hierarchy, LevelStatsShrink) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 500, false, 8);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  ASSERT_EQ(hr->stats.size(), hr->k);
+  for (std::size_t i = 1; i < hr->stats.size(); ++i) {
+    EXPECT_LT(hr->stats[i].num_vertices, hr->stats[i - 1].num_vertices);
+  }
+  EXPECT_EQ(hr->stats[0].num_vertices, g.NumVertices());
+}
+
+TEST(Hierarchy, InvalidOptionsRejected) {
+  Graph g = MakeTestGraph(Family::kPath, 10, false, 1);
+  IndexOptions bad;
+  bad.sigma = 0.0;
+  EXPECT_FALSE(BuildHierarchy(g, bad).ok());
+  IndexOptions bad2;
+  bad2.forced_k = 1;
+  EXPECT_FALSE(BuildHierarchy(g, bad2).ok());
+  IndexOptions bad3;
+  bad3.forced_k = 3;
+  bad3.full_hierarchy = true;
+  EXPECT_FALSE(BuildHierarchy(g, bad3).ok());
+}
+
+TEST(Hierarchy, EmptyAndTinyGraphs) {
+  auto h0 = BuildHierarchy(Graph::FromEdgeList(EdgeList(0)), IndexOptions{});
+  ASSERT_TRUE(h0.ok());
+  EXPECT_EQ(h0->k, 1u);
+
+  auto h1 = BuildHierarchy(Graph::FromEdgeList(EdgeList(1)), IndexOptions{});
+  ASSERT_TRUE(h1.ok());
+
+  EdgeList two(2);
+  two.Add(0, 1, 3);
+  auto h2 = BuildHierarchy(Graph::FromEdgeList(two), IndexOptions{});
+  ASSERT_TRUE(h2.ok());
+}
+
+}  // namespace
+}  // namespace islabel

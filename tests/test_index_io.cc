@@ -1,0 +1,165 @@
+// Index persistence: Save/Load round-trips in both label modes, and
+// corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+using testing::SampleQueryPairs;
+
+class IndexIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "islabel_io_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string dir_;
+};
+
+TEST_F(IndexIoTest, SaveLoadInMemoryRoundTrip) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 300, true, 19);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.Save(dir_).ok());
+
+  auto loaded = ISLabelIndex::Load(dir_, /*labels_in_memory=*/true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ISLabelIndex back = std::move(loaded).value();
+
+  EXPECT_EQ(back.k(), index.k());
+  EXPECT_EQ(back.NumVertices(), index.NumVertices());
+  for (VertexId v = 0; v < index.NumVertices(); ++v) {
+    EXPECT_EQ(back.LevelOf(v), index.LevelOf(v));
+  }
+  // Labels identical.
+  ASSERT_EQ(back.labels().size(), index.labels().size());
+  for (VertexId v = 0; v < index.NumVertices(); ++v) {
+    ASSERT_EQ(back.labels()[v].size(), index.labels()[v].size());
+    for (std::size_t i = 0; i < index.labels()[v].size(); ++i) {
+      EXPECT_EQ(back.labels()[v][i], index.labels()[v][i]);
+    }
+  }
+  // Queries identical.
+  for (auto [s, t] : SampleQueryPairs(g, 100, 23)) {
+    Distance d1 = 0, d2 = 0;
+    ASSERT_TRUE(index.Query(s, t, &d1).ok());
+    ASSERT_TRUE(back.Query(s, t, &d2).ok());
+    ASSERT_EQ(d1, d2);
+  }
+}
+
+TEST_F(IndexIoTest, LoadedIndexSupportsPaths) {
+  Graph g = MakeTestGraph(Family::kRMat, 128, true, 7);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->Save(dir_).ok());
+  auto loaded = ISLabelIndex::Load(dir_, true);
+  ASSERT_TRUE(loaded.ok());
+  ISLabelIndex back = std::move(loaded).value();
+  for (auto [s, t] : SampleQueryPairs(g, 40, 3)) {
+    std::vector<VertexId> path;
+    Distance dist = 0;
+    ASSERT_TRUE(back.ShortestPath(s, t, &path, &dist).ok());
+    ASSERT_EQ(dist, DijkstraP2P(g, s, t));
+    testing::AssertValidPath(g, s, t, path, dist);
+  }
+}
+
+TEST_F(IndexIoTest, DiskResidentModeCountsOneIoPerLabel) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 200, false, 31);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->Save(dir_).ok());
+  auto loaded = ISLabelIndex::Load(dir_, /*labels_in_memory=*/false);
+  ASSERT_TRUE(loaded.ok());
+  ISLabelIndex disk = std::move(loaded).value();
+  ASSERT_TRUE(disk.labels_on_disk());
+  ASSERT_NE(disk.label_store(), nullptr);
+
+  // Two below-core endpoints (core labels are synthesized without I/O),
+  // far apart so the reads cannot coalesce into one sequential run.
+  VertexId s_v = kInvalidVertex, t_v = kInvalidVertex;
+  for (VertexId v = 0; v < disk.NumVertices(); ++v) {
+    if (disk.InCore(v)) continue;
+    if (s_v == kInvalidVertex) {
+      s_v = v;
+    } else {
+      t_v = v;  // keep the last one: maximal distance in the file
+    }
+  }
+  ASSERT_NE(t_v, kInvalidVertex);
+  disk.label_store()->ResetStats();
+  Distance d;
+  QueryStats stats;
+  ASSERT_TRUE(disk.Query(s_v, t_v, &d, &stats).ok());
+  EXPECT_EQ(stats.label_ios, 2u);
+  // The store's own accounting agrees: two positioned reads.
+  EXPECT_EQ(disk.label_store()->stats().block_reads, 2u);
+  EXPECT_GE(disk.label_store()->stats().seeks, 1u);
+}
+
+TEST_F(IndexIoTest, SavingDiskResidentIndexRejected) {
+  Graph g = MakeTestGraph(Family::kPath, 50, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->Save(dir_).ok());
+  auto loaded = ISLabelIndex::Load(dir_, false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->Save(dir_).IsNotSupported());
+}
+
+TEST_F(IndexIoTest, LoadMissingDirectoryFails) {
+  auto loaded = ISLabelIndex::Load(dir_ + "/does_not_exist", true);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(IndexIoTest, CorruptedMetaDetected) {
+  Graph g = MakeTestGraph(Family::kPath, 30, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->Save(dir_).ok());
+  // Flip the magic.
+  {
+    std::FILE* f = std::fopen((dir_ + "/meta.islm").c_str(), "r+b");
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  auto loaded = ISLabelIndex::Load(dir_, true);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+TEST_F(IndexIoTest, KeepViasFalseRoundTrips) {
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 100, true, 5);
+  IndexOptions opts;
+  opts.keep_vias = false;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(built->Save(dir_).ok());
+  auto loaded = ISLabelIndex::Load(dir_, true);
+  ASSERT_TRUE(loaded.ok());
+  ISLabelIndex back = std::move(loaded).value();
+  for (auto [s, t] : SampleQueryPairs(g, 50, 9)) {
+    Distance d = 0;
+    ASSERT_TRUE(back.Query(s, t, &d).ok());
+    ASSERT_EQ(d, DijkstraP2P(g, s, t));
+  }
+}
+
+}  // namespace
+}  // namespace islabel

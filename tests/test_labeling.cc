@@ -1,0 +1,258 @@
+// Tests for vertex labeling: Definition 3 (reference oracle) vs Algorithm 4
+// (top-down), structural label invariants, and the paper's worked example
+// (Figure 2) asserted number for number.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/hierarchy.h"
+#include "core/label.h"
+#include "core/labeling.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+
+std::vector<LabelEntry> StripVias(std::vector<LabelEntry> label) {
+  for (LabelEntry& e : label) e.via = kInvalidVertex;
+  return label;
+}
+
+// ---------- Algorithm 4 == Definition 3 (Corollary 1) ----------
+
+class LabelEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Family, bool, int>> {};
+
+TEST_P(LabelEquivalenceTest, TopDownMatchesDefinition3) {
+  const auto [family, weighted, seed] = GetParam();
+  Graph g = MakeTestGraph(family, 120, weighted, seed);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelSet labels = ComputeLabelsTopDown(*hr);
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<LabelEntry> oracle = ComputeLabelDefinition3(*hr, v);
+    ASSERT_EQ(labels[v].size(), oracle.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(labels[v][i].node, oracle[i].node) << "vertex " << v;
+      EXPECT_EQ(labels[v][i].dist, oracle[i].dist)
+          << "vertex " << v << " ancestor " << oracle[i].node;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LabelEquivalenceTest,
+    ::testing::Combine(::testing::Values(Family::kErdosRenyi,
+                                         Family::kBarabasiAlbert,
+                                         Family::kRMat, Family::kGrid,
+                                         Family::kWattsStrogatz,
+                                         Family::kStar, Family::kTree,
+                                         Family::kDisconnected),
+                       ::testing::Bool(), ::testing::Values(1, 2, 3)),
+    ([](const auto& info) {
+      const auto [family, weighted, seed] = info.param;
+      return std::string(testing::FamilyName(family)) +
+             (weighted ? "_Weighted_" : "_Unit_") + std::to_string(seed);
+    }));
+
+// ---------- Label invariants ----------
+
+class LabelInvariantTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(LabelInvariantTest, SortedSelfEntryAndUpperBound) {
+  Graph g = MakeTestGraph(GetParam(), 150, /*weighted=*/true, 5);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelSet labels = ComputeLabelsTopDown(*hr);
+
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    // Sorted by ancestor id, unique.
+    for (std::size_t i = 1; i < labels[v].size(); ++i) {
+      ASSERT_LT(labels[v][i - 1].node, labels[v][i].node);
+    }
+    // Self entry (v, 0) present.
+    const LabelEntry* self = FindEntry(labels[v], v);
+    ASSERT_NE(self, nullptr);
+    EXPECT_EQ(self->dist, 0u);
+    // Ancestors have level >= own level; the core's labels are trivial.
+    for (const LabelEntry& e : labels[v]) {
+      EXPECT_GE(hr->level[e.node], hr->level[v]);
+    }
+    if (hr->level[v] == hr->k) {
+      EXPECT_EQ(labels[v].size(), 1u);
+    }
+  }
+
+  // d(v, u) is an upper bound on the true distance (§4.2).
+  for (VertexId v = 0; v < std::min<VertexId>(g.NumVertices(), 40); ++v) {
+    SsspResult sssp = DijkstraSssp(g, v);
+    for (const LabelEntry& e : labels[v]) {
+      ASSERT_NE(sssp.dist[e.node], kInfDistance);
+      EXPECT_GE(e.dist, sssp.dist[e.node]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LabelInvariantTest,
+                         ::testing::Values(Family::kErdosRenyi, Family::kRMat,
+                                           Family::kGrid, Family::kStar,
+                                           Family::kTree),
+                         [](const auto& info) {
+                           return testing::FamilyName(info.param);
+                         });
+
+TEST(Labeling, AncestorSetClosedUnderCorollary1) {
+  // V[label(v)] = {v} ∪ ∪_{u ∈ adj_Gi(v)} V[label(u)] (Corollary 1).
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 200, false, 7);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelSet labels = ComputeLabelsTopDown(*hr);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::set<VertexId> expect = {v};
+    for (const HierEdge& e : hr->removed_adj[v]) {
+      for (const LabelEntry& le : labels[e.to]) expect.insert(le.node);
+    }
+    std::vector<VertexId> got = VerticesOf(labels[v]);
+    ASSERT_EQ(got.size(), expect.size()) << "vertex " << v;
+    std::size_t i = 0;
+    for (VertexId u : expect) EXPECT_EQ(got[i++], u);
+  }
+}
+
+// ---------- The paper's worked example (Figures 1-2, Examples 2-4) ----------
+
+TEST(PaperExample, Figure2LabelsExact) {
+  using namespace testing;  // kA..kI
+  VertexHierarchy h = PaperFullHierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+
+  using L = std::vector<LabelEntry>;
+  // Figure 2(b), with vias ignored. One published value is corrected:
+  // the paper prints label(f) ∋ (g,5), but its own Definition 3 yields
+  // d(f,g) = d(f,h) + ω_G2(h,g) = 1 + 1 = 2 (= dist_G(f,g) via f-h-g);
+  // (g,5) is inconsistent with label(h) ∋ (g,1) + label(f) ∋ (h,1).
+  const L expect_c = {{kA, 2}, {kB, 1}, {kC, 0}, {kE, 2}, {kG, 4}};
+  const L expect_f = {{kA, 4}, {kE, 3}, {kF, 0}, {kG, 2}, {kH, 1}};
+  const L expect_i = {{kA, 2}, {kE, 1}, {kG, 3}, {kI, 0}};
+  const L expect_b = {{kA, 1}, {kB, 0}, {kE, 1}, {kG, 3}};
+  const L expect_d = {{kA, 2}, {kD, 0}, {kE, 1}, {kG, 1}};
+  const L expect_h = {{kA, 5}, {kE, 4}, {kG, 1}, {kH, 0}};
+  const L expect_e = {{kA, 1}, {kE, 0}, {kG, 2}};
+  const L expect_a = {{kA, 0}, {kG, 3}};
+  const L expect_g = {{kG, 0}};
+
+  auto check = [&](VertexId v, const L& expect, const char* name) {
+    ASSERT_EQ(labels[v].size(), expect.size()) << "label(" << name << ")";
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(labels[v][i].node, expect[i].node) << "label(" << name << ")";
+      EXPECT_EQ(labels[v][i].dist, expect[i].dist)
+          << "label(" << name << ") ancestor " << expect[i].node;
+    }
+  };
+  check(kC, expect_c, "c");
+  check(kF, expect_f, "f");
+  check(kI, expect_i, "i");
+  check(kB, expect_b, "b");
+  check(kD, expect_d, "d");
+  check(kH, expect_h, "h");
+  check(kE, expect_e, "e");
+  check(kA, expect_a, "a");
+  check(kG, expect_g, "g");
+
+  // The paper's own observation: d(h,e) = 4 exceeds dist_G(h,e) = 3.
+  const LabelEntry* he = FindEntry(labels[kH], kE);
+  ASSERT_NE(he, nullptr);
+  EXPECT_EQ(he->dist, 4u);
+}
+
+TEST(PaperExample, Definition3AgreesOnFigure2) {
+  VertexHierarchy h = testing::PaperFullHierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  for (VertexId v = 0; v < 9; ++v) {
+    EXPECT_EQ(StripVias(labels[v]),
+              StripVias(ComputeLabelDefinition3(h, v)))
+        << "vertex " << v;
+  }
+}
+
+TEST(PaperExample, Example4QueriesViaEquation1) {
+  VertexHierarchy h = testing::PaperFullHierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  using testing::kA;
+  using testing::kE;
+  using testing::kG;
+  using testing::kH;
+  // dist(h, e): intersection {e, a, g}; g attains 1 + 2 = 3.
+  Eq1Result r = EvaluateEq1(labels[kH], labels[kE]);
+  EXPECT_EQ(r.dist, 3u);
+  EXPECT_EQ(r.witness, kG);
+  EXPECT_EQ(r.intersection_size, 3u);
+  // dist(a, g): intersection {g}; 3 + 0.
+  Eq1Result r2 = EvaluateEq1(labels[kA], labels[kG]);
+  EXPECT_EQ(r2.dist, 3u);
+  EXPECT_EQ(r2.witness, kG);
+}
+
+TEST(PaperExample, Example5K2Labels) {
+  VertexHierarchy h = testing::PaperK2Hierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  using namespace testing;
+  using L = std::vector<LabelEntry>;
+  const L expect_c = {{kB, 1}, {kC, 0}};
+  const L expect_f = {{kE, 3}, {kF, 0}, {kH, 1}};
+  const L expect_i = {{kE, 1}, {kI, 0}};
+  EXPECT_EQ(StripVias(labels[kC]), expect_c);
+  EXPECT_EQ(StripVias(labels[kF]), expect_f);
+  EXPECT_EQ(StripVias(labels[kI]), expect_i);
+  // Core vertices carry only themselves.
+  for (VertexId v : {kA, kB, kD, kE, kG, kH}) {
+    ASSERT_EQ(labels[v].size(), 1u);
+    EXPECT_EQ(labels[v][0].node, v);
+    EXPECT_EQ(labels[v][0].dist, 0u);
+  }
+}
+
+// ---------- Eq1 / label ops unit tests ----------
+
+TEST(LabelOps, IntersectionEmpty) {
+  std::vector<LabelEntry> a = {{1, 5}, {3, 2}};
+  std::vector<LabelEntry> b = {{2, 1}, {4, 9}};
+  Eq1Result r = EvaluateEq1(a, b);
+  EXPECT_EQ(r.dist, kInfDistance);
+  EXPECT_EQ(r.witness, kInvalidVertex);
+  EXPECT_EQ(r.intersection_size, 0u);
+}
+
+TEST(LabelOps, PicksMinimumSum) {
+  std::vector<LabelEntry> a = {{1, 5}, {3, 2}, {7, 1}};
+  std::vector<LabelEntry> b = {{1, 1}, {3, 3}, {7, 9}};
+  Eq1Result r = EvaluateEq1(a, b);
+  EXPECT_EQ(r.dist, 5u);  // ancestor 3: 2 + 3
+  EXPECT_EQ(r.witness, 3u);
+  EXPECT_EQ(r.s_entry.dist, 2u);
+  EXPECT_EQ(r.t_entry.dist, 3u);
+  EXPECT_EQ(r.intersection_size, 3u);
+}
+
+TEST(LabelOps, FindEntryBinarySearch) {
+  std::vector<LabelEntry> a = {{1, 5}, {3, 2}, {7, 1}};
+  EXPECT_EQ(FindEntry(a, 3)->dist, 2u);
+  EXPECT_EQ(FindEntry(a, 4), nullptr);
+  EXPECT_EQ(FindEntry(a, 0), nullptr);
+  EXPECT_EQ(FindEntry(a, 7)->dist, 1u);
+}
+
+TEST(LabelOps, VerticesOfExtraction) {
+  std::vector<LabelEntry> a = {{1, 5}, {3, 2}};
+  std::vector<VertexId> v = VerticesOf(a);
+  EXPECT_EQ(v, (std::vector<VertexId>{1, 3}));
+}
+
+}  // namespace
+}  // namespace islabel

@@ -1,0 +1,384 @@
+// Query correctness: Equation 1 on the full hierarchy (Theorem 2), the
+// k-level label-based bi-Dijkstra (Theorems 3/4), query classification,
+// and the paper's worked query examples.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <limits>
+#include <tuple>
+
+#include "baseline/bfs.h"
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "core/labeling.h"
+#include "core/query.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+using testing::SampleQueryPairs;
+
+// ---------- Exactness across graph families and configurations ----------
+
+struct QueryCase {
+  Family family;
+  VertexId n;
+  bool weighted;
+  bool full_hierarchy;
+  int seed;
+};
+
+class QueryExactnessTest : public ::testing::TestWithParam<QueryCase> {};
+
+TEST_P(QueryExactnessTest, MatchesDijkstraOnSampledPairs) {
+  const QueryCase& c = GetParam();
+  Graph g = MakeTestGraph(c.family, c.n, c.weighted, c.seed);
+  IndexOptions opts;
+  opts.full_hierarchy = c.full_hierarchy;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ISLabelIndex index = std::move(built).value();
+
+  // Sampled pairs, plus per-source full validation against SSSP for a few
+  // sources (covers unreachable pairs on disconnected families).
+  for (auto [s, t] : SampleQueryPairs(g, 150, c.seed * 131 + 7)) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(s, t, &got).ok());
+    // Spot distances: P2P Dijkstra gives ground truth.
+    const Distance expect = DijkstraP2P(g, s, t);
+    ASSERT_EQ(got, expect) << "query (" << s << "," << t << ")";
+  }
+  for (VertexId s = 0; s < std::min<VertexId>(g.NumVertices(), 4); ++s) {
+    SsspResult sssp = DijkstraSssp(g, s);
+    for (VertexId t = 0; t < g.NumVertices(); ++t) {
+      Distance got = 0;
+      ASSERT_TRUE(index.Query(s, t, &got).ok());
+      ASSERT_EQ(got, sssp.dist[t]) << "query (" << s << "," << t << ")";
+    }
+  }
+}
+
+std::string QueryCaseName(const ::testing::TestParamInfo<QueryCase>& info) {
+  const QueryCase& c = info.param;
+  return std::string(testing::FamilyName(c.family)) + "_" +
+         std::to_string(c.n) + (c.weighted ? "_W" : "_U") +
+         (c.full_hierarchy ? "_Full" : "_Klevel") + "_s" +
+         std::to_string(c.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, QueryExactnessTest,
+    ::testing::Values(
+        QueryCase{Family::kErdosRenyi, 120, false, false, 1},
+        QueryCase{Family::kErdosRenyi, 120, true, false, 2},
+        QueryCase{Family::kErdosRenyi, 120, true, true, 3},
+        QueryCase{Family::kBarabasiAlbert, 150, false, false, 1},
+        QueryCase{Family::kBarabasiAlbert, 150, true, true, 2},
+        QueryCase{Family::kRMat, 128, false, false, 1},
+        QueryCase{Family::kRMat, 128, true, false, 2},
+        QueryCase{Family::kRMat, 256, true, true, 3},
+        QueryCase{Family::kGrid, 144, false, false, 1},
+        QueryCase{Family::kGrid, 144, true, false, 2},
+        QueryCase{Family::kWattsStrogatz, 130, false, false, 1},
+        QueryCase{Family::kWattsStrogatz, 130, true, true, 2},
+        QueryCase{Family::kPath, 90, true, false, 1},
+        QueryCase{Family::kCycle, 90, true, false, 1},
+        QueryCase{Family::kStar, 100, true, false, 1},
+        QueryCase{Family::kTree, 127, true, false, 1},
+        QueryCase{Family::kClique, 24, true, false, 1},
+        QueryCase{Family::kDisconnected, 120, false, false, 1},
+        QueryCase{Family::kDisconnected, 120, true, true, 2}),
+    QueryCaseName);
+
+// Sweep forced k: correctness must hold at every cut level.
+class ForcedKTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ForcedKTest, ExactAtEveryK) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 200, true, 5);
+  IndexOptions opts;
+  opts.forced_k = GetParam();
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  EXPECT_EQ(index.k(), GetParam());
+  SsspResult sssp = DijkstraSssp(g, 17);
+  for (VertexId t = 0; t < g.NumVertices(); ++t) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(17, t, &got).ok());
+    ASSERT_EQ(got, sssp.dist[t]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, ForcedKTest,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+// ---------- Unweighted graphs double-checked against BFS ----------
+
+TEST(Query, UnweightedAgreesWithBfs) {
+  Graph g = MakeTestGraph(Family::kRMat, 256, false, 9);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  std::vector<Distance> bfs = BfsDistances(g, 3);
+  for (VertexId t = 0; t < g.NumVertices(); ++t) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(3, t, &got).ok());
+    ASSERT_EQ(got, bfs[t]);
+  }
+}
+
+// ---------- Query classification and stats ----------
+
+TEST(Query, LocationTypesReported) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 300, false, 4);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  VertexId core1 = kInvalidVertex, core2 = kInvalidVertex;
+  VertexId low1 = kInvalidVertex, low2 = kInvalidVertex;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (index.InCore(v)) {
+      (core1 == kInvalidVertex ? core1 : core2) = v;
+    } else {
+      (low1 == kInvalidVertex ? low1 : low2) = v;
+    }
+  }
+  ASSERT_NE(core2, kInvalidVertex);
+  ASSERT_NE(low2, kInvalidVertex);
+
+  QueryStats stats;
+  Distance d;
+  ASSERT_TRUE(index.Query(core1, core2, &d, &stats).ok());
+  EXPECT_EQ(stats.location, LocationType::kBothInCore);
+  ASSERT_TRUE(index.Query(core1, low1, &d, &stats).ok());
+  EXPECT_EQ(stats.location, LocationType::kOneInCore);
+  ASSERT_TRUE(index.Query(low1, low2, &d, &stats).ok());
+  EXPECT_EQ(stats.location, LocationType::kNoneInCore);
+}
+
+TEST(Query, FullHierarchyNeverSearches) {
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 150, true, 6);
+  IndexOptions opts;
+  opts.full_hierarchy = true;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  QueryStats stats;
+  Distance d;
+  for (auto [s, t] : SampleQueryPairs(g, 50, 11)) {
+    ASSERT_TRUE(index.Query(s, t, &d, &stats).ok());
+    EXPECT_FALSE(stats.used_search)
+        << "full hierarchy must answer via Equation 1 alone";
+  }
+}
+
+TEST(Query, SameVertexIsZero) {
+  Graph g = MakeTestGraph(Family::kGrid, 100, true, 2);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  Distance d = 99;
+  ASSERT_TRUE(index.Query(42, 42, &d).ok());
+  EXPECT_EQ(d, 0u);
+}
+
+TEST(Query, OutOfRangeRejected) {
+  Graph g = MakeTestGraph(Family::kPath, 10, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  Distance d;
+  EXPECT_TRUE(index.Query(0, 10, &d).IsOutOfRange());
+  EXPECT_TRUE(index.Query(10, 0, &d).IsOutOfRange());
+}
+
+TEST(Query, DisconnectedReturnsInfinity) {
+  EdgeList el(6);
+  el.Add(0, 1, 2);
+  el.Add(2, 3, 1);
+  Graph g = Graph::FromEdgeList(el);  // components {0,1}, {2,3}, {4}, {5}
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  Distance d;
+  ASSERT_TRUE(index.Query(0, 2, &d).ok());
+  EXPECT_EQ(d, kInfDistance);
+  ASSERT_TRUE(index.Query(4, 5, &d).ok());
+  EXPECT_EQ(d, kInfDistance);
+  ASSERT_TRUE(index.Query(0, 1, &d).ok());
+  EXPECT_EQ(d, 2u);
+}
+
+// ---------- Large-weight stress ----------
+
+TEST(Query, LargeWeightsNoOverflow) {
+  // Weights near 2^20 stress Distance accumulation paths; augmenting
+  // sums stay within Weight, distances within Distance.
+  Rng rng(47);
+  EdgeList el = GenerateErdosRenyi(120, 300, &rng);
+  for (Edge& e : el.edges()) {
+    e.w = static_cast<Weight>(1 + rng.Uniform(1u << 20));
+  }
+  Graph g = Graph::FromEdgeList(std::move(el));
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  for (auto [s, t] : SampleQueryPairs(g, 80, 5)) {
+    Distance d = 0;
+    ASSERT_TRUE(index.Query(s, t, &d).ok());
+    ASSERT_EQ(d, DijkstraP2P(g, s, t));
+  }
+}
+
+TEST(Query, AugmentingOverflowSurfacesAsStatus) {
+  // A path whose augmenting sums exceed the Weight type must fail the
+  // build cleanly (OutOfRange), not corrupt the index. Five vertices so
+  // the min-degree greedy picks the middle vertex into L_1 (a 4-path's
+  // endpoints peel first and never create a 2-path join).
+  EdgeList el(5);
+  const Weight huge = std::numeric_limits<Weight>::max() / 2 + 10;
+  el.Add(0, 1, huge);
+  el.Add(1, 2, huge);
+  el.Add(2, 3, huge);
+  el.Add(3, 4, huge);
+  Graph g = Graph::FromEdgeList(std::move(el));
+  IndexOptions opts;
+  opts.full_hierarchy = true;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsOutOfRange());
+}
+
+// ---------- The paper's worked queries ----------
+
+TEST(PaperExample, Example6BiDijkstraOnK2Hierarchy) {
+  VertexHierarchy h = testing::PaperK2Hierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  QueryEngine engine(&h, LabelProvider(&labels));
+  using namespace testing;
+
+  // Example 6: dist(c, i) = 3, found by the bi-Dijkstra (labels of c and i
+  // do not intersect).
+  Distance d;
+  QueryStats stats;
+  ASSERT_TRUE(engine.Query(kC, kI, &d, &stats).ok());
+  EXPECT_EQ(d, 3u);
+  EXPECT_TRUE(stats.used_search);
+  EXPECT_EQ(stats.intersection_size, 0u);
+
+  // Example 4's answers must also hold on the k=2 hierarchy.
+  ASSERT_TRUE(engine.Query(kH, kE, &d, &stats).ok());
+  EXPECT_EQ(d, 3u);
+  ASSERT_TRUE(engine.Query(kA, kG, &d, &stats).ok());
+  EXPECT_EQ(d, 3u);
+
+  // Exhaustive check of the example graph against Dijkstra.
+  Graph g = PaperFigure1Graph();
+  for (VertexId s = 0; s < 9; ++s) {
+    SsspResult sssp = DijkstraSssp(g, s);
+    for (VertexId t = 0; t < 9; ++t) {
+      ASSERT_TRUE(engine.Query(s, t, &d).ok());
+      ASSERT_EQ(d, sssp.dist[t]) << "(" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(PaperExample, FullHierarchyQueriesExhaustive) {
+  VertexHierarchy h = testing::PaperFullHierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  QueryEngine engine(&h, LabelProvider(&labels));
+  Graph g = testing::PaperFigure1Graph();
+  Distance d;
+  for (VertexId s = 0; s < 9; ++s) {
+    SsspResult sssp = DijkstraSssp(g, s);
+    for (VertexId t = 0; t < 9; ++t) {
+      ASSERT_TRUE(engine.Query(s, t, &d).ok());
+      ASSERT_EQ(d, sssp.dist[t]) << "(" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(PaperExample, AutoBuiltIndexAnswersExactly) {
+  // Independent of the hand-chosen hierarchy, the real pipeline must be
+  // exact on the example graph.
+  Graph g = testing::PaperFigure1Graph();
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  Distance d;
+  for (VertexId s = 0; s < 9; ++s) {
+    SsspResult sssp = DijkstraSssp(g, s);
+    for (VertexId t = 0; t < 9; ++t) {
+      ASSERT_TRUE(index.Query(s, t, &d).ok());
+      ASSERT_EQ(d, sssp.dist[t]);
+    }
+  }
+}
+
+// ---------- Ablation hook stays exact ----------
+
+TEST(Query, DisabledMuPruningStillExact) {
+  Graph g = MakeTestGraph(Family::kRMat, 200, true, 23);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  QueryEngine engine(&index.hierarchy(), LabelProvider(&index.labels()));
+  engine.set_disable_mu_pruning(true);
+  for (auto [s, t] : SampleQueryPairs(g, 120, 31)) {
+    Distance got = 0;
+    ASSERT_TRUE(engine.Query(s, t, &got).ok());
+    ASSERT_EQ(got, DijkstraP2P(g, s, t)) << "(" << s << "," << t << ")";
+  }
+}
+
+// The tie-order counterexample behind the tentative-distance fix
+// (DESIGN.md §7.1): query (c, f) on the paper's k=2 hierarchy must return
+// 5 (c-b-e-f) regardless of extraction tie-breaking.
+TEST(PaperExample, MuUpdateCounterexampleCF) {
+  VertexHierarchy h = testing::PaperK2Hierarchy();
+  LabelSet labels = ComputeLabelsTopDown(h);
+  QueryEngine engine(&h, LabelProvider(&labels));
+  Distance d = 0;
+  ASSERT_TRUE(engine.Query(testing::kC, testing::kF, &d).ok());
+  EXPECT_EQ(d, 5u);
+  ASSERT_TRUE(engine.Query(testing::kF, testing::kC, &d).ok());
+  EXPECT_EQ(d, 5u);
+}
+
+// ---------- Disk-resident labels answer identically ----------
+
+TEST(Query, DiskModeMatchesMemoryMode) {
+  Graph g = MakeTestGraph(Family::kRMat, 256, true, 13);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex mem_index = std::move(built).value();
+
+  std::string dir = ::testing::TempDir() + "islabel_query_disk";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(mem_index.Save(dir).ok());
+  auto loaded = ISLabelIndex::Load(dir, /*labels_in_memory=*/false);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ISLabelIndex disk_index = std::move(loaded).value();
+  ASSERT_TRUE(disk_index.labels_on_disk());
+
+  for (auto [s, t] : SampleQueryPairs(g, 120, 17)) {
+    Distance dm = 0, dd = 0;
+    QueryStats stats;
+    ASSERT_TRUE(mem_index.Query(s, t, &dm).ok());
+    ASSERT_TRUE(disk_index.Query(s, t, &dd, &stats).ok());
+    ASSERT_EQ(dm, dd);
+    if (s != t && !disk_index.InCore(s) && !disk_index.InCore(t)) {
+      EXPECT_EQ(stats.label_ios, 2u);  // disk mode really hits the store
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace islabel

@@ -1,0 +1,408 @@
+// Unit tests for the external-memory substrate: block file, external
+// sorter, label store, graph I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/label_entry.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "storage/block_file.h"
+#include "storage/external_sorter.h"
+#include "storage/label_store.h"
+#include "util/random.h"
+
+namespace islabel {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "islabel_storage_" +
+           std::to_string(reinterpret_cast<std::uintptr_t>(this));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+// ---------- BlockFile ----------
+
+TEST_F(StorageTest, BlockFileAppendAndRead) {
+  BlockFile f;
+  ASSERT_TRUE(f.Open(Path("bf"), true).ok());
+  std::uint64_t off1 = 0, off2 = 0;
+  ASSERT_TRUE(f.Append("hello", 5, &off1).ok());
+  ASSERT_TRUE(f.Append("world", 5, &off2).ok());
+  EXPECT_EQ(off1, 0u);
+  EXPECT_EQ(off2, 5u);
+  EXPECT_EQ(f.FileSize(), 10u);
+  char buf[5];
+  ASSERT_TRUE(f.ReadAt(5, buf, 5).ok());
+  EXPECT_EQ(std::string(buf, 5), "world");
+  ASSERT_TRUE(f.ReadAt(0, buf, 5).ok());
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST_F(StorageTest, BlockFileReadPastEofFails) {
+  BlockFile f;
+  ASSERT_TRUE(f.Open(Path("bf"), true).ok());
+  ASSERT_TRUE(f.Append("abc", 3, nullptr).ok());
+  char buf[8];
+  EXPECT_TRUE(f.ReadAt(0, buf, 8).IsOutOfRange());
+}
+
+TEST_F(StorageTest, BlockFileCountsSeeksAndSequentialReads) {
+  BlockFile f;
+  ASSERT_TRUE(f.Open(Path("bf"), true, /*block_size=*/16).ok());
+  std::string data(64, 'x');
+  ASSERT_TRUE(f.Append(data.data(), data.size(), nullptr).ok());
+  f.ResetStats();
+  char buf[16];
+  ASSERT_TRUE(f.ReadAt(0, buf, 16).ok());   // seek
+  ASSERT_TRUE(f.ReadAt(16, buf, 16).ok());  // sequential
+  ASSERT_TRUE(f.ReadAt(48, buf, 16).ok());  // seek
+  EXPECT_EQ(f.stats().seeks, 2u);
+  EXPECT_EQ(f.stats().bytes_read, 48u);
+  EXPECT_EQ(f.stats().block_reads, 3u);
+}
+
+TEST_F(StorageTest, BlockFileWriteAtPatchesInPlace) {
+  BlockFile f;
+  ASSERT_TRUE(f.Open(Path("bf"), true).ok());
+  ASSERT_TRUE(f.Append("aaaa", 4, nullptr).ok());
+  ASSERT_TRUE(f.WriteAt(1, "XY", 2).ok());
+  char buf[4];
+  ASSERT_TRUE(f.ReadAt(0, buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "aXYa");
+}
+
+TEST_F(StorageTest, BlockFileOpenMissingForReadCreates) {
+  BlockFile f;
+  ASSERT_TRUE(f.Open(Path("nonexistent"), false).ok());
+  EXPECT_EQ(f.FileSize(), 0u);
+}
+
+// ---------- ExternalSorter ----------
+
+TEST_F(StorageTest, SorterPureInMemory) {
+  ExternalSorter<std::uint64_t> sorter("", 1 << 20);
+  Rng rng(1);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(rng.Uniform(1 << 30));
+    ASSERT_TRUE(sorter.Add(values.back()).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::sort(values.begin(), values.end());
+  std::uint64_t v;
+  for (std::uint64_t expected : values) {
+    ASSERT_TRUE(sorter.Next(&v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_FALSE(sorter.Next(&v));
+  EXPECT_EQ(sorter.num_runs(), 0u);
+}
+
+TEST_F(StorageTest, SorterSpillsAndMerges) {
+  // Budget of 256 bytes => 32 records per run => many runs for 5000 values.
+  ExternalSorter<std::uint64_t> sorter(dir_, 256);
+  Rng rng(2);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.Uniform(1 << 30));
+    ASSERT_TRUE(sorter.Add(values.back()).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  EXPECT_GT(sorter.num_runs(), 10u);
+  std::sort(values.begin(), values.end());
+  std::uint64_t v;
+  for (std::uint64_t expected : values) {
+    ASSERT_TRUE(sorter.Next(&v));
+    ASSERT_EQ(v, expected);
+  }
+  EXPECT_FALSE(sorter.Next(&v));
+  EXPECT_GT(sorter.stats().bytes_written, 0u);
+  EXPECT_GT(sorter.stats().bytes_read, 0u);
+}
+
+TEST_F(StorageTest, SorterCustomComparatorAndStruct) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t payload;
+  };
+  struct ByKeyDesc {
+    bool operator()(const Rec& a, const Rec& b) const {
+      return a.key > b.key;
+    }
+  };
+  ExternalSorter<Rec, ByKeyDesc> sorter(dir_, 64, ByKeyDesc{});
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(sorter.Add({i, i * 2}).ok());
+  }
+  ASSERT_TRUE(sorter.Finish().ok());
+  Rec r;
+  std::uint32_t expected = 499;
+  while (sorter.Next(&r)) {
+    EXPECT_EQ(r.key, expected);
+    EXPECT_EQ(r.payload, expected * 2);
+    --expected;
+  }
+  EXPECT_EQ(expected, UINT32_MAX);  // consumed all 500
+}
+
+TEST_F(StorageTest, SorterDuplicatesSurvive) {
+  ExternalSorter<std::uint32_t> sorter(dir_, 64);
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(sorter.Add(7).ok());
+  ASSERT_TRUE(sorter.Finish().ok());
+  int count = 0;
+  std::uint32_t v;
+  while (sorter.Next(&v)) {
+    EXPECT_EQ(v, 7u);
+    ++count;
+  }
+  EXPECT_EQ(count, 300);
+}
+
+TEST_F(StorageTest, SorterEmptyInput) {
+  ExternalSorter<std::uint64_t> sorter(dir_, 1024);
+  ASSERT_TRUE(sorter.Finish().ok());
+  std::uint64_t v;
+  EXPECT_FALSE(sorter.Next(&v));
+}
+
+// ---------- LabelStore ----------
+
+std::vector<std::vector<LabelEntry>> MakeLabels(VertexId n,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<LabelEntry>> labels(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::size_t len = rng.Uniform(8);  // includes empty labels
+    VertexId node = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      node += 1 + static_cast<VertexId>(rng.Uniform(50));
+      labels[v].emplace_back(node, rng.Uniform(1000),
+                             rng.Bernoulli(0.5)
+                                 ? kInvalidVertex
+                                 : static_cast<VertexId>(rng.Uniform(n)));
+    }
+  }
+  return labels;
+}
+
+TEST_F(StorageTest, LabelStoreRoundTripWithVias) {
+  const VertexId n = 200;
+  auto labels = MakeLabels(n, 77);
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), n, /*store_vias=*/true).ok());
+  for (const auto& l : labels) ASSERT_TRUE(writer.Add(l).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  LabelStore store;
+  ASSERT_TRUE(store.Open(Path("labels")).ok());
+  EXPECT_EQ(store.num_vertices(), n);
+  EXPECT_TRUE(store.store_vias());
+  std::vector<LabelEntry> got;
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_TRUE(store.GetLabel(v, &got).ok());
+    ASSERT_EQ(got.size(), labels[v].size()) << "vertex " << v;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], labels[v][i]);
+    }
+  }
+}
+
+TEST_F(StorageTest, LabelStoreRoundTripWithoutVias) {
+  const VertexId n = 50;
+  auto labels = MakeLabels(n, 13);
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), n, /*store_vias=*/false).ok());
+  for (const auto& l : labels) ASSERT_TRUE(writer.Add(l).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  LabelStore store;
+  ASSERT_TRUE(store.Open(Path("labels")).ok());
+  std::vector<LabelEntry> got;
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_TRUE(store.GetLabel(v, &got).ok());
+    ASSERT_EQ(got.size(), labels[v].size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].node, labels[v][i].node);
+      EXPECT_EQ(got[i].dist, labels[v][i].dist);
+      EXPECT_EQ(got[i].via, kInvalidVertex);  // vias stripped
+    }
+  }
+}
+
+TEST_F(StorageTest, LabelStoreLoadAllMatchesGetLabel) {
+  const VertexId n = 120;
+  auto labels = MakeLabels(n, 99);
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), n, true).ok());
+  for (const auto& l : labels) ASSERT_TRUE(writer.Add(l).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  LabelStore store;
+  ASSERT_TRUE(store.Open(Path("labels")).ok());
+  std::vector<std::vector<LabelEntry>> all;
+  ASSERT_TRUE(store.LoadAll(&all).ok());
+  ASSERT_EQ(all.size(), n);
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(all[v].size(), labels[v].size());
+    for (std::size_t i = 0; i < all[v].size(); ++i) {
+      EXPECT_EQ(all[v][i], labels[v][i]);
+    }
+  }
+}
+
+TEST_F(StorageTest, LabelStoreOneReadPerLabel) {
+  const VertexId n = 64;
+  auto labels = MakeLabels(n, 3);
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), n, true).ok());
+  for (const auto& l : labels) ASSERT_TRUE(writer.Add(l).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+
+  LabelStore store;
+  ASSERT_TRUE(store.Open(Path("labels")).ok());
+  std::vector<LabelEntry> got;
+  ASSERT_TRUE(store.GetLabel(10, &got).ok());
+  ASSERT_TRUE(store.GetLabel(53, &got).ok());
+  // Two positioned reads for non-empty labels; empty labels cost zero.
+  EXPECT_LE(store.stats().seeks, 2u);
+  EXPECT_LE(store.stats().block_reads, 2u);
+}
+
+TEST_F(StorageTest, LabelStoreRejectsUnsortedLabel) {
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), 1, false).ok());
+  std::vector<LabelEntry> bad = {LabelEntry(5, 1), LabelEntry(3, 1)};
+  EXPECT_TRUE(writer.Add(bad).IsInvalidArgument());
+}
+
+TEST_F(StorageTest, LabelStoreFinishRequiresAllLabels) {
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), 3, false).ok());
+  ASSERT_TRUE(writer.Add({LabelEntry(1, 1)}).ok());
+  EXPECT_TRUE(writer.Finish().IsFailedPrecondition());
+}
+
+TEST_F(StorageTest, LabelStoreDetectsCorruption) {
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), 2, false).ok());
+  ASSERT_TRUE(writer.Add({LabelEntry(1, 1)}).ok());
+  ASSERT_TRUE(writer.Add({}).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  // Truncate the file: footer magic lost.
+  std::filesystem::resize_file(Path("labels"),
+                               std::filesystem::file_size(Path("labels")) - 3);
+  LabelStore store;
+  EXPECT_FALSE(store.Open(Path("labels")).ok());
+}
+
+TEST_F(StorageTest, LabelStoreOutOfRangeVertex) {
+  LabelStoreWriter writer;
+  ASSERT_TRUE(writer.Open(Path("labels"), 1, false).ok());
+  ASSERT_TRUE(writer.Add({}).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  LabelStore store;
+  ASSERT_TRUE(store.Open(Path("labels")).ok());
+  std::vector<LabelEntry> got;
+  EXPECT_TRUE(store.GetLabel(5, &got).IsOutOfRange());
+}
+
+// ---------- Graph I/O ----------
+
+TEST_F(StorageTest, GraphTextRoundTrip) {
+  Rng rng(8);
+  EdgeList el = GenerateErdosRenyi(80, 200, &rng);
+  AssignUniformWeights(&el, 1, 5, &rng);
+  Graph g = Graph::FromEdgeList(el);
+  ASSERT_TRUE(WriteEdgeListText(g, Path("g.txt")).ok());
+  auto back = ReadEdgeListText(Path("g.txt"));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  Graph g2 = Graph::FromEdgeList(std::move(back).value());
+  ASSERT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto a = g.Neighbors(v), b = g2.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(g.NeighborWeights(v)[i], g2.NeighborWeights(v)[i]);
+    }
+  }
+}
+
+TEST_F(StorageTest, GraphTextHandlesCommentsAndImplicitWeight) {
+  {
+    std::FILE* f = std::fopen(Path("g.txt").c_str(), "w");
+    std::fputs("# comment\n% another\n0 1\n1 2 5\n\n", f);
+    std::fclose(f);
+  }
+  auto el = ReadEdgeListText(Path("g.txt"));
+  ASSERT_TRUE(el.ok());
+  Graph g = Graph::FromEdgeList(std::move(el).value());
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 5u);
+}
+
+TEST_F(StorageTest, GraphTextRejectsMalformed) {
+  {
+    std::FILE* f = std::fopen(Path("g.txt").c_str(), "w");
+    std::fputs("0 zebra\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadEdgeListText(Path("g.txt")).ok());
+}
+
+TEST_F(StorageTest, GraphBinaryRoundTripWithVias) {
+  EdgeList el(6);
+  el.Add(0, 1, 3, 5);
+  el.Add(1, 2, 1);
+  el.Add(2, 4, 7, 3);
+  Graph g = Graph::FromEdgeList(el, /*keep_vias=*/true);
+  ASSERT_TRUE(WriteGraphBinary(g, Path("g.bin")).ok());
+  auto back = ReadGraphBinary(Path("g.bin"));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const Graph& g2 = *back;
+  ASSERT_TRUE(g2.has_vias());
+  ASSERT_EQ(g2.NumEdges(), 3u);
+  EXPECT_EQ(g2.NeighborVias(0)[0], 5u);
+  EXPECT_EQ(g2.EdgeWeight(2, 4), 7u);
+}
+
+TEST_F(StorageTest, GraphBinaryDetectsBadMagic) {
+  {
+    std::FILE* f = std::fopen(Path("g.bin").c_str(), "wb");
+    std::fputs("garbage file content", f);
+    std::fclose(f);
+  }
+  auto back = ReadGraphBinary(Path("g.bin"));
+  EXPECT_FALSE(back.ok());
+  EXPECT_TRUE(back.status().IsCorruption());
+}
+
+TEST_F(StorageTest, GraphBinaryLargeRoundTrip) {
+  Rng rng(21);
+  EdgeList el = GenerateBarabasiAlbert(3000, 4, &rng);
+  AssignUniformWeights(&el, 1, 100, &rng);
+  Graph g = Graph::FromEdgeList(el);
+  ASSERT_TRUE(WriteGraphBinary(g, Path("g.bin")).ok());
+  auto back = ReadGraphBinary(Path("g.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumVertices(), g.NumVertices());
+  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+  EXPECT_EQ(back->MemoryBytes(), g.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace islabel

@@ -1,0 +1,359 @@
+// Update maintenance tests (§8.3): vertex insertion and lazy deletion.
+//
+// Insertions are validated for exactness against Dijkstra on the updated
+// graph (the inserted vertex joins G_k, and the lazy label patches carry
+// upper bounds that the G_k search complements). Deletion is the paper's
+// lazy scheme: exact for core vertices absent from all labels; for labeled
+// vertices the test verifies the bookkeeping and the documented rebuild
+// path, not exactness.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+using testing::SampleQueryPairs;
+
+// Applies the same insertion to a plain edge list for ground truth.
+Graph WithInsertedVertex(const Graph& g,
+                         const std::vector<std::pair<VertexId, Weight>>& adj) {
+  EdgeList el = g.ToEdgeList();
+  const VertexId v = g.NumVertices();
+  el.EnsureVertices(v + 1);
+  for (const auto& [nbr, w] : adj) el.Add(v, nbr, w);
+  return Graph::FromEdgeList(std::move(el));
+}
+
+class InsertTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(InsertTest, SingleInsertExactQueries) {
+  Graph g = MakeTestGraph(GetParam(), 120, /*weighted=*/true, 3);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  Rng rng(17);
+  std::vector<std::pair<VertexId, Weight>> adj;
+  for (int i = 0; i < 4; ++i) {
+    adj.emplace_back(static_cast<VertexId>(rng.Uniform(g.NumVertices())),
+                     static_cast<Weight>(1 + rng.Uniform(5)));
+  }
+  // Dedupe neighbors (InsertVertex allows duplicates in principle but the
+  // ground-truth edge list would min-merge them anyway).
+  std::sort(adj.begin(), adj.end());
+  adj.erase(std::unique(adj.begin(), adj.end(),
+                        [](auto& a, auto& b) { return a.first == b.first; }),
+            adj.end());
+
+  const VertexId v = g.NumVertices();
+  ASSERT_TRUE(index.InsertVertex(v, adj).ok());
+  EXPECT_EQ(index.NumVertices(), v + 1);
+  EXPECT_TRUE(index.InCore(v));
+
+  Graph updated = WithInsertedVertex(g, adj);
+  for (auto [s, t] : SampleQueryPairs(updated, 120, 29)) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(s, t, &got).ok());
+    ASSERT_EQ(got, DijkstraP2P(updated, s, t))
+        << "query (" << s << "," << t << ") after insert";
+  }
+  // Queries touching the new vertex specifically.
+  SsspResult sssp = DijkstraSssp(updated, v);
+  for (VertexId t = 0; t < updated.NumVertices(); ++t) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(v, t, &got).ok());
+    ASSERT_EQ(got, sssp.dist[t]) << "from new vertex to " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, InsertTest,
+                         ::testing::Values(Family::kErdosRenyi, Family::kRMat,
+                                           Family::kGrid, Family::kTree,
+                                           Family::kBarabasiAlbert),
+                         [](const auto& info) {
+                           return testing::FamilyName(info.param);
+                         });
+
+TEST(Insert, SequenceOfInsertsStaysExact) {
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 80, true, 5);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  Graph current = g;
+  Rng rng(7);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::pair<VertexId, Weight>> adj;
+    for (int i = 0; i < 3; ++i) {
+      adj.emplace_back(
+          static_cast<VertexId>(rng.Uniform(current.NumVertices())),
+          static_cast<Weight>(1 + rng.Uniform(4)));
+    }
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end(),
+                          [](auto& a, auto& b) { return a.first == b.first; }),
+              adj.end());
+    const VertexId v = current.NumVertices();
+    ASSERT_TRUE(index.InsertVertex(v, adj).ok());
+    current = WithInsertedVertex(current, adj);
+  }
+  for (auto [s, t] : SampleQueryPairs(current, 150, 41)) {
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(s, t, &got).ok());
+    ASSERT_EQ(got, DijkstraP2P(current, s, t));
+  }
+}
+
+TEST(Insert, IsolatedVertex) {
+  Graph g = MakeTestGraph(Family::kPath, 30, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.InsertVertex(30, {}).ok());
+  Distance d;
+  ASSERT_TRUE(index.Query(30, 0, &d).ok());
+  EXPECT_EQ(d, kInfDistance);
+  ASSERT_TRUE(index.Query(30, 30, &d).ok());
+  EXPECT_EQ(d, 0u);
+}
+
+TEST(Insert, ValidationErrors) {
+  Graph g = MakeTestGraph(Family::kPath, 10, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  // Wrong id.
+  EXPECT_TRUE(index.InsertVertex(5, {}).IsInvalidArgument());
+  EXPECT_TRUE(index.InsertVertex(12, {}).IsInvalidArgument());
+  // Bad neighbors.
+  EXPECT_TRUE(index.InsertVertex(10, {{99, 1}}).IsOutOfRange());
+  EXPECT_TRUE(index.InsertVertex(10, {{3, 0}}).IsInvalidArgument());
+  EXPECT_TRUE(index.InsertVertex(10, {{10, 1}}).IsInvalidArgument());
+}
+
+TEST(Delete, CoreVertexAbsentFromLabelsIsExact) {
+  // Build with a forced small k so the core is large; pick a core vertex
+  // that no label references (exists on most graphs since core vertices
+  // only appear in labels of vertices below them).
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 100, true, 11);
+  IndexOptions opts;
+  opts.forced_k = 2;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  VertexId victim = kInvalidVertex;
+  for (VertexId v = 0; v < g.NumVertices() && victim == kInvalidVertex; ++v) {
+    if (!index.InCore(v)) continue;
+    bool referenced = false;
+    for (VertexId w = 0; w < g.NumVertices() && !referenced; ++w) {
+      if (w == v) continue;
+      for (const LabelEntry& e : index.labels()[w]) {
+        if (e.node == v) {
+          referenced = true;
+          break;
+        }
+      }
+    }
+    if (!referenced) victim = v;
+  }
+  if (victim == kInvalidVertex) {
+    GTEST_SKIP() << "every core vertex referenced on this instance";
+  }
+
+  ASSERT_TRUE(index.DeleteVertex(victim).ok());
+  EXPECT_TRUE(index.IsDeleted(victim));
+
+  // Ground truth on the graph without the victim.
+  EdgeList el(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (std::size_t i = 0; i < g.Neighbors(u).size(); ++i) {
+      VertexId w = g.Neighbors(u)[i];
+      if (u < w && u != victim && w != victim) {
+        el.Add(u, w, g.NeighborWeights(u)[i]);
+      }
+    }
+  }
+  Graph without = Graph::FromEdgeList(std::move(el));
+  for (auto [s, t] : SampleQueryPairs(without, 100, 51)) {
+    if (s == victim || t == victim) continue;
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(s, t, &got).ok());
+    ASSERT_EQ(got, DijkstraP2P(without, s, t))
+        << "(" << s << "," << t << ") after exact delete";
+  }
+}
+
+TEST(Delete, EndpointErrorsAfterDelete) {
+  Graph g = MakeTestGraph(Family::kGrid, 49, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.DeleteVertex(5).ok());
+  Distance d;
+  EXPECT_TRUE(index.Query(5, 1, &d).IsNotFound());
+  EXPECT_TRUE(index.Query(1, 5, &d).IsNotFound());
+  EXPECT_TRUE(index.DeleteVertex(5).IsInvalidArgument());  // double delete
+  std::vector<VertexId> path;
+  EXPECT_TRUE(index.ShortestPath(5, 1, &path, &d).IsNotFound());
+}
+
+TEST(Delete, LabeledVertexRemovedFromAllLabels) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 150, false, 9);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  // Pick a low-level vertex (certainly referenced in its own label only)
+  // and a popular ancestor.
+  VertexId popular = kInvalidVertex;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (index.InCore(v)) {
+      popular = v;
+      break;
+    }
+  }
+  ASSERT_NE(popular, kInvalidVertex);
+  ASSERT_TRUE(index.DeleteVertex(popular).ok());
+  for (VertexId w = 0; w < index.NumVertices(); ++w) {
+    for (const LabelEntry& e : index.labels()[w]) {
+      EXPECT_NE(e.node, popular) << "stale label entry in " << w;
+    }
+  }
+  // Remaining queries still run (distances may be stale per the paper's
+  // lazy contract — never crash, never return a value below the true
+  // distance of the updated graph... the lazy scheme only guarantees
+  // upper-bound validity for deletions of this kind).
+  EdgeList el(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (std::size_t i = 0; i < g.Neighbors(u).size(); ++i) {
+      VertexId w = g.Neighbors(u)[i];
+      if (u < w && u != popular && w != popular) {
+        el.Add(u, w, g.NeighborWeights(u)[i]);
+      }
+    }
+  }
+  Graph without = Graph::FromEdgeList(std::move(el));
+  for (auto [s, t] : SampleQueryPairs(without, 60, 77)) {
+    if (s == popular || t == popular) continue;
+    Distance got = 0;
+    ASSERT_TRUE(index.Query(s, t, &got).ok());
+    EXPECT_GE(got, DijkstraP2P(without, s, t))
+        << "lazy delete must never underestimate";
+  }
+}
+
+TEST(Delete, RebuildRestoresExactness) {
+  Graph g = MakeTestGraph(Family::kRMat, 128, true, 13);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.DeleteVertex(3).ok());
+  ASSERT_TRUE(index.DeleteVertex(10).ok());
+
+  // The paper's remedy: periodically rebuild from the updated graph.
+  EdgeList el(g.NumVertices());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (std::size_t i = 0; i < g.Neighbors(u).size(); ++i) {
+      VertexId w = g.Neighbors(u)[i];
+      if (u < w && u != 3 && w != 3 && u != 10 && w != 10) {
+        el.Add(u, w, g.NeighborWeights(u)[i]);
+      }
+    }
+  }
+  Graph updated = Graph::FromEdgeList(std::move(el));
+  auto rebuilt = ISLabelIndex::Build(updated, IndexOptions{});
+  ASSERT_TRUE(rebuilt.ok());
+  ISLabelIndex fresh = std::move(rebuilt).value();
+  for (auto [s, t] : SampleQueryPairs(updated, 100, 91)) {
+    Distance got = 0;
+    ASSERT_TRUE(fresh.Query(s, t, &got).ok());
+    ASSERT_EQ(got, DijkstraP2P(updated, s, t));
+  }
+}
+
+TEST(Updates, RandomizedInsertQueryModelCheck) {
+  // Model-based randomized sequence: interleave inserts and queries,
+  // validating every query against Dijkstra on a mirrored plain graph.
+  Graph g = MakeTestGraph(Family::kRMat, 100, true, 61);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  EdgeList mirror = g.ToEdgeList();
+  Graph model = g;
+  Rng rng(77);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Bernoulli(0.08)) {
+      const VertexId v = index.NumVertices();
+      std::vector<std::pair<VertexId, Weight>> adj;
+      const int deg = static_cast<int>(rng.Uniform(4));  // may be isolated
+      for (int i = 0; i < deg; ++i) {
+        adj.emplace_back(static_cast<VertexId>(rng.Uniform(v)),
+                         static_cast<Weight>(1 + rng.Uniform(6)));
+      }
+      std::sort(adj.begin(), adj.end());
+      adj.erase(std::unique(adj.begin(), adj.end(),
+                            [](auto& a, auto& b) {
+                              return a.first == b.first;
+                            }),
+                adj.end());
+      ASSERT_TRUE(index.InsertVertex(v, adj).ok()) << "step " << step;
+      mirror.EnsureVertices(v + 1);
+      for (auto [nbr, w] : adj) mirror.Add(v, nbr, w);
+      model = Graph::FromEdgeList(mirror);
+      mirror = model.ToEdgeList();
+    } else {
+      const VertexId s =
+          static_cast<VertexId>(rng.Uniform(index.NumVertices()));
+      const VertexId t =
+          static_cast<VertexId>(rng.Uniform(index.NumVertices()));
+      Distance got = 0;
+      ASSERT_TRUE(index.Query(s, t, &got).ok());
+      ASSERT_EQ(got, DijkstraP2P(model, s, t))
+          << "step " << step << " (" << s << "," << t << ")";
+    }
+  }
+}
+
+TEST(Updates, PathQueriesSurviveInserts) {
+  Graph g = MakeTestGraph(Family::kGrid, 64, true, 9);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.InsertVertex(64, {{0, 2}, {63, 3}}).ok());
+  EdgeList mirror = g.ToEdgeList();
+  mirror.EnsureVertices(65);
+  mirror.Add(64, 0, 2);
+  mirror.Add(64, 63, 3);
+  Graph updated = Graph::FromEdgeList(std::move(mirror));
+  std::vector<VertexId> path;
+  Distance d = 0;
+  ASSERT_TRUE(index.ShortestPath(64, 32, &path, &d).ok());
+  ASSERT_EQ(d, DijkstraP2P(updated, 64, 32));
+  testing::AssertValidPath(updated, 64, 32, path, d);
+}
+
+TEST(Updates, RejectedInDiskMode) {
+  Graph g = MakeTestGraph(Family::kPath, 40, false, 1);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  std::string dir = ::testing::TempDir() + "islabel_upd_disk";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(built->Save(dir).ok());
+  auto loaded = ISLabelIndex::Load(dir, /*labels_in_memory=*/false);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->InsertVertex(40, {}).IsFailedPrecondition());
+  EXPECT_TRUE(loaded->DeleteVertex(0).IsFailedPrecondition());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace islabel

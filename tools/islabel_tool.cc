@@ -1,0 +1,311 @@
+// islabel: command-line front end for the library.
+//
+//   islabel gen    --type <ba|er|rmat|grid|clique-community> --n N ...
+//   islabel stats  --graph FILE
+//   islabel build  --graph FILE --index DIR [--sigma S | --k K] [...]
+//   islabel query  --index DIR [--disk] [--path] S T [S T ...]
+//   islabel bench  --index DIR [--queries N] [--disk]
+//
+// Graphs are text edge lists ("u v [w]" per line, '#' comments — SNAP
+// compatible). Indexes are the three-file directories of ISLabelIndex.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/components.h"
+#include "graph/stats.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  long GetInt(const std::string& key, long dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : std::atof(it->second.c_str());
+  }
+};
+
+bool IsBooleanFlag(const std::string& key) {
+  return key == "lcc" || key == "no-vias" || key == "disk" ||
+         key == "path" || key == "verify";
+}
+
+Args Parse(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::string key = argv[i] + 2;
+      if (!IsBooleanFlag(key) && i + 1 < argc &&
+          std::strncmp(argv[i + 1], "--", 2) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(argv[i]);
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  islabel gen   --type <ba|er|rmat|grid|clique-community> --n N\n"
+      "                [--m M] [--weights LO,HI] [--seed S] [--lcc]\n"
+      "                --out FILE\n"
+      "  islabel stats --graph FILE\n"
+      "  islabel build --graph FILE --index DIR [--sigma S] [--k K]\n"
+      "                [--no-vias] [--external-mb MB] [--tmp DIR]\n"
+      "  islabel query --index DIR [--disk] [--path] S T [S T ...]\n"
+      "  islabel bench --index DIR [--queries N] [--disk] [--verify]\n");
+  return 2;
+}
+
+int CmdGen(const Args& args) {
+  const std::string type = args.Get("type", "ba");
+  const VertexId n = static_cast<VertexId>(args.GetInt("n", 10000));
+  const long m = args.GetInt("m", 4);
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 42)));
+  EdgeList edges;
+  if (type == "ba") {
+    edges = GenerateBarabasiAlbert(n, static_cast<std::uint32_t>(m), &rng);
+  } else if (type == "er") {
+    edges = GenerateErdosRenyi(n, static_cast<std::uint64_t>(m) * n, &rng);
+  } else if (type == "rmat") {
+    std::uint32_t scale = 1;
+    while ((1u << (scale + 1)) <= n) ++scale;
+    edges = GenerateRMat(scale, static_cast<std::uint64_t>(m) * n, 0.57,
+                         0.19, 0.19, &rng);
+  } else if (type == "grid") {
+    std::uint32_t side = 2;
+    while ((side + 1) * (side + 1) <= n) ++side;
+    edges = GenerateGrid2D(side, side);
+  } else if (type == "clique-community") {
+    edges = GenerateCliqueCommunity(n, static_cast<VertexId>(m > 1 ? m : 16),
+                                    0.3, 0.1, 32.0, &rng);
+  } else {
+    std::fprintf(stderr, "unknown --type %s\n", type.c_str());
+    return 2;
+  }
+  const std::string weights = args.Get("weights", "");
+  if (!weights.empty()) {
+    unsigned lo = 1, hi = 1;
+    if (std::sscanf(weights.c_str(), "%u,%u", &lo, &hi) != 2 || lo > hi ||
+        lo == 0) {
+      std::fprintf(stderr, "--weights expects LO,HI\n");
+      return 2;
+    }
+    AssignUniformWeights(&edges, lo, hi, &rng);
+  }
+  Graph g = Graph::FromEdgeList(std::move(edges));
+  if (args.Has("lcc")) g = ExtractLargestComponent(g).graph;
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out is required\n");
+    return 2;
+  }
+  Status st = WriteEdgeListText(g, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %u vertices, %llu edges\n", out.c_str(),
+              g.NumVertices(), static_cast<unsigned long long>(g.NumEdges()));
+  return 0;
+}
+
+Result<Graph> LoadGraph(const Args& args) {
+  const std::string path = args.Get("graph", "");
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  auto edges = ReadEdgeListText(path);
+  if (!edges.ok()) return edges.status();
+  return Graph::FromEdgeList(std::move(edges).value());
+}
+
+int CmdStats(const Args& args) {
+  auto g = LoadGraph(args);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats s = ComputeStats(*g);
+  ComponentsResult comps = FindComponents(*g);
+  std::printf("vertices:       %s\n", HumanCount(s.num_vertices).c_str());
+  std::printf("edges:          %s\n", HumanCount(s.num_edges).c_str());
+  std::printf("avg degree:     %.2f\n", s.avg_degree);
+  std::printf("max degree:     %u\n", s.max_degree);
+  std::printf("components:     %u (largest %s)\n", comps.num_components,
+              HumanCount(comps.largest_size).c_str());
+  std::printf("text size:      %s\n", HumanBytes(s.disk_size_bytes).c_str());
+  return 0;
+}
+
+int CmdBuild(const Args& args) {
+  auto g = LoadGraph(args);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = args.Get("index", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "--index is required\n");
+    return 2;
+  }
+  IndexOptions opts;
+  opts.sigma = args.GetDouble("sigma", 0.95);
+  opts.forced_k = static_cast<std::uint32_t>(args.GetInt("k", 0));
+  opts.keep_vias = !args.Has("no-vias");
+  opts.memory_budget_bytes =
+      static_cast<std::uint64_t>(args.GetInt("external-mb", 0)) << 20;
+  opts.tmp_dir = args.Get("tmp", "/tmp");
+
+  WallTimer t;
+  auto built = ISLabelIndex::Build(*g, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const BuildStats& bs = built->build_stats();
+  std::printf("built in %.2fs: k=%u, core %s vertices / %s edges, "
+              "%s label entries\n",
+              t.ElapsedSeconds(), bs.k, HumanCount(bs.core_vertices).c_str(),
+              HumanCount(bs.core_edges).c_str(),
+              HumanCount(bs.label_entries).c_str());
+  Status st = built->Save(dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", dir.c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  const std::string dir = args.Get("index", "");
+  if (dir.empty() || args.positional.size() < 2 ||
+      args.positional.size() % 2 != 0) {
+    return Usage();
+  }
+  auto loaded = ISLabelIndex::Load(dir, /*labels_in_memory=*/!args.Has("disk"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(loaded).value();
+  for (std::size_t i = 0; i + 1 < args.positional.size(); i += 2) {
+    const VertexId s =
+        static_cast<VertexId>(std::atol(args.positional[i].c_str()));
+    const VertexId t =
+        static_cast<VertexId>(std::atol(args.positional[i + 1].c_str()));
+    if (args.Has("path")) {
+      std::vector<VertexId> path;
+      Distance d = 0;
+      Status st = index.ShortestPath(s, t, &path, &d);
+      if (!st.ok()) {
+        std::fprintf(stderr, "query (%u,%u) failed: %s\n", s, t,
+                     st.ToString().c_str());
+        continue;
+      }
+      if (d == kInfDistance) {
+        std::printf("dist(%u, %u) = unreachable\n", s, t);
+        continue;
+      }
+      std::printf("dist(%u, %u) = %llu; path:", s, t,
+                  static_cast<unsigned long long>(d));
+      for (VertexId v : path) std::printf(" %u", v);
+      std::printf("\n");
+    } else {
+      Distance d = 0;
+      QueryStats stats;
+      Status st = index.Query(s, t, &d, &stats);
+      if (!st.ok()) {
+        std::fprintf(stderr, "query (%u,%u) failed: %s\n", s, t,
+                     st.ToString().c_str());
+        continue;
+      }
+      if (d == kInfDistance) {
+        std::printf("dist(%u, %u) = unreachable\n", s, t);
+      } else {
+        std::printf("dist(%u, %u) = %llu  (label IOs: %llu, settled: %llu)\n",
+                    s, t, static_cast<unsigned long long>(d),
+                    static_cast<unsigned long long>(stats.label_ios),
+                    static_cast<unsigned long long>(stats.settled));
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdBench(const Args& args) {
+  const std::string dir = args.Get("index", "");
+  if (dir.empty()) return Usage();
+  auto loaded = ISLabelIndex::Load(dir, !args.Has("disk"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(loaded).value();
+  const std::size_t count =
+      static_cast<std::size_t>(args.GetInt("queries", 1000));
+  Rng rng(7);
+  double time_a = 0, time_b = 0;
+  std::uint64_t ios = 0;
+  WallTimer t;
+  for (std::size_t i = 0; i < count; ++i) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(index.NumVertices()));
+    const VertexId u = static_cast<VertexId>(rng.Uniform(index.NumVertices()));
+    Distance d = 0;
+    QueryStats stats;
+    if (!index.Query(s, u, &d, &stats).ok()) continue;
+    time_a += stats.label_fetch_seconds;
+    time_b += stats.search_seconds;
+    ios += stats.label_ios;
+  }
+  std::printf("%zu queries: total %.3f ms/query (Time(a) %.3f ms, Time(b) "
+              "%.3f ms, %.2f label IOs/query)\n",
+              count, t.ElapsedMillis() / count, time_a * 1e3 / count,
+              time_b * 1e3 / count, static_cast<double>(ios) / count);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Args args = Parse(argc, argv, 2);
+  if (cmd == "gen") return CmdGen(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "build") return CmdBuild(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "bench") return CmdBench(args);
+  return Usage();
+}
