@@ -1,84 +1,13 @@
 // Table 3: index construction with threshold σ = 0.95 — k, core size,
-// label size, indexing time. (Table 7 is the same sweep at σ = 0.90.)
+// label size, indexing time. (Table 7 is the same sweep at σ = 0.90;
+// the shared implementation lives in bench_construction_impl.h.)
 
-#include <cstdio>
-#include <filesystem>
+#include "bench/bench_construction_impl.h"
 
-#include "bench/bench_common.h"
-#include "core/index.h"
-#include "graph/stats.h"
-#include "storage/label_store.h"
-#include "util/timer.h"
-
-using namespace islabel;
-using namespace islabel::bench;
-
-namespace {
-
-// Shared by bench_table3 (σ=0.95) and bench_table7 (σ=0.90).
-int RunConstructionTable(double sigma, const char* table_name,
-                         const char* paper_reference) {
-  const double scale = ScaleFromEnv();
-  PrintHeader(std::string(table_name) + ": index construction, sigma = " +
-                  std::to_string(sigma).substr(0, 4),
-              paper_reference);
-  std::printf("%-14s %4s %10s %10s %12s %12s %8s\n", "dataset", "k",
-              "|V_Gk|", "|E_Gk|", "LabelBytes", "LabelEntries", "Time(s)");
-
-  const std::string tmp = "/tmp/islabel_bench_t3";
-  std::filesystem::create_directories(tmp);
-  for (const std::string& name : DatasetNames()) {
-    Dataset d = MakeDataset(name, scale);
-    IndexOptions opts;
-    opts.sigma = sigma;
-    WallTimer t;
-    auto built = ISLabelIndex::Build(d.graph, opts);
-    if (!built.ok()) {
-      std::printf("%-14s build failed: %s\n", d.name.c_str(),
-                  built.status().ToString().c_str());
-      continue;
-    }
-    const double secs = t.ElapsedSeconds();
-    const BuildStats& bs = built->build_stats();
-    // The paper's "Label size" is the on-disk footprint; persist and stat.
-    std::uint64_t label_bytes = 0;
-    if (built->Save(tmp).ok()) {
-      LabelStore store;
-      if (store.Open(tmp + "/labels.isl").ok()) {
-        label_bytes = store.LabelBytes();
-      }
-    }
-    std::printf("%-14s %4u %10s %10s %12s %12s %8.2f\n", d.name.c_str(), bs.k,
-                HumanCount(bs.core_vertices).c_str(),
-                HumanCount(bs.core_edges).c_str(),
-                HumanBytes(label_bytes).c_str(),
-                HumanCount(bs.label_entries).c_str(), secs);
-  }
-  std::error_code ec;
-  std::filesystem::remove_all(tmp, ec);
-  std::printf("\nShape check vs the paper: low-degree hubs-and-leaves "
-              "graphs terminate at small k\nwith |V_Gk| a small fraction of "
-              "|V|; the dense web stand-in keeps shrinking for\nmore levels "
-              "(paper: k=19 on Web vs 5-7 elsewhere).\n");
-  return 0;
-}
-
-}  // namespace
-
-#ifndef ISLABEL_TABLE7_VARIANT
 int main() {
-  return RunConstructionTable(
+  return islabel::bench::RunConstructionTable(
       0.95, "Table 3",
       "paper @0.95: BTC k=6 |V_Gk|=134K label 10.6GB 2514s | Web k=19 "
       "242K 13.1GB 2274s |\nas-Skitter k=6 86K 678MB 484s | wiki-Talk k=5 "
       "14K 152MB 239s | Google k=7 87K 199MB 35s");
 }
-#else
-int main() {
-  return RunConstructionTable(
-      0.90, "Table 7",
-      "paper @0.90: BTC k=5 |V_Gk|=167K label 7.2GB 1818s | Web k=7 808K "
-      "1.6GB 753s |\nas-Skitter k=4 160K 222MB 247s | wiki-Talk k=4 17K "
-      "99MB 182s | Google k=6 107K 127MB 26s");
-}
-#endif

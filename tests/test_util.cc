@@ -440,7 +440,7 @@ TEST(IoStats, ModeledHddTime) {
 TEST(Timer, MeasuresElapsed) {
   WallTimer t;
   volatile std::uint64_t sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
   EXPECT_GT(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMicros(), 0);
 }
@@ -450,7 +450,7 @@ TEST(Timer, ScopedTimerAccumulates) {
   {
     ScopedTimer st(&acc);
     volatile int sink = 0;
-    for (int i = 0; i < 100000; ++i) sink += i;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(acc, 0.0);
 }

@@ -62,7 +62,10 @@ Args Parse(int argc, char** argv, int from) {
           std::strncmp(argv[i + 1], "--", 2) != 0) {
         args.options[key] = argv[++i];
       } else {
-        args.options[key] = "1";
+        // A named string sidesteps GCC 12's spurious -Wrestrict on
+        // short-literal assignment at -O2 (GCC PR105329).
+        static const std::string kSet = "1";
+        args.options[key] = kSet;
       }
     } else {
       args.positional.push_back(argv[i]);
