@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
 #include "core/label.h"
 #include "util/bit_vector.h"
@@ -220,60 +219,31 @@ Result<DirectedISLabel> DirectedISLabel::Build(const DiGraph& g,
   }
   idx.gk_ = DiGraph::FromArcs(std::move(core_arcs), n, options.keep_vias);
 
-  // Top-down labeling, once per direction (mirror of Algorithm 4).
-  auto label_topdown = [&](const std::vector<std::vector<HierEdge>>& dag,
-                           LabelSet* out_labels) {
-    out_labels->assign(n, {});
-    for (VertexId v = 0; v < n; ++v) {
-      if (idx.level_[v] == idx.k_) (*out_labels)[v] = {LabelEntry(v, 0)};
-    }
-    std::vector<LabelEntry> scratch;
-    for (std::uint32_t lvl = idx.k_; lvl-- > 1;) {
-      for (VertexId v : levels[lvl]) {
-        scratch.clear();
-        scratch.emplace_back(v, 0);
-        for (const HierEdge& e : dag[v]) {
-          for (const LabelEntry& le : (*out_labels)[e.to]) {
-            const VertexId via = (le.node == e.to) ? e.via : e.to;
-            scratch.emplace_back(le.node,
-                                 static_cast<Distance>(e.w) + le.dist, via);
-          }
-        }
-        std::sort(scratch.begin(), scratch.end(),
-                  [](const LabelEntry& a, const LabelEntry& b) {
-                    if (a.node != b.node) return a.node < b.node;
-                    return a.dist < b.dist;
-                  });
-        std::size_t out = 0;
-        for (std::size_t j = 0; j < scratch.size(); ++j) {
-          if (out > 0 && scratch[out - 1].node == scratch[j].node) continue;
-          scratch[out++] = scratch[j];
-        }
-        scratch.resize(out);
-        (*out_labels)[v] = scratch;
-      }
-    }
-  };
-  label_topdown(removed_out, &idx.out_labels_);
-  label_topdown(removed_in, &idx.in_labels_);
+  // Top-down labeling, once per direction: Algorithm 4 only reads the
+  // level structure and the per-vertex DAG adjacency, so each direction is
+  // a plain ComputeLabelsTopDown over a hierarchy view whose removed_adj
+  // is that direction's arc set — the directed path gets the arena layout,
+  // the level-parallel builder, and the deterministic (dist, via) tiebreak
+  // for free.
+  VertexHierarchy dag;
+  dag.level = idx.level_;
+  dag.k = idx.k_;
+  dag.levels = std::move(levels);
+  dag.removed_adj = std::move(removed_out);
+  idx.out_labels_ = ComputeLabelsTopDown(dag, nullptr, options.num_threads);
+  dag.removed_adj = std::move(removed_in);
+  idx.in_labels_ = ComputeLabelsTopDown(dag, nullptr, options.num_threads);
   return idx;
 }
 
 std::uint64_t DirectedISLabel::TotalLabelEntries() const {
-  std::uint64_t total = 0;
-  for (const auto& l : out_labels_) total += l.size();
-  for (const auto& l : in_labels_) total += l.size();
-  return total;
+  return out_labels_.TotalEntries() + in_labels_.TotalEntries();
 }
 
 void DirectedISLabel::EnsureScratch() {
   const std::size_t n = level_.size();
-  for (SideState& s : sides_) {
-    if (s.dist.size() != n) {
-      s.dist.assign(n, kInfDistance);
-      s.stamp.assign(n, 0);
-      s.settled_stamp.assign(n, 0);
-    }
+  for (auto& side : sides_) {
+    if (side.size() != n) side.assign(n, NodeState{});
   }
 }
 
@@ -287,24 +257,27 @@ Status DirectedISLabel::Query(VertexId s, VertexId t, Distance* out,
     return Status::OK();
   }
 
-  const auto& ls = out_labels_[s];
-  const auto& lt = in_labels_[t];
+  const LabelView ls = out_labels_.View(s);
+  const LabelView lt = in_labels_.View(t);
   const Eq1Result eq1 = EvaluateEq1(ls, lt);
   if (stats != nullptr) stats->intersection_size = eq1.intersection_size;
 
-  std::vector<LabelEntry> seeds_f, seeds_r;
-  for (const LabelEntry& e : ls) {
-    if (InCore(e.node)) seeds_f.push_back(e);
+  // Seed extraction into engine-owned buffers, scanning from each label's
+  // precomputed first-core cut.
+  seeds_[0].clear();
+  seeds_[1].clear();
+  for (std::size_t i = out_labels_.SeedStart(s); i < ls.size(); ++i) {
+    if (InCore(ls[i].node)) seeds_[0].push_back(ls[i]);
   }
-  for (const LabelEntry& e : lt) {
-    if (InCore(e.node)) seeds_r.push_back(e);
+  for (std::size_t i = in_labels_.SeedStart(t); i < lt.size(); ++i) {
+    if (InCore(lt[i].node)) seeds_[1].push_back(lt[i]);
   }
-  if (seeds_f.empty() || seeds_r.empty()) {
+  if (seeds_[0].empty() || seeds_[1].empty()) {
     *out = eq1.dist;
     return Status::OK();
   }
   if (stats != nullptr) stats->used_search = true;
-  *out = BiDijkstra(seeds_f, seeds_r, eq1.dist, stats);
+  *out = BiDijkstra(eq1.dist, stats);
   return Status::OK();
 }
 
@@ -315,42 +288,43 @@ Status DirectedISLabel::Reachable(VertexId s, VertexId t, bool* out) {
   return Status::OK();
 }
 
-Distance DirectedISLabel::BiDijkstra(const std::vector<LabelEntry>& seeds_f,
-                                     const std::vector<LabelEntry>& seeds_r,
-                                     Distance mu, QueryStats* stats) {
+Distance DirectedISLabel::BiDijkstra(Distance mu, QueryStats* stats) {
   EnsureScratch();
-  ++epoch_;
+  if (++epoch_ == 0) {
+    // Epoch wrap: reset stamps rather than accept 2^32-query-old state.
+    for (auto& side : sides_) side.assign(side.size(), NodeState{});
+    epoch_ = 1;
+  }
   const std::uint32_t epoch = epoch_;
 
   auto dist_of = [&](int side, VertexId v) -> Distance {
-    return sides_[side].stamp[v] == epoch ? sides_[side].dist[v]
-                                          : kInfDistance;
+    const NodeState& node = sides_[side][v];
+    return node.stamp == epoch ? node.dist : kInfDistance;
   };
   auto is_settled = [&](int side, VertexId v) {
-    return sides_[side].settled_stamp[v] == epoch;
+    return sides_[side][v].settled_stamp == epoch;
   };
 
-  using PqEntry = std::pair<Distance, VertexId>;
-  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
-      pq[2];
-  auto seed = [&](int side, const std::vector<LabelEntry>& seeds) {
-    for (const LabelEntry& e : seeds) {
+  pq_[0].Clear();
+  pq_[1].Clear();
+  auto seed = [&](int side) {
+    for (const LabelEntry& e : seeds_[side]) {
       if (e.dist < dist_of(side, e.node)) {
-        sides_[side].dist[e.node] = e.dist;
-        sides_[side].stamp[e.node] = epoch;
-        pq[side].push({e.dist, e.node});
+        sides_[side][e.node].dist = e.dist;
+        sides_[side][e.node].stamp = epoch;
+        pq_[side].Push(e.node, e.dist);
       }
     }
   };
-  seed(0, seeds_f);
-  seed(1, seeds_r);
+  seed(0);
+  seed(1);
 
   Distance best = mu;
   auto purge = [&](int side) {
-    while (!pq[side].empty()) {
-      const auto& [d, v] = pq[side].top();
+    while (!pq_[side].Empty()) {
+      const auto [v, d] = pq_[side].PeekMin();
       if (is_settled(side, v) || d != dist_of(side, v)) {
-        pq[side].pop();
+        pq_[side].PopMin();
       } else {
         break;
       }
@@ -360,14 +334,15 @@ Distance DirectedISLabel::BiDijkstra(const std::vector<LabelEntry>& seeds_f,
   while (true) {
     purge(0);
     purge(1);
-    const Distance mf = pq[0].empty() ? kInfDistance : pq[0].top().first;
-    const Distance mr = pq[1].empty() ? kInfDistance : pq[1].top().first;
+    const Distance mf =
+        pq_[0].Empty() ? kInfDistance : pq_[0].PeekMin().second;
+    const Distance mr =
+        pq_[1].Empty() ? kInfDistance : pq_[1].PeekMin().second;
     if (SatAdd(mf, mr) >= best) break;
     const int side = (mf <= mr) ? 0 : 1;
     const int opp = 1 - side;
-    const auto [d, v] = pq[side].top();
-    pq[side].pop();
-    sides_[side].settled_stamp[v] = epoch;
+    const auto [v, d] = pq_[side].PopMin();
+    sides_[side][v].settled_stamp = epoch;
     if (stats != nullptr) ++stats->settled;
     // Tentative-distance µ update (see query.cc / DESIGN.md).
     best = std::min(best, SatAdd(dist_of(0, v), dist_of(1, v)));
@@ -379,12 +354,15 @@ Distance DirectedISLabel::BiDijkstra(const std::vector<LabelEntry>& seeds_f,
       const VertexId u = nbrs[j];
       const Distance nd = d + ws[j];
       if (stats != nullptr) ++stats->relaxed;
-      if (nd < dist_of(side, u)) {
-        sides_[side].dist[u] = nd;
-        sides_[side].stamp[u] = epoch;
-        pq[side].push({nd, u});
+      NodeState& node = sides_[side][u];
+      Distance du = node.stamp == epoch ? node.dist : kInfDistance;
+      if (nd < du) {
+        node.dist = nd;
+        node.stamp = epoch;
+        pq_[side].Push(u, nd);
+        du = nd;
       }
-      best = std::min(best, SatAdd(dist_of(side, u), dist_of(opp, u)));
+      best = std::min(best, SatAdd(du, dist_of(opp, u)));
     }
   }
   return best;

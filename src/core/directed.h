@@ -20,6 +20,7 @@
 #include "core/options.h"
 #include "core/query.h"
 #include "graph/digraph.h"
+#include "util/radix_heap.h"
 #include "util/result.h"
 
 namespace islabel {
@@ -50,32 +51,36 @@ class DirectedISLabel {
   std::uint32_t LevelOf(VertexId v) const { return level_[v]; }
   bool InCore(VertexId v) const { return level_[v] == k_; }
   const DiGraph& CoreGraph() const { return gk_; }
-  const LabelSet& out_labels() const { return out_labels_; }
-  const LabelSet& in_labels() const { return in_labels_; }
+  const LabelArena& out_labels() const { return out_labels_; }
+  const LabelArena& in_labels() const { return in_labels_; }
 
   /// Σ over both label families.
   std::uint64_t TotalLabelEntries() const;
 
  private:
-  Distance BiDijkstra(const std::vector<LabelEntry>& seeds_f,
-                      const std::vector<LabelEntry>& seeds_r, Distance mu,
-                      QueryStats* stats);
+  /// Algorithm 1 stage 2 over the engine-owned seeds_[01]_ buffers.
+  Distance BiDijkstra(Distance mu, QueryStats* stats);
   void EnsureScratch();
 
   std::vector<std::uint32_t> level_;
   std::uint32_t k_ = 0;
   DiGraph gk_;
-  LabelSet out_labels_;
-  LabelSet in_labels_;
+  LabelArena out_labels_;
+  LabelArena in_labels_;
 
-  // Epoch-stamped bidirectional search scratch (0 = forward, 1 = backward).
-  struct SideState {
-    std::vector<Distance> dist;
-    std::vector<std::uint32_t> stamp;
-    std::vector<std::uint32_t> settled_stamp;
+  // Epoch-stamped bidirectional search scratch (0 = forward, 1 = backward),
+  // packed per vertex for cache locality.
+  struct NodeState {
+    Distance dist = kInfDistance;
+    std::uint32_t stamp = 0;
+    std::uint32_t settled_stamp = 0;
   };
-  SideState sides_[2];
+  std::vector<NodeState> sides_[2];
   std::uint32_t epoch_ = 0;
+  // Reusable query buffers — seeds and monotone radix heaps; no allocation
+  // on the hot path after warmup.
+  std::vector<LabelEntry> seeds_[2];
+  RadixHeap pq_[2];
 };
 
 }  // namespace islabel

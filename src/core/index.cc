@@ -43,7 +43,8 @@ Result<ISLabelIndex> ISLabelIndex::Build(const Graph& g,
     *index.labels_ = std::move(labels).value();
     index.hierarchy_->io += label_io;
   } else {
-    *index.labels_ = ComputeLabelsTopDown(*index.hierarchy_, &lstats);
+    *index.labels_ =
+        ComputeLabelsTopDown(*index.hierarchy_, &lstats, options.num_threads);
   }
   index.build_stats_.labeling_seconds = phase.ElapsedSeconds();
 
@@ -117,12 +118,13 @@ Status ISLabelIndex::Save(const std::string& dir) const {
     return Status::IOError("cannot create index directory " + dir + ": " +
                            ec.message());
   }
-  // Labels.
+  // Labels: one pass over the arena (side-table patches included via the
+  // per-vertex views).
   LabelStoreWriter writer;
   ISLABEL_RETURN_IF_ERROR(
       writer.Open(LabelsPath(dir), hierarchy_->NumVertices(), vias_enabled_));
-  for (const auto& label : *labels_) {
-    ISLABEL_RETURN_IF_ERROR(writer.Add(label));
+  for (VertexId v = 0; v < hierarchy_->NumVertices(); ++v) {
+    ISLABEL_RETURN_IF_ERROR(writer.Add(labels_->View(v)));
   }
   ISLABEL_RETURN_IF_ERROR(writer.Finish());
   // Core graph.
@@ -197,7 +199,11 @@ Result<ISLabelIndex> ISLabelIndex::Load(const std::string& dir,
     return Status::Corruption("label store vertex count mismatch");
   }
   if (labels_in_memory) {
+    // Bulk-read the entry region in one contiguous I/O and decode straight
+    // into the arena slab (IM-ISL).
     ISLABEL_RETURN_IF_ERROR(store->LoadAll(index.labels_.get()));
+    index.labels_->ComputeSeedCuts(index.hierarchy_->level,
+                                   index.hierarchy_->k);
   } else {
     index.store_ = std::move(store);
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/hierarchy.h"
+#include "core/label_arena.h"
 #include "core/labeling.h"
 #include "core/options.h"
 #include "core/query.h"
@@ -99,8 +100,9 @@ class ISLabelIndex {
   std::uint32_t LevelOf(VertexId v) const { return hierarchy_->level[v]; }
   bool InCore(VertexId v) const { return hierarchy_->InCore(v); }
   const VertexHierarchy& hierarchy() const { return *hierarchy_; }
-  /// In-memory labels; empty in disk-resident mode.
-  const LabelSet& labels() const { return *labels_; }
+  /// In-memory label arena; empty in disk-resident mode. §8.3 updates are
+  /// served through its overflow side-table.
+  const LabelArena& labels() const { return *labels_; }
   bool labels_on_disk() const { return store_ != nullptr; }
   LabelStore* label_store() { return store_.get(); }
   const BuildStats& build_stats() const { return build_stats_; }
@@ -119,7 +121,7 @@ class ISLabelIndex {
   void RebuildCore(EdgeList edges);
 
   std::unique_ptr<VertexHierarchy> hierarchy_;
-  std::unique_ptr<LabelSet> labels_ = std::make_unique<LabelSet>();
+  std::unique_ptr<LabelArena> labels_ = std::make_unique<LabelArena>();
   std::unique_ptr<LabelStore> store_;
   std::unique_ptr<QueryEngine> engine_;
   BuildStats build_stats_;

@@ -4,8 +4,7 @@
 
 namespace islabel {
 
-Eq1Result EvaluateEq1(const std::vector<LabelEntry>& label_s,
-                      const std::vector<LabelEntry>& label_t) {
+Eq1Result EvaluateEq1(LabelView label_s, LabelView label_t) {
   Eq1Result r;
   std::size_t i = 0, j = 0;
   while (i < label_s.size() && j < label_t.size()) {
@@ -29,16 +28,15 @@ Eq1Result EvaluateEq1(const std::vector<LabelEntry>& label_s,
   return r;
 }
 
-const LabelEntry* FindEntry(const std::vector<LabelEntry>& label,
-                            VertexId node) {
+const LabelEntry* FindEntry(LabelView label, VertexId node) {
   auto it = std::lower_bound(
       label.begin(), label.end(), node,
       [](const LabelEntry& e, VertexId n) { return e.node < n; });
   if (it == label.end() || it->node != node) return nullptr;
-  return &*it;
+  return it;
 }
 
-std::vector<VertexId> VerticesOf(const std::vector<LabelEntry>& label) {
+std::vector<VertexId> VerticesOf(LabelView label) {
   std::vector<VertexId> out;
   out.reserve(label.size());
   for (const LabelEntry& e : label) out.push_back(e.node);

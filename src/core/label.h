@@ -4,7 +4,9 @@
 //   dist(s,t) = min_{w ∈ label(s) ∩ label(t)} d(s,w) + d(w,t).
 //
 // Labels are sorted by ancestor id, so intersection is a linear merge — the
-// "simple sequential scanning" of §6.2.
+// "simple sequential scanning" of §6.2. All operations take LabelView
+// spans, so they run identically over the LabelArena slab, a LabelStore
+// decode buffer, or a plain vector.
 
 #ifndef ISLABEL_CORE_LABEL_H_
 #define ISLABEL_CORE_LABEL_H_
@@ -12,6 +14,7 @@
 #include <vector>
 
 #include "core/label_entry.h"
+#include "core/label_view.h"
 
 namespace islabel {
 
@@ -29,15 +32,13 @@ struct Eq1Result {
 };
 
 /// Evaluates Equation 1 by merging the two sorted labels.
-Eq1Result EvaluateEq1(const std::vector<LabelEntry>& label_s,
-                      const std::vector<LabelEntry>& label_t);
+Eq1Result EvaluateEq1(LabelView label_s, LabelView label_t);
 
 /// Binary-searches a sorted label for an ancestor; nullptr if absent.
-const LabelEntry* FindEntry(const std::vector<LabelEntry>& label,
-                            VertexId node);
+const LabelEntry* FindEntry(LabelView label, VertexId node);
 
 /// V[label] of §4.3: the ancestor ids (already sorted).
-std::vector<VertexId> VerticesOf(const std::vector<LabelEntry>& label);
+std::vector<VertexId> VerticesOf(LabelView label);
 
 }  // namespace islabel
 

@@ -1,0 +1,60 @@
+// LabelView: a non-owning (pointer, length) span over one vertex label.
+//
+// Labels live in contiguous storage — the LabelArena slab, a LabelStore
+// decode buffer, or a plain std::vector — and every consumer (Equation 1,
+// seed extraction, persistence) only ever scans them sequentially, so a
+// borrowed span is the natural currency of the query layer. A LabelView
+// never owns memory; it is valid exactly as long as the storage behind it
+// (see DESIGN.md "Label memory layout" for the ownership rules).
+
+#ifndef ISLABEL_CORE_LABEL_VIEW_H_
+#define ISLABEL_CORE_LABEL_VIEW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/label_entry.h"
+
+namespace islabel {
+
+class LabelView {
+ public:
+  constexpr LabelView() = default;
+  constexpr LabelView(const LabelEntry* data, std::size_t size)
+      : data_(data), size_(size) {}
+  /// Implicit: a sorted std::vector label is viewable in place.
+  LabelView(const std::vector<LabelEntry>& label)  // NOLINT(runtime/explicit)
+      : data_(label.data()), size_(label.size()) {}
+
+  constexpr const LabelEntry* data() const { return data_; }
+  constexpr std::size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const LabelEntry* begin() const { return data_; }
+  constexpr const LabelEntry* end() const { return data_ + size_; }
+  constexpr const LabelEntry& operator[](std::size_t i) const {
+    return data_[i];
+  }
+  constexpr const LabelEntry& front() const { return data_[0]; }
+  constexpr const LabelEntry& back() const { return data_[size_ - 1]; }
+
+  /// Owning copy, for callers that must outlive the backing storage.
+  std::vector<LabelEntry> ToVector() const {
+    return std::vector<LabelEntry>(begin(), end());
+  }
+
+  friend bool operator==(const LabelView& a, const LabelView& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  const LabelEntry* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_LABEL_VIEW_H_

@@ -12,7 +12,11 @@
 //     Definition 3, per vertex; quadratic-ish and used as the test oracle.
 //   * ComputeLabelsTopDown — Algorithm 4: initialize each label with the
 //     vertex's DAG out-edges, then propagate complete labels from level
-//     k-1 down to 1 (Corollary 1). This is the production path.
+//     k-1 down to 1 (Corollary 1). This is the production path; it builds
+//     the contiguous LabelArena directly and parallelizes each level
+//     (vertices of L_i only read completed upper-level labels, so a level
+//     is an embarrassingly parallel two-pass: size/prefix-sum the label
+//     regions, then fill them concurrently).
 
 #ifndef ISLABEL_CORE_LABELING_H_
 #define ISLABEL_CORE_LABELING_H_
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "core/hierarchy.h"
+#include "core/label_arena.h"
 #include "core/label_entry.h"
 #include "core/options.h"
 #include "util/io_stats.h"
@@ -28,8 +33,9 @@
 
 namespace islabel {
 
-/// All vertex labels, indexed by vertex id; each label is sorted by
-/// ancestor id (the on-disk order, §6.2).
+/// Nested per-vertex labels. The LabelArena is the production layout; this
+/// alias survives as the working representation of the external pipeline
+/// and as the "nested" side of layout A/B benchmarks.
 using LabelSet = std::vector<std::vector<LabelEntry>>;
 
 /// Counters describing a labeling run.
@@ -41,23 +47,47 @@ struct LabelingStats {
   std::uint64_t bytes_in_memory = 0;
 };
 
-/// Algorithm 4. Labels for every vertex of G, top-down.
-LabelSet ComputeLabelsTopDown(const VertexHierarchy& h,
-                              LabelingStats* stats = nullptr);
+/// Algorithm 4. Labels for every vertex of G, top-down, emitted as one
+/// contiguous arena (seed cuts included). `num_threads` parallelizes each
+/// level (0 = hardware concurrency); the result is byte-identical for
+/// every thread count.
+LabelArena ComputeLabelsTopDown(const VertexHierarchy& h,
+                                LabelingStats* stats = nullptr,
+                                std::uint32_t num_threads = 1);
 
 /// Algorithm 4's I/O-efficient block nested loop join (§6.1.4): completed
 /// upper-level labels stream from a disk file; the current level is
 /// processed in blocks bounded by options.memory_budget_bytes. Produces
 /// labels identical to ComputeLabelsTopDown with I/O accounted in *io.
 /// Declared here, implemented in labeling_external.cc.
-Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
-                                              const IndexOptions& options,
-                                              LabelingStats* stats,
-                                              IoStats* io);
+Result<LabelArena> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
+                                                const IndexOptions& options,
+                                                LabelingStats* stats,
+                                                IoStats* io);
 
-/// Definition 3, literal, for one vertex. Test oracle.
-std::vector<LabelEntry> ComputeLabelDefinition3(const VertexHierarchy& h,
-                                                VertexId v);
+/// Reusable cross-call state for ComputeLabelDefinition3: an epoch-stamped
+/// dense best-distance array, so repeated oracle calls (tests sweep every
+/// vertex) cost O(touched) instead of hashing.
+struct Definition3Scratch {
+  std::vector<LabelEntry> best;       // valid iff stamp[v] == epoch
+  std::vector<std::uint32_t> stamp;
+  std::vector<VertexId> touched;
+  std::uint32_t epoch = 0;
+};
+
+/// Definition 3, literal, for one vertex. Test oracle. Pass a scratch to
+/// amortize the dense arrays across calls; nullptr allocates locally.
+std::vector<LabelEntry> ComputeLabelDefinition3(
+    const VertexHierarchy& h, VertexId v,
+    Definition3Scratch* scratch = nullptr);
+
+/// Collapses a label-candidate multiset in place: sort by (ancestor,
+/// dist, via) and keep the first record per ancestor, so the survivor is
+/// the minimum distance with the via vertex as a deterministic tiebreak
+/// independent of candidate generation order. Returns the deduped length.
+/// The in-memory and external pipelines must share this exact rule to
+/// stay bit-identical (tests assert arena equality).
+std::size_t SortAndDedupeRange(LabelEntry* entries, std::size_t count);
 
 }  // namespace islabel
 

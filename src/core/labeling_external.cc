@@ -82,29 +82,12 @@ class LabelScanner {
   std::uint64_t end_ = 0;
 };
 
-// Same candidate collapse as the in-memory SortAndDedupe: min distance per
-// ancestor, via as the deterministic tiebreak.
-void SortAndDedupe(std::vector<LabelEntry>* entries) {
-  std::sort(entries->begin(), entries->end(),
-            [](const LabelEntry& a, const LabelEntry& b) {
-              if (a.node != b.node) return a.node < b.node;
-              if (a.dist != b.dist) return a.dist < b.dist;
-              return a.via < b.via;
-            });
-  std::size_t out = 0;
-  for (std::size_t i = 0; i < entries->size(); ++i) {
-    if (out > 0 && (*entries)[out - 1].node == (*entries)[i].node) continue;
-    (*entries)[out++] = (*entries)[i];
-  }
-  entries->resize(out);
-}
-
 }  // namespace
 
-Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
-                                              const IndexOptions& options,
-                                              LabelingStats* stats,
-                                              IoStats* io) {
+Result<LabelArena> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
+                                                const IndexOptions& options,
+                                                LabelingStats* stats,
+                                                IoStats* io) {
   const VertexId n = h.NumVertices();
   LabelSet labels(n);
 
@@ -151,6 +134,9 @@ Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
       for (std::size_t b = begin; b < end; ++b) {
         const VertexId v = level[b];
         acc_index[v] = b - begin;
+        // Heuristic reservation (matches the block-sizing estimate above);
+        // labels larger than ~4 entries per upper neighbor still grow.
+        accumulators[b - begin].reserve(1 + 4 * h.removed_adj[v].size());
         accumulators[b - begin].emplace_back(v, 0);
         for (const HierEdge& e : h.removed_adj[v]) {
           consumers[e.to].push_back(v);
@@ -190,7 +176,9 @@ Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
       for (std::size_t b = begin; b < end; ++b) {
         const VertexId v = level[b];
         auto& acc = accumulators[b - begin];
-        SortAndDedupe(&acc);
+        // The shared collapse rule keeps this pipeline bit-identical to
+        // the in-memory one.
+        acc.resize(SortAndDedupeRange(acc.data(), acc.size()));
         labels[v] = acc;
         ISLABEL_RETURN_IF_ERROR(AppendLabel(&bu, v, labels[v]));
       }
@@ -211,7 +199,12 @@ Result<LabelSet> ComputeLabelsTopDownExternal(const VertexHierarchy& h,
       stats->bytes_in_memory += l.size() * sizeof(LabelEntry);
     }
   }
-  return labels;
+  // Flatten into the arena layout the query layer serves, releasing each
+  // nested label as it is copied so peak memory stays ~one label set;
+  // identical to the in-memory path (tests assert arena equality).
+  LabelArena arena = LabelArena::FromNestedConsuming(&labels);
+  arena.ComputeSeedCuts(h.level, h.k);
+  return arena;
 }
 
 }  // namespace islabel

@@ -49,6 +49,11 @@ struct IndexOptions {
   /// Seed for IsOrder::kRandom.
   std::uint64_t seed = 42;
 
+  /// Worker threads for the top-down labeling (level-parallel, Corollary 1;
+  /// DESIGN.md "Labeling threading model"). Labels are byte-identical for
+  /// every value. 0 = one per hardware thread.
+  std::uint32_t num_threads = 1;
+
   /// If nonzero, run the I/O-efficient construction pipeline (§6) with
   /// this many bytes of working memory, spilling through tmp_dir; the
   /// result is bit-identical to the in-memory pipeline, with I/O counted.

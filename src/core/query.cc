@@ -1,7 +1,6 @@
 #include "core/query.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/timer.h"
 
@@ -18,17 +17,26 @@ inline Distance SatAdd(Distance a, Distance b) {
 
 }  // namespace
 
-Status LabelProvider::View(VertexId v, const std::vector<LabelEntry>** view,
+Status LabelProvider::View(VertexId v, LabelView* view,
                            std::vector<LabelEntry>* scratch,
-                           std::uint64_t* ios) {
-  if (mem_ != nullptr) {
-    if (v >= mem_->size()) return Status::OutOfRange("vertex out of range");
-    *view = &(*mem_)[v];
+                           std::uint64_t* ios, std::uint32_t* seed_start) {
+  if (seed_start != nullptr) *seed_start = 0;
+  if (arena_ != nullptr) {
+    if (v >= arena_->NumVertices()) {
+      return Status::OutOfRange("vertex out of range");
+    }
+    *view = arena_->View(v);
+    if (seed_start != nullptr) *seed_start = arena_->SeedStart(v);
+    return Status::OK();
+  }
+  if (nested_ != nullptr) {
+    if (v >= nested_->size()) return Status::OutOfRange("vertex out of range");
+    *view = LabelView((*nested_)[v]);
     return Status::OK();
   }
   ISLABEL_RETURN_IF_ERROR(store_->GetLabel(v, scratch));
   if (ios != nullptr) *ios += 1;
-  *view = scratch;
+  *view = LabelView(*scratch);
   return Status::OK();
 }
 
@@ -38,14 +46,8 @@ QueryEngine::QueryEngine(const VertexHierarchy* hierarchy,
 
 void QueryEngine::EnsureScratch() {
   const std::size_t n = h_->level.size();
-  for (SideState& s : sides_) {
-    if (s.dist.size() != n) {
-      s.dist.assign(n, kInfDistance);
-      s.parent.assign(n, kInvalidVertex);
-      s.parent_via.assign(n, kInvalidVertex);
-      s.stamp.assign(n, 0);
-      s.settled_stamp.assign(n, 0);
-    }
+  for (auto& side : sides_) {
+    if (side.size() != n) side.assign(n, NodeState{});
   }
 }
 
@@ -74,6 +76,10 @@ Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
 
   if (s == t) {
     *out = 0;
+    if (stats != nullptr) {
+      stats->location = h_->InCore(s) ? LocationType::kBothInCore
+                                      : LocationType::kNoneInCore;
+    }
     if (capture != nullptr) {
       capture->kind = MeetKind::kEq1;
       capture->meet = s;
@@ -84,26 +90,28 @@ Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
   }
 
   // Stage 1: label retrieval — the paper's query Time (a). Core vertices
-  // carry the trivial label {(v, 0)}, so their lookup is synthesized
-  // without touching the store; this is why the paper's Type 1 queries
-  // (both endpoints in G_k) have Time (a) = 0.
+  // carry the trivial label {(v, 0)}, so their lookup is synthesized from
+  // engine-owned storage without touching the provider; this is why the
+  // paper's Type 1 queries (both endpoints in G_k) have Time (a) = 0.
   WallTimer fetch_timer;
   std::uint64_t ios = 0;
-  const std::vector<LabelEntry>* label_s = nullptr;
-  const std::vector<LabelEntry>* label_t = nullptr;
+  LabelView label_s, label_t;
+  std::uint32_t cut_s = 0, cut_t = 0;
   if (h_->InCore(s)) {
-    scratch_s_.assign(1, LabelEntry(s, 0));
-    label_s = &scratch_s_;
+    self_[0] = LabelEntry(s, 0);
+    label_s = LabelView(&self_[0], 1);
   } else {
-    ISLABEL_RETURN_IF_ERROR(provider_.View(s, &label_s, &scratch_s_, &ios));
+    ISLABEL_RETURN_IF_ERROR(
+        provider_.View(s, &label_s, &fetch_[0], &ios, &cut_s));
   }
   if (h_->InCore(t)) {
-    scratch_t_.assign(1, LabelEntry(t, 0));
-    label_t = &scratch_t_;
+    self_[1] = LabelEntry(t, 0);
+    label_t = LabelView(&self_[1], 1);
   } else {
-    ISLABEL_RETURN_IF_ERROR(provider_.View(t, &label_t, &scratch_t_, &ios));
+    ISLABEL_RETURN_IF_ERROR(
+        provider_.View(t, &label_t, &fetch_[1], &ios, &cut_t));
   }
-  const Eq1Result eq1 = EvaluateEq1(*label_s, *label_t);
+  const Eq1Result eq1 = EvaluateEq1(label_s, label_t);
   if (stats != nullptr) {
     stats->label_fetch_seconds = fetch_timer.ElapsedSeconds();
     stats->label_ios = ios;
@@ -121,17 +129,19 @@ Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
     capture->eq1_t = eq1.t_entry;
   }
 
-  // Seeds: label entries landing in G_k (Algorithm 1 lines 1-2). Empty on
+  // Seeds: label entries landing in G_k (Algorithm 1 lines 1-2), scanned
+  // from the precomputed first-core cut into engine-owned buffers. Empty on
   // either side means the query is Type 1 and Equation 1 already answered
   // it (Theorem 3).
-  std::vector<LabelEntry> seeds_s, seeds_t;
-  for (const LabelEntry& e : *label_s) {
-    if (h_->InCore(e.node)) seeds_s.push_back(e);
+  seeds_[0].clear();
+  seeds_[1].clear();
+  for (std::size_t i = cut_s; i < label_s.size(); ++i) {
+    if (h_->InCore(label_s[i].node)) seeds_[0].push_back(label_s[i]);
   }
-  for (const LabelEntry& e : *label_t) {
-    if (h_->InCore(e.node)) seeds_t.push_back(e);
+  for (std::size_t i = cut_t; i < label_t.size(); ++i) {
+    if (h_->InCore(label_t[i].node)) seeds_[1].push_back(label_t[i]);
   }
-  if (seeds_s.empty() || seeds_t.empty()) {
+  if (seeds_[0].empty() || seeds_[1].empty()) {
     *out = eq1.dist;
     return Status::OK();
   }
@@ -140,56 +150,62 @@ Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
   WallTimer search_timer;
   if (stats != nullptr) stats->used_search = true;
   const Distance mu = disable_mu_pruning_ ? kInfDistance : eq1.dist;
-  Distance d = BiDijkstra(seeds_s, seeds_t, mu, stats, capture);
+  Distance d = BiDijkstra(mu, stats, capture);
   if (disable_mu_pruning_ && eq1.dist < d) d = eq1.dist;
   if (stats != nullptr) stats->search_seconds = search_timer.ElapsedSeconds();
   *out = d;
   return Status::OK();
 }
 
-Distance QueryEngine::BiDijkstra(const std::vector<LabelEntry>& seeds_s,
-                                 const std::vector<LabelEntry>& seeds_t,
-                                 Distance mu, QueryStats* stats,
+Distance QueryEngine::BiDijkstra(Distance mu, QueryStats* stats,
                                  PathCapture* capture) {
   EnsureScratch();
-  ++epoch_;
+  if (++epoch_ == 0) {
+    // Epoch wrap (one in 2^32 queries): stamps from 2^32 queries ago would
+    // read as current — reset the search state instead.
+    for (auto& side : sides_) side.assign(side.size(), NodeState{});
+    epoch_ = 1;
+  }
   const std::uint32_t epoch = epoch_;
   const Graph& gk = h_->g_k;
 
   auto dist_of = [&](int side, VertexId v) -> Distance {
-    return sides_[side].stamp[v] == epoch ? sides_[side].dist[v]
-                                          : kInfDistance;
+    const NodeState& node = sides_[side][v];
+    return node.stamp == epoch ? node.dist : kInfDistance;
   };
   auto is_settled = [&](int side, VertexId v) {
-    return sides_[side].settled_stamp[v] == epoch;
+    return sides_[side][v].settled_stamp == epoch;
   };
 
-  using PqEntry = std::pair<Distance, VertexId>;
-  std::priority_queue<PqEntry, std::vector<PqEntry>, std::greater<PqEntry>>
-      pq[2];
+  // Engine-owned monotone radix heaps (bucket capacity persists across
+  // queries; Clear() just resets them).
+  pq_[0].Clear();
+  pq_[1].Clear();
 
-  auto seed_side = [&](int side, const std::vector<LabelEntry>& seeds) {
-    for (const LabelEntry& e : seeds) {
+  auto seed_side = [&](int side) {
+    for (const LabelEntry& e : seeds_[side]) {
       if (e.dist < dist_of(side, e.node)) {
-        sides_[side].dist[e.node] = e.dist;
-        sides_[side].stamp[e.node] = epoch;
-        sides_[side].parent[e.node] = kInvalidVertex;  // marks "label seed"
-        sides_[side].parent_via[e.node] = kInvalidVertex;
-        pq[side].push({e.dist, e.node});
+        NodeState& node = sides_[side][e.node];
+        node.dist = e.dist;
+        node.stamp = epoch;
+        node.parent = kInvalidVertex;  // marks "label seed"
+        node.parent_via = kInvalidVertex;
+        pq_[side].Push(e.node, e.dist);
       }
     }
   };
-  seed_side(0, seeds_s);
-  seed_side(1, seeds_t);
+  seed_side(0);
+  seed_side(1);
 
   Distance best = mu;
   VertexId meet = kInvalidVertex;
 
+  // Drops settled/stale entries so PeekMin is live (lazy deletion).
   auto purge = [&](int side) {
-    while (!pq[side].empty()) {
-      const auto& [d, v] = pq[side].top();
+    while (!pq_[side].Empty()) {
+      const auto [v, d] = pq_[side].PeekMin();
       if (is_settled(side, v) || d != dist_of(side, v)) {
-        pq[side].pop();
+        pq_[side].PopMin();
       } else {
         break;
       }
@@ -199,17 +215,18 @@ Distance QueryEngine::BiDijkstra(const std::vector<LabelEntry>& seeds_s,
   while (true) {
     purge(0);
     purge(1);
-    const Distance mf = pq[0].empty() ? kInfDistance : pq[0].top().first;
-    const Distance mr = pq[1].empty() ? kInfDistance : pq[1].top().first;
+    const Distance mf =
+        pq_[0].Empty() ? kInfDistance : pq_[0].PeekMin().second;
+    const Distance mr =
+        pq_[1].Empty() ? kInfDistance : pq_[1].PeekMin().second;
     // Pruning condition of Algorithm 1 line 8: stop when no s-t path
     // through G_k can beat µ (Theorem 4).
     if (SatAdd(mf, mr) >= best) break;
 
     const int side = (mf <= mr) ? 0 : 1;
     const int opp = 1 - side;
-    const auto [d, v] = pq[side].top();
-    pq[side].pop();
-    sides_[side].settled_stamp[v] = epoch;
+    const auto [v, d] = pq_[side].PopMin();
+    sides_[side][v].settled_stamp = epoch;
     if (stats != nullptr) ++stats->settled;
 
     // µ tightening. NOTE (deviation from the paper, documented in
@@ -234,19 +251,21 @@ Distance QueryEngine::BiDijkstra(const std::vector<LabelEntry>& seeds_s,
       const VertexId u = nbrs[i];
       const Distance nd = d + ws[i];
       if (stats != nullptr) ++stats->relaxed;
-      if (nd < dist_of(side, u)) {
-        sides_[side].dist[u] = nd;
-        sides_[side].stamp[u] = epoch;
-        sides_[side].parent[u] = v;
-        sides_[side].parent_via[u] =
-            vias ? gk.NeighborVias(v)[i] : kInvalidVertex;
-        pq[side].push({nd, u});
+      NodeState& node = sides_[side][u];
+      Distance du = node.stamp == epoch ? node.dist : kInfDistance;
+      if (nd < du) {
+        node.dist = nd;
+        node.stamp = epoch;
+        node.parent = v;
+        node.parent_via = vias ? gk.NeighborVias(v)[i] : kInvalidVertex;
+        pq_[side].Push(u, nd);
+        du = nd;
       }
       // µ tightening (Algorithm 1 lines 17-18, with the tentative-distance
       // fix described above): u reached from both directions closes a
       // candidate s-t path.
       {
-        const Distance cand = SatAdd(dist_of(side, u), dist_of(opp, u));
+        const Distance cand = SatAdd(du, dist_of(opp, u));
         if (cand < best) {
           best = cand;
           meet = u;
@@ -258,9 +277,9 @@ Distance QueryEngine::BiDijkstra(const std::vector<LabelEntry>& seeds_s,
   if (capture != nullptr && meet != kInvalidVertex) {
     capture->kind = MeetKind::kSearch;
     capture->meet = meet;
-    TraceSide(0, meet, seeds_s.data(), seeds_s.size(), &capture->seed_s,
+    TraceSide(0, meet, seeds_[0].data(), seeds_[0].size(), &capture->seed_s,
               &capture->steps_s);
-    TraceSide(1, meet, seeds_t.data(), seeds_t.size(), &capture->seed_t,
+    TraceSide(1, meet, seeds_[1].data(), seeds_[1].size(), &capture->seed_t,
               &capture->steps_t);
   }
   return best;
@@ -272,11 +291,11 @@ void QueryEngine::TraceSide(int side, VertexId meet,
                             std::vector<PathStep>* steps_out) const {
   steps_out->clear();
   VertexId v = meet;
-  while (sides_[side].parent[v] != kInvalidVertex) {
+  while (sides_[side][v].parent != kInvalidVertex) {
     PathStep step;
-    step.from = sides_[side].parent[v];
+    step.from = sides_[side][v].parent;
     step.to = v;
-    step.via = sides_[side].parent_via[v];
+    step.via = sides_[side][v].parent_via;
     steps_out->push_back(step);
     v = step.from;
   }
@@ -289,7 +308,7 @@ void QueryEngine::TraceSide(int side, VertexId meet,
     }
   }
   // Unreachable if the search is correct.
-  *seed_out = LabelEntry(v, sides_[side].dist[v]);
+  *seed_out = LabelEntry(v, sides_[side][v].dist);
 }
 
 }  // namespace islabel

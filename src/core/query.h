@@ -1,14 +1,18 @@
 // Query processing over the k-level vertex hierarchy (§5.2).
 //
 // A query (s, t) is answered in two stages:
-//   1. Fetch label(s) and label(t) (from memory, or one disk read each —
-//      the paper's Time (a)) and evaluate Equation 1 over their
-//      intersection, giving the pruning bound µ.
+//   1. Fetch label(s) and label(t) (a borrowed LabelView over the arena
+//      slab, or one disk read each — the paper's Time (a)) and evaluate
+//      Equation 1 over their intersection, giving the pruning bound µ.
 //   2. If the query is Type 1 — both endpoints outside G_k and at least one
 //      label not reaching G_k — µ is the answer (Theorem 3). Otherwise run
 //      the label-based bidirectional Dijkstra of Algorithm 1 on G_k, seeded
 //      with the label entries that land in G_k and pruned by
 //      min(FQ) + min(RQ) >= µ (Theorem 4). This is the paper's Time (b).
+//
+// The engine owns every piece of per-query state (seed buffers, search
+// arrays, heaps); after the first query on a given hierarchy the hot path
+// performs no heap allocation.
 
 #ifndef ISLABEL_CORE_QUERY_H_
 #define ISLABEL_CORE_QUERY_H_
@@ -18,8 +22,10 @@
 
 #include "core/hierarchy.h"
 #include "core/label.h"
+#include "core/label_arena.h"
 #include "core/labeling.h"
 #include "storage/label_store.h"
+#include "util/radix_heap.h"
 #include "util/status.h"
 
 namespace islabel {
@@ -75,21 +81,26 @@ struct PathCapture {
   std::vector<PathStep> steps_t;
 };
 
-/// Serves labels either from an in-memory LabelSet (the paper's IM-ISL) or
-/// from a disk-resident LabelStore (one read per label).
+/// Serves labels from the contiguous LabelArena (the paper's IM-ISL), a
+/// nested LabelSet (layout A/B benchmarks), or a disk-resident LabelStore
+/// (one read per label).
 class LabelProvider {
  public:
-  explicit LabelProvider(const LabelSet* in_memory) : mem_(in_memory) {}
+  explicit LabelProvider(const LabelArena* arena) : arena_(arena) {}
+  explicit LabelProvider(const LabelSet* nested) : nested_(nested) {}
   explicit LabelProvider(LabelStore* store) : store_(store) {}
 
-  /// Points *view at label(v); `scratch` backs the disk path.
-  Status View(VertexId v, const std::vector<LabelEntry>** view,
-              std::vector<LabelEntry>* scratch, std::uint64_t* ios);
+  /// Points *view at label(v); `scratch` backs the disk path. *seed_start
+  /// (optional) receives the arena's precomputed first-core cut — always a
+  /// valid scan start, 0 when unknown.
+  Status View(VertexId v, LabelView* view, std::vector<LabelEntry>* scratch,
+              std::uint64_t* ios, std::uint32_t* seed_start = nullptr);
 
   bool on_disk() const { return store_ != nullptr; }
 
  private:
-  const LabelSet* mem_ = nullptr;
+  const LabelArena* arena_ = nullptr;
+  const LabelSet* nested_ = nullptr;
   LabelStore* store_ = nullptr;
 };
 
@@ -121,10 +132,8 @@ class QueryEngine {
   Status Run(VertexId s, VertexId t, Distance* out, QueryStats* stats,
              PathCapture* capture);
 
-  /// Algorithm 1 stage 2. Seeds must be label entries whose node is in G_k.
-  Distance BiDijkstra(const std::vector<LabelEntry>& seeds_s,
-                      const std::vector<LabelEntry>& seeds_t, Distance mu,
-                      QueryStats* stats, PathCapture* capture);
+  /// Algorithm 1 stage 2, over the engine-owned seeds_[01]_ buffers.
+  Distance BiDijkstra(Distance mu, QueryStats* stats, PathCapture* capture);
 
   void EnsureScratch();
   void TraceSide(int side, VertexId meet, const LabelEntry* seeds_begin,
@@ -135,18 +144,30 @@ class QueryEngine {
   LabelProvider provider_;
 
   // Epoch-stamped per-vertex search state; allocated lazily at first query,
-  // reused across queries without O(n) clearing.
-  struct SideState {
-    std::vector<Distance> dist;
-    std::vector<VertexId> parent;      // kInvalidVertex = seeded entry
-    std::vector<VertexId> parent_via;  // via of the parent edge
-    std::vector<std::uint32_t> stamp;  // epoch when dist became valid
-    std::vector<std::uint32_t> settled_stamp;
+  // reused across queries without O(n) clearing. One packed record per
+  // vertex so a relaxation touches a single cache line instead of five
+  // parallel arrays.
+  struct NodeState {
+    Distance dist = kInfDistance;
+    std::uint32_t stamp = 0;          // epoch when dist became valid
+    std::uint32_t settled_stamp = 0;
+    VertexId parent = kInvalidVertex;      // kInvalidVertex = seeded entry
+    VertexId parent_via = kInvalidVertex;  // via of the parent edge
   };
-  SideState sides_[2];
+  std::vector<NodeState> sides_[2];
   std::uint32_t epoch_ = 0;
-  std::vector<LabelEntry> scratch_s_;
-  std::vector<LabelEntry> scratch_t_;
+
+  // Reusable per-query buffers (capacity persists across queries; the hot
+  // path only clears them). seeds_[01]_ hold the Algorithm 1 seeds;
+  // pq_[01]_ are monotone radix heaps (Dijkstra pops keys in
+  // non-decreasing order and every push is pop + ω ≥ pop, so the monotone
+  // contract holds per side); fetch_[01]_ back the disk-resident label
+  // decode; self_[01]_ hold the synthesized trivial label of a core
+  // endpoint.
+  std::vector<LabelEntry> seeds_[2];
+  RadixHeap pq_[2];
+  std::vector<LabelEntry> fetch_[2];
+  LabelEntry self_[2];
   bool disable_mu_pruning_ = false;
 };
 

@@ -22,39 +22,17 @@
 // vertices stale distances may remain until a rebuild — the paper's
 // "rebuild the index periodically".
 
-#include <algorithm>
+// Both operations patch labels through the LabelArena's overflow
+// side-table: the slab stays immutable, the first mutation of a label
+// copies it out, and queries transparently see the patched copy.
+
 #include <limits>
+#include <vector>
 
 #include "core/index.h"
 #include "core/label.h"
 
 namespace islabel {
-
-namespace {
-
-/// Inserts (or min-updates) an entry into a sorted label.
-void UpsertEntry(std::vector<LabelEntry>* label, const LabelEntry& entry) {
-  auto it = std::lower_bound(
-      label->begin(), label->end(), entry.node,
-      [](const LabelEntry& e, VertexId n) { return e.node < n; });
-  if (it != label->end() && it->node == entry.node) {
-    if (entry.dist < it->dist) *it = entry;
-  } else {
-    label->insert(it, entry);
-  }
-}
-
-/// Removes the entry for `node` if present; returns true if removed.
-bool EraseEntry(std::vector<LabelEntry>* label, VertexId node) {
-  auto it = std::lower_bound(
-      label->begin(), label->end(), node,
-      [](const LabelEntry& e, VertexId n) { return e.node < n; });
-  if (it == label->end() || it->node != node) return false;
-  label->erase(it);
-  return true;
-}
-
-}  // namespace
 
 Status ISLabelIndex::InsertVertex(
     VertexId v, const std::vector<std::pair<VertexId, Weight>>& adj) {
@@ -78,10 +56,10 @@ Status ISLabelIndex::InsertVertex(
   }
 
   // The new vertex lives in G_k with the highest level number; its own
-  // label is the trivial {(v, 0)}.
+  // label is the trivial {(v, 0)}, appended to the side-table.
   hierarchy_->level.push_back(hierarchy_->k);
   hierarchy_->removed_adj.emplace_back();
-  labels_->push_back({LabelEntry(v, 0)});
+  labels_->AppendLabel(v, {LabelEntry(v, 0)});
   deleted_.Resize(n + 1);
 
   EdgeList core = hierarchy_->g_k.ToEdgeList();
@@ -94,7 +72,7 @@ Status ISLabelIndex::InsertVertex(
     }
     // Snapshot label(nbr) before patching so the closure is computed
     // against the pre-insert state.
-    const std::vector<LabelEntry> anchor = (*labels_)[nbr];
+    const std::vector<LabelEntry> anchor = labels_->View(nbr).ToVector();
     // Core bridges: u is reachable from every core ancestor of nbr.
     for (const LabelEntry& e : anchor) {
       if (hierarchy_->InCore(e.node)) {
@@ -111,10 +89,10 @@ Status ISLabelIndex::InsertVertex(
     // for nbr's own entry the edge (nbr, v) is direct.
     for (VertexId target = 0; target < n; ++target) {
       if (IsDeleted(target) || hierarchy_->InCore(target)) continue;
-      const Eq1Result r = EvaluateEq1((*labels_)[target], anchor);
+      const Eq1Result r = EvaluateEq1(labels_->View(target), anchor);
       if (r.dist == kInfDistance) continue;
       const VertexId via = (target == nbr) ? kInvalidVertex : nbr;
-      UpsertEntry(&(*labels_)[target], LabelEntry(v, r.dist + w, via));
+      labels_->UpsertEntry(target, LabelEntry(v, r.dist + w, via));
     }
   }
 
@@ -138,12 +116,13 @@ Status ISLabelIndex::DeleteVertex(VertexId v) {
 
   // Remove v's entries from every label that references it (v's
   // descendants). When v is a core vertex appearing in no label, this loop
-  // is a no-op and the deletion is exact (§8.3).
+  // is a no-op and the deletion is exact (§8.3). EraseEntry only copies a
+  // label to the side-table when it actually contains v.
   for (VertexId w = 0; w < n; ++w) {
     if (w == v) continue;
-    EraseEntry(&(*labels_)[w], v);
+    labels_->EraseEntry(w, v);
   }
-  (*labels_)[v].clear();
+  labels_->ClearLabel(v);
   deleted_.Set(v);
 
   if (hierarchy_->InCore(v)) {

@@ -32,7 +32,7 @@ Status LabelStoreWriter::Open(const std::string& path, VertexId num_vertices,
   return file_.Append(header.data(), header.size(), nullptr);
 }
 
-Status LabelStoreWriter::Add(const std::vector<LabelEntry>& label) {
+Status LabelStoreWriter::Add(LabelView label) {
   if (next_vertex_ >= num_vertices_) {
     return Status::FailedPrecondition("more labels than vertices");
   }
@@ -133,6 +133,11 @@ Status LabelStore::Open(const std::string& path) {
 Status LabelStore::DecodeLabel(const char* data, std::size_t size,
                                std::vector<LabelEntry>* out) const {
   out->clear();
+  return DecodeInto(data, size, out);
+}
+
+Status LabelStore::DecodeInto(const char* data, std::size_t size,
+                              std::vector<LabelEntry>* out) const {
   Decoder dec(data, size);
   VertexId prev = 0;
   bool first = true;
@@ -169,20 +174,44 @@ Status LabelStore::GetLabel(VertexId v, std::vector<LabelEntry>* out) {
 }
 
 Status LabelStore::LoadAll(std::vector<std::vector<LabelEntry>>* labels) {
+  // Nested layout, implemented on top of the arena bulk load so the
+  // read+decode skeleton exists exactly once.
+  LabelArena arena;
+  ISLABEL_RETURN_IF_ERROR(LoadAll(&arena));
   labels->assign(num_vertices_, {});
-  // One sequential sweep over the entry region.
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    (*labels)[v] = arena.View(v).ToVector();
+  }
+  return Status::OK();
+}
+
+Status LabelStore::LoadAll(LabelArena* arena) {
+  // One sequential sweep over the entry region, decoded straight into the
+  // arena slab — no per-vertex reads, no per-vertex heap vectors.
   const std::uint64_t lo = kHeaderBytes;
   const std::uint64_t hi = offsets_.back();
   std::vector<char> raw(static_cast<std::size_t>(hi - lo));
   if (!raw.empty()) {
     ISLABEL_RETURN_IF_ERROR(file_.ReadAt(lo, raw.data(), raw.size()));
   }
+  // Exact slab size in one cheap pre-scan: every varint ends at a byte
+  // with the continuation bit clear, and an entry is 2 (or 3, with vias)
+  // varints — so the allocation is exact, no regrowth and no shrink copy.
+  std::size_t varints = 0;
+  for (char c : raw) varints += (static_cast<unsigned char>(c) & 0x80) == 0;
+  std::vector<LabelEntry> slab;
+  slab.reserve(varints / (store_vias_ ? 3 : 2));
+  std::vector<std::uint64_t> csr(static_cast<std::size_t>(num_vertices_) + 1,
+                                 0);
   for (VertexId v = 0; v < num_vertices_; ++v) {
+    csr[v] = slab.size();
     ISLABEL_RETURN_IF_ERROR(
-        DecodeLabel(raw.data() + (offsets_[v] - lo),
-                    static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]),
-                    &(*labels)[v]));
+        DecodeInto(raw.data() + (offsets_[v] - lo),
+                   static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]),
+                   &slab));
   }
+  csr[num_vertices_] = slab.size();
+  *arena = LabelArena(std::move(slab), std::move(csr));
   return Status::OK();
 }
 

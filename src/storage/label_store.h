@@ -19,7 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "core/label_arena.h"
 #include "core/label_entry.h"
+#include "core/label_view.h"
 #include "storage/block_file.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -36,8 +38,9 @@ class LabelStoreWriter {
               bool store_vias);
 
   /// Appends label(v) for the next vertex id. Entries must be sorted by
-  /// ancestor id (Definition 3 order).
-  Status Add(const std::vector<LabelEntry>& label);
+  /// ancestor id (Definition 3 order). Accepts any contiguous label —
+  /// arena views and plain vectors alike.
+  Status Add(LabelView label);
 
   /// Writes the offset table + footer and flushes.
   Status Finish();
@@ -72,8 +75,14 @@ class LabelStore {
   /// Whole-file size including the offset table.
   std::uint64_t FileBytes() const { return file_.FileSize(); }
 
-  /// Loads every label into memory (IM-ISL mode).
+  /// Loads every label into memory (IM-ISL mode), nested layout.
   Status LoadAll(std::vector<std::vector<LabelEntry>>* labels);
+
+  /// Loads every label into one contiguous LabelArena: the whole entry
+  /// region is fetched with a single positioned read and decoded straight
+  /// into the slab. Seed cuts are left for the caller (they need the
+  /// hierarchy's level assignment).
+  Status LoadAll(LabelArena* arena);
 
   /// Average entries per label (diagnostics).
   double MeanEntries() const;
@@ -84,6 +93,9 @@ class LabelStore {
  private:
   Status DecodeLabel(const char* data, std::size_t size,
                      std::vector<LabelEntry>* out) const;
+  /// DecodeLabel without the clear: appends, for bulk slab decoding.
+  Status DecodeInto(const char* data, std::size_t size,
+                    std::vector<LabelEntry>* out) const;
 
   BlockFile file_;
   std::vector<std::uint64_t> offsets_;  // size num_vertices_+1

@@ -1,0 +1,59 @@
+// Minimal deterministic fork-join parallelism for the build pipeline.
+//
+// ParallelFor statically partitions [0, n) into one contiguous chunk per
+// worker. Work items must be independent (no two items write the same
+// location); under that contract results are byte-identical for every
+// thread count, which the labeling determinism tests assert.
+
+#ifndef ISLABEL_UTIL_PARALLEL_H_
+#define ISLABEL_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace islabel {
+
+/// Resolves a thread-count option: 0 means one per hardware thread.
+inline unsigned EffectiveThreads(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+/// Calls fn(i) for every i in [0, n), split across `num_threads` workers
+/// (0 = hardware concurrency). Runs inline when one worker suffices. fn
+/// must not throw. `min_items_per_worker` caps the worker count for small
+/// ranges so thread spawn/join (~tens of µs each) cannot exceed the work
+/// itself — tune it to the per-item cost.
+template <typename Fn>
+void ParallelFor(std::size_t n, std::uint32_t num_threads, Fn&& fn,
+                 std::size_t min_items_per_worker = 1) {
+  std::size_t workers = std::min<std::size_t>(EffectiveThreads(num_threads), n);
+  if (min_items_per_worker > 1) {
+    workers = std::min(workers,
+                       std::max<std::size_t>(1, n / min_items_per_worker));
+  }
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  auto run_chunk = [&fn, n, workers](std::size_t w) {
+    const std::size_t begin = n * w / workers;
+    const std::size_t end = n * (w + 1) / workers;
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  };
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(run_chunk, w);
+  }
+  run_chunk(0);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_PARALLEL_H_

@@ -2,8 +2,10 @@
 //
 // Dijkstra with non-negative integer weights extracts keys in non-decreasing
 // order, which a radix heap exploits for amortized O(1) push and O(log C)
-// bucket redistribution. Included as an ablation alternative to the indexed
-// binary heap (bench_micro compares them); not used by default.
+// bucket redistribution. Backs the label-seeded bidirectional Dijkstra of
+// both query engines (each search side is monotone: every push key is the
+// popped key plus a positive edge weight); bench_micro compares it against
+// the indexed binary heap.
 
 #ifndef ISLABEL_UTIL_RADIX_HEAP_H_
 #define ISLABEL_UTIL_RADIX_HEAP_H_
@@ -49,6 +51,15 @@ class RadixHeap {
     return {e.item, e.key};
   }
 
+  /// Returns the entry with the smallest key without removing it (the
+  /// bi-Dijkstra stop rule needs min(FQ)/min(RQ) every round).
+  std::pair<std::uint32_t, std::uint64_t> PeekMin() {
+    assert(!Empty());
+    if (buckets_[0].empty()) Redistribute();
+    const Entry& e = buckets_[0].back();
+    return {e.item, e.key};
+  }
+
  private:
   struct Entry {
     std::uint64_t key;
@@ -71,12 +82,16 @@ class RadixHeap {
     std::uint64_t min_key = std::numeric_limits<std::uint64_t>::max();
     for (const Entry& e : buckets_[i]) min_key = std::min(min_key, e.key);
     last_ = min_key;
-    std::vector<Entry> moved;
-    moved.swap(buckets_[i]);
-    for (const Entry& e : moved) buckets_[BucketFor(e.key)].push_back(e);
+    // Swap through the member scratch so both the emptied bucket and the
+    // scratch keep their capacity — redistribution allocates nothing once
+    // warm (the query hot path depends on this).
+    scratch_.swap(buckets_[i]);
+    for (const Entry& e : scratch_) buckets_[BucketFor(e.key)].push_back(e);
+    scratch_.clear();
   }
 
   std::vector<Entry> buckets_[kBuckets];
+  std::vector<Entry> scratch_;
   std::size_t size_;
   std::uint64_t last_;
 };

@@ -79,16 +79,12 @@ TEST_P(ExternalPipelineTest, MatchesInMemoryPipeline) {
   EXPECT_GT(ext->io.bytes_written, 0u);
   EXPECT_GT(ext->io.bytes_read, 0u);
 
-  // Labels computed from the external hierarchy are identical too.
-  LabelSet lm = ComputeLabelsTopDown(*mem);
-  LabelSet le = ComputeLabelsTopDown(*ext);
+  // Labels computed from the external hierarchy are identical too — the
+  // arenas compare slab-equal.
+  LabelArena lm = ComputeLabelsTopDown(*mem);
+  LabelArena le = ComputeLabelsTopDown(*ext);
   ASSERT_EQ(lm.size(), le.size());
-  for (VertexId v = 0; v < lm.size(); ++v) {
-    ASSERT_EQ(lm[v].size(), le[v].size()) << "vertex " << v;
-    for (std::size_t i = 0; i < lm[v].size(); ++i) {
-      ASSERT_EQ(lm[v][i], le[v][i]);
-    }
-  }
+  EXPECT_TRUE(lm == le);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -181,7 +177,7 @@ TEST_P(ExternalLabelingTest, BlockJoinMatchesInMemoryLabeling) {
   auto h = BuildHierarchy(g, IndexOptions{});
   ASSERT_TRUE(h.ok());
 
-  LabelSet in_memory = ComputeLabelsTopDown(*h);
+  LabelArena in_memory = ComputeLabelsTopDown(*h);
 
   IndexOptions opts;
   opts.memory_budget_bytes = budget;  // tiny budgets force many BL blocks
@@ -201,6 +197,7 @@ TEST_P(ExternalLabelingTest, BlockJoinMatchesInMemoryLabeling) {
     }
     total += in_memory[v].size();
   }
+  EXPECT_TRUE(*external == in_memory);
   EXPECT_EQ(stats.total_entries, total);
   EXPECT_GT(io.bytes_read, 0u);
   EXPECT_GT(io.bytes_written, 0u);

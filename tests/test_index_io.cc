@@ -63,6 +63,60 @@ TEST_F(IndexIoTest, SaveLoadInMemoryRoundTrip) {
   }
 }
 
+TEST_F(IndexIoTest, ArenaRoundTripsSlabIdenticalInBothModes) {
+  Graph g = MakeTestGraph(Family::kRMat, 256, true, 47);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  ASSERT_TRUE(index.Save(dir_).ok());
+
+  // IM mode: the loaded arena (bulk slab decode) must equal the built one
+  // slab-for-slab, offsets included.
+  auto im = ISLabelIndex::Load(dir_, /*labels_in_memory=*/true);
+  ASSERT_TRUE(im.ok());
+  EXPECT_TRUE(im->labels() == index.labels());
+
+  // Disk mode: per-vertex positioned reads must decode to the same views.
+  auto disk = ISLabelIndex::Load(dir_, /*labels_in_memory=*/false);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE(disk->labels_on_disk());
+  std::vector<LabelEntry> got;
+  for (VertexId v = 0; v < index.NumVertices(); ++v) {
+    ASSERT_TRUE(disk->label_store()->GetLabel(v, &got).ok());
+    EXPECT_TRUE(LabelView(got) == index.labels().View(v)) << "vertex " << v;
+  }
+}
+
+TEST_F(IndexIoTest, SaveAfterUpdatesPersistsSideTable) {
+  // §8.3 patches live in the arena's overflow side-table; Save must fold
+  // them into the file so a reload (either mode) sees the patched labels.
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 120, true, 53);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  const VertexId v = g.NumVertices();
+  ASSERT_TRUE(index.InsertVertex(v, {{0, 2}, {7, 1}}).ok());
+  ASSERT_GT(index.labels().SideTableSize(), 0u);
+  ASSERT_TRUE(index.Save(dir_).ok());
+
+  for (bool in_memory : {true, false}) {
+    auto loaded = ISLabelIndex::Load(dir_, in_memory);
+    ASSERT_TRUE(loaded.ok()) << (in_memory ? "IM" : "disk");
+    ISLabelIndex back = std::move(loaded).value();
+    ASSERT_EQ(back.NumVertices(), index.NumVertices());
+    for (auto [s, t] : SampleQueryPairs(g, 60, 13)) {
+      Distance d1 = 0, d2 = 0;
+      ASSERT_TRUE(index.Query(s, t, &d1).ok());
+      ASSERT_TRUE(back.Query(s, t, &d2).ok());
+      ASSERT_EQ(d1, d2);
+    }
+    Distance d1 = 0, d2 = 0;
+    ASSERT_TRUE(index.Query(v, 3, &d1).ok());
+    ASSERT_TRUE(back.Query(v, 3, &d2).ok());
+    EXPECT_EQ(d1, d2);
+  }
+}
+
 TEST_F(IndexIoTest, LoadedIndexSupportsPaths) {
   Graph g = MakeTestGraph(Family::kRMat, 128, true, 7);
   auto built = ISLabelIndex::Build(g, IndexOptions{});

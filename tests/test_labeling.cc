@@ -18,9 +18,10 @@ namespace {
 using testing::Family;
 using testing::MakeTestGraph;
 
-std::vector<LabelEntry> StripVias(std::vector<LabelEntry> label) {
-  for (LabelEntry& e : label) e.via = kInvalidVertex;
-  return label;
+std::vector<LabelEntry> StripVias(LabelView label) {
+  std::vector<LabelEntry> out = label.ToVector();
+  for (LabelEntry& e : out) e.via = kInvalidVertex;
+  return out;
 }
 
 // ---------- Algorithm 4 == Definition 3 (Corollary 1) ----------
@@ -33,10 +34,11 @@ TEST_P(LabelEquivalenceTest, TopDownMatchesDefinition3) {
   Graph g = MakeTestGraph(family, 120, weighted, seed);
   auto hr = BuildHierarchy(g, IndexOptions{});
   ASSERT_TRUE(hr.ok());
-  LabelSet labels = ComputeLabelsTopDown(*hr);
+  LabelArena labels = ComputeLabelsTopDown(*hr);
 
+  Definition3Scratch scratch;  // reused across the sweep (epoch-stamped)
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    std::vector<LabelEntry> oracle = ComputeLabelDefinition3(*hr, v);
+    std::vector<LabelEntry> oracle = ComputeLabelDefinition3(*hr, v, &scratch);
     ASSERT_EQ(labels[v].size(), oracle.size()) << "vertex " << v;
     for (std::size_t i = 0; i < oracle.size(); ++i) {
       EXPECT_EQ(labels[v][i].node, oracle[i].node) << "vertex " << v;
@@ -69,7 +71,7 @@ TEST_P(LabelInvariantTest, SortedSelfEntryAndUpperBound) {
   Graph g = MakeTestGraph(GetParam(), 150, /*weighted=*/true, 5);
   auto hr = BuildHierarchy(g, IndexOptions{});
   ASSERT_TRUE(hr.ok());
-  LabelSet labels = ComputeLabelsTopDown(*hr);
+  LabelArena labels = ComputeLabelsTopDown(*hr);
 
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     // Sorted by ancestor id, unique.
@@ -112,7 +114,7 @@ TEST(Labeling, AncestorSetClosedUnderCorollary1) {
   Graph g = MakeTestGraph(Family::kBarabasiAlbert, 200, false, 7);
   auto hr = BuildHierarchy(g, IndexOptions{});
   ASSERT_TRUE(hr.ok());
-  LabelSet labels = ComputeLabelsTopDown(*hr);
+  LabelArena labels = ComputeLabelsTopDown(*hr);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     std::set<VertexId> expect = {v};
     for (const HierEdge& e : hr->removed_adj[v]) {
@@ -125,12 +127,76 @@ TEST(Labeling, AncestorSetClosedUnderCorollary1) {
   }
 }
 
+// ---------- Parallel labeling (level-parallel Algorithm 4) ----------
+
+class ParallelLabelingTest : public ::testing::TestWithParam<Family> {};
+
+TEST_P(ParallelLabelingTest, ThreadCountDoesNotChangeLabels) {
+  // Within a level every vertex only reads completed upper-level labels
+  // (Corollary 1) and writes a precomputed region, so the arena must be
+  // byte-identical for every thread count.
+  Graph g = MakeTestGraph(GetParam(), 300, /*weighted=*/true, 23);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  const LabelArena serial = ComputeLabelsTopDown(*hr, nullptr, 1);
+  for (std::uint32_t threads : {2u, 4u, 0u}) {
+    const LabelArena parallel = ComputeLabelsTopDown(*hr, nullptr, threads);
+    EXPECT_TRUE(serial == parallel) << "num_threads = " << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ParallelLabelingTest,
+                         ::testing::Values(Family::kErdosRenyi,
+                                           Family::kBarabasiAlbert,
+                                           Family::kRMat, Family::kGrid,
+                                           Family::kStar,
+                                           Family::kDisconnected),
+                         [](const auto& info) {
+                           return testing::FamilyName(info.param);
+                         });
+
+TEST(LabelArenaLayout, SeedCutsPointAtFirstCoreEntry) {
+  Graph g = MakeTestGraph(Family::kRMat, 200, true, 15);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelArena labels = ComputeLabelsTopDown(*hr);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const LabelView label = labels.View(v);
+    std::size_t expect = label.size();
+    for (std::size_t i = 0; i < label.size(); ++i) {
+      if (hr->InCore(label[i].node)) {
+        expect = i;
+        break;
+      }
+    }
+    EXPECT_EQ(labels.SeedStart(v), expect) << "vertex " << v;
+  }
+}
+
+TEST(LabelArenaLayout, SlabIsContiguousAndOffsetsMonotone) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 150, false, 8);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelArena labels = ComputeLabelsTopDown(*hr);
+  const auto& offsets = labels.Offsets();
+  ASSERT_EQ(offsets.size(), static_cast<std::size_t>(g.NumVertices()) + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), labels.SlabSize());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_LE(offsets[v], offsets[v + 1]);
+    // Views alias the slab directly — no per-label storage.
+    EXPECT_EQ(labels.View(v).data(), labels.SlabData() + offsets[v]);
+  }
+  EXPECT_EQ(labels.TotalEntries(), labels.SlabSize());
+  EXPECT_EQ(labels.SlabBytes(), labels.SlabSize() * sizeof(LabelEntry));
+}
+
 // ---------- The paper's worked example (Figures 1-2, Examples 2-4) ----------
 
 TEST(PaperExample, Figure2LabelsExact) {
   using namespace testing;  // kA..kI
   VertexHierarchy h = PaperFullHierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
 
   using L = std::vector<LabelEntry>;
   // Figure 2(b), with vias ignored. One published value is corrected:
@@ -173,7 +239,7 @@ TEST(PaperExample, Figure2LabelsExact) {
 
 TEST(PaperExample, Definition3AgreesOnFigure2) {
   VertexHierarchy h = testing::PaperFullHierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   for (VertexId v = 0; v < 9; ++v) {
     EXPECT_EQ(StripVias(labels[v]),
               StripVias(ComputeLabelDefinition3(h, v)))
@@ -183,7 +249,7 @@ TEST(PaperExample, Definition3AgreesOnFigure2) {
 
 TEST(PaperExample, Example4QueriesViaEquation1) {
   VertexHierarchy h = testing::PaperFullHierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   using testing::kA;
   using testing::kE;
   using testing::kG;
@@ -201,7 +267,7 @@ TEST(PaperExample, Example4QueriesViaEquation1) {
 
 TEST(PaperExample, Example5K2Labels) {
   VertexHierarchy h = testing::PaperK2Hierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   using namespace testing;
   using L = std::vector<LabelEntry>;
   const L expect_c = {{kB, 1}, {kC, 0}};

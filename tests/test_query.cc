@@ -258,7 +258,7 @@ TEST(Query, AugmentingOverflowSurfacesAsStatus) {
 
 TEST(PaperExample, Example6BiDijkstraOnK2Hierarchy) {
   VertexHierarchy h = testing::PaperK2Hierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   QueryEngine engine(&h, LabelProvider(&labels));
   using namespace testing;
 
@@ -290,7 +290,7 @@ TEST(PaperExample, Example6BiDijkstraOnK2Hierarchy) {
 
 TEST(PaperExample, FullHierarchyQueriesExhaustive) {
   VertexHierarchy h = testing::PaperFullHierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   QueryEngine engine(&h, LabelProvider(&labels));
   Graph g = testing::PaperFigure1Graph();
   Distance d;
@@ -341,7 +341,7 @@ TEST(Query, DisabledMuPruningStillExact) {
 // 5 (c-b-e-f) regardless of extraction tie-breaking.
 TEST(PaperExample, MuUpdateCounterexampleCF) {
   VertexHierarchy h = testing::PaperK2Hierarchy();
-  LabelSet labels = ComputeLabelsTopDown(h);
+  LabelArena labels = ComputeLabelsTopDown(h);
   QueryEngine engine(&h, LabelProvider(&labels));
   Distance d = 0;
   ASSERT_TRUE(engine.Query(testing::kC, testing::kF, &d).ok());
@@ -378,6 +378,30 @@ TEST(Query, DiskModeMatchesMemoryMode) {
   }
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+}
+
+// ---------- Arena and nested layouts answer identically ----------
+
+TEST(Query, NestedLayoutMatchesArenaLayout) {
+  // The LabelProvider's nested mode backs the layout A/B benchmark; both
+  // layouts must agree query for query (and with Dijkstra).
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 220, true, 37);
+  auto hr = BuildHierarchy(g, IndexOptions{});
+  ASSERT_TRUE(hr.ok());
+  LabelArena arena = ComputeLabelsTopDown(*hr);
+  LabelSet nested(g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    nested[v] = arena.View(v).ToVector();
+  }
+  QueryEngine arena_engine(&*hr, LabelProvider(&arena));
+  QueryEngine nested_engine(&*hr, LabelProvider(&nested));
+  for (auto [s, t] : SampleQueryPairs(g, 150, 43)) {
+    Distance da = 0, dn = 0;
+    ASSERT_TRUE(arena_engine.Query(s, t, &da).ok());
+    ASSERT_TRUE(nested_engine.Query(s, t, &dn).ok());
+    ASSERT_EQ(da, dn) << "(" << s << "," << t << ")";
+    ASSERT_EQ(da, DijkstraP2P(g, s, t));
+  }
 }
 
 }  // namespace

@@ -292,15 +292,17 @@ TEST_F(StorageTest, LabelStoreRejectsUnsortedLabel) {
 TEST_F(StorageTest, LabelStoreFinishRequiresAllLabels) {
   LabelStoreWriter writer;
   ASSERT_TRUE(writer.Open(Path("labels"), 3, false).ok());
-  ASSERT_TRUE(writer.Add({LabelEntry(1, 1)}).ok());
+  const std::vector<LabelEntry> one = {LabelEntry(1, 1)};
+  ASSERT_TRUE(writer.Add(one).ok());
   EXPECT_TRUE(writer.Finish().IsFailedPrecondition());
 }
 
 TEST_F(StorageTest, LabelStoreDetectsCorruption) {
   LabelStoreWriter writer;
   ASSERT_TRUE(writer.Open(Path("labels"), 2, false).ok());
-  ASSERT_TRUE(writer.Add({LabelEntry(1, 1)}).ok());
-  ASSERT_TRUE(writer.Add({}).ok());
+  const std::vector<LabelEntry> one = {LabelEntry(1, 1)};
+  ASSERT_TRUE(writer.Add(one).ok());
+  ASSERT_TRUE(writer.Add(LabelView()).ok());
   ASSERT_TRUE(writer.Finish().ok());
   // Truncate the file: footer magic lost.
   std::filesystem::resize_file(Path("labels"),

@@ -333,6 +333,56 @@ TEST(Updates, PathQueriesSurviveInserts) {
   testing::AssertValidPath(updated, 64, 32, path, d);
 }
 
+TEST(Updates, OverflowSideTableTracksOnlyTouchedLabels) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 120, true, 21);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  EXPECT_EQ(index.labels().SideTableSize(), 0u);
+
+  // Insert against a below-core neighbor: the new vertex's label is
+  // appended, and the §8.3 closure patches every label that shares an
+  // ancestor with the anchor — all via the side-table, slab untouched.
+  VertexId anchor = kInvalidVertex;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!index.InCore(v)) {
+      anchor = v;
+      break;
+    }
+  }
+  ASSERT_NE(anchor, kInvalidVertex);
+  const VertexId inserted = g.NumVertices();
+  ASSERT_TRUE(index.InsertVertex(inserted, {{anchor, 2}}).ok());
+  EXPECT_TRUE(index.labels().IsPatched(inserted));
+  EXPECT_TRUE(LabelView(index.labels()[inserted]) ==
+              LabelView(std::vector<LabelEntry>{LabelEntry(inserted, 0)}));
+  // The anchor's own label gained the entry for the new vertex.
+  EXPECT_TRUE(index.labels().IsPatched(anchor));
+  ASSERT_NE(FindEntry(index.labels()[anchor], inserted), nullptr);
+  EXPECT_EQ(FindEntry(index.labels()[anchor], inserted)->dist, 2u);
+  // Core labels are trivial and share no ancestors below the core; they
+  // must not have been copied out.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (index.InCore(v)) {
+      EXPECT_FALSE(index.labels().IsPatched(v));
+    }
+  }
+  EXPECT_EQ(index.labels().TotalEntries(),
+            index.labels().SlabSize() +
+                (index.labels().SideTableSize()));  // one new entry per patch
+
+  // Deleting the inserted vertex erases its entries through the same
+  // side-table; labels that never mentioned it stay unpatched.
+  const std::size_t patched_before = index.labels().SideTableSize();
+  ASSERT_TRUE(index.DeleteVertex(inserted).ok());
+  for (VertexId w = 0; w < index.NumVertices(); ++w) {
+    for (const LabelEntry& e : index.labels()[w]) {
+      ASSERT_NE(e.node, inserted);
+    }
+  }
+  EXPECT_EQ(index.labels().SideTableSize(), patched_before);
+}
+
 TEST(Updates, RejectedInDiskMode) {
   Graph g = MakeTestGraph(Family::kPath, 40, false, 1);
   auto built = ISLabelIndex::Build(g, IndexOptions{});
