@@ -7,7 +7,11 @@
 //   * measures in-memory query QPS and p50/p99 latency over the arena
 //     layout, and — unless --no-ab — over the legacy nested layout served
 //     through the same engine (the arena-vs-nested A/B),
-//   * splits latency by the paper's three location types (Table 5), and
+//   * splits latency by the paper's three query location types (Table 5),
+//   * measures multi-threaded serving QPS through the QueryEnginePool at
+//     1/2/4/hw threads, in IM mode and against a disk-resident reload of
+//     the same index (concurrent pread path), checking every concurrent
+//     answer against the single-threaded ones, and
 //   * validates answers against a Dijkstra differential baseline.
 //
 // Results are printed as a table and written as JSON (default
@@ -17,7 +21,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/dijkstra.h"
@@ -86,6 +92,58 @@ LayoutResult MeasureLayout(QueryEngine* engine,
   r.p50_us = Percentile(&lat, 0.50);
   r.p99_us = Percentile(&lat, 0.99);
   return r;
+}
+
+/// Concurrent serving sweep: QPS through the index's QueryEnginePool at
+/// each thread count, all answers checked against `expect` (built single-
+/// threaded). A warmup batch populates the pool before timing.
+struct ConcurrencyResult {
+  std::vector<unsigned> threads;
+  std::vector<double> qps;
+  std::uint64_t mismatches = 0;
+};
+
+std::vector<unsigned> ThreadCounts() {
+  std::vector<unsigned> counts = {1, 2, 4};
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end()) {
+    counts.push_back(hw);
+  }
+  return counts;
+}
+
+ConcurrencyResult MeasureConcurrent(
+    ISLabelIndex* index,
+    const std::vector<std::pair<VertexId, VertexId>>& queries,
+    const std::vector<Distance>& expect) {
+  ConcurrencyResult r;
+  r.threads = ThreadCounts();
+  std::vector<Distance> got;
+  (void)index->QueryBatch(queries, &got, r.threads.back());  // warmup
+  for (unsigned t : r.threads) {
+    WallTimer timer;
+    (void)index->QueryBatch(queries, &got, t);
+    const double secs = timer.ElapsedSeconds();
+    r.qps.push_back(secs > 0 ? static_cast<double>(queries.size()) / secs
+                             : 0.0);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (got[i] != expect[i]) ++r.mismatches;
+    }
+  }
+  return r;
+}
+
+void JsonQpsArray(std::string* out, const char* name,
+                  const ConcurrencyResult& r) {
+  *out += std::string("\"") + name + "\": [";
+  char buf[64];
+  for (std::size_t i = 0; i < r.qps.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", r.qps[i],
+                  i + 1 < r.qps.size() ? ", " : "");
+    *out += buf;
+  }
+  *out += "]";
 }
 
 void JsonLayout(std::string* out, const char* name, const LayoutResult& r) {
@@ -205,16 +263,69 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Multi-threaded serving through the engine pool, answers checked
+    // against the single-threaded engine.
+    std::vector<Distance> expect(queries.size(), kInfDistance);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      (void)arena_engine.Query(queries[i].first, queries[i].second,
+                               &expect[i]);
+    }
+    const ConcurrencyResult conc_im = MeasureConcurrent(&index, queries,
+                                                        expect);
+
+    // Disk-resident leg: reload the saved index with labels on disk so
+    // every query pays its label preads, then run the same sweep.
+    ConcurrencyResult conc_disk;
+    {
+      const std::string dir =
+          (std::filesystem::temp_directory_path() /
+           ("islabel_bench_mt_" + d.name))
+              .string();
+      const Status saved = index.Save(dir);
+      if (saved.ok()) {
+        auto disk = ISLabelIndex::Load(dir, /*labels_in_memory=*/false);
+        if (disk.ok()) {
+          conc_disk = MeasureConcurrent(&disk.value(), queries, expect);
+        } else {
+          std::fprintf(stderr,
+                       "!! disk concurrency leg skipped (%s): load: %s\n",
+                       d.name.c_str(), disk.status().ToString().c_str());
+        }
+      } else {
+        std::fprintf(stderr,
+                     "!! disk concurrency leg skipped (%s): save: %s\n",
+                     d.name.c_str(), saved.ToString().c_str());
+      }
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+
     const double ab_ratio = run_ab && nested.qps > 0 ? arena.qps / nested.qps
                                                      : 0.0;
     std::printf("%-14s %9.0f %9.2f %9.2f %9.0f %8.2fx %8.2f %8.2fx\n",
                 d.name.c_str(), arena.qps, arena.p50_us, arena.p99_us,
                 nested.qps, ab_ratio, build_seconds, labeling_speedup_at_4);
+    std::printf("  mt-QPS");
+    for (std::size_t i = 0; i < conc_im.threads.size(); ++i) {
+      std::printf(" im@%u=%.0f", conc_im.threads[i], conc_im.qps[i]);
+    }
+    for (std::size_t i = 0; i < conc_disk.threads.size(); ++i) {
+      std::printf(" disk@%u=%.0f", conc_disk.threads[i], conc_disk.qps[i]);
+    }
+    std::printf("\n");
     if (mismatches != 0) {
       std::printf("  !! %llu of %zu validated queries mismatch Dijkstra\n",
                   static_cast<unsigned long long>(mismatches), validate);
     }
-    total_mismatches += mismatches;
+    const std::uint64_t conc_mismatches =
+        conc_im.mismatches + conc_disk.mismatches;
+    if (conc_mismatches != 0) {
+      std::printf(
+          "  !! %llu concurrent answers disagree with the single-threaded "
+          "engine\n",
+          static_cast<unsigned long long>(conc_mismatches));
+    }
+    total_mismatches += mismatches + conc_mismatches;
 
     char buf[512];
     if (!first_dataset) json += ",\n";
@@ -234,6 +345,20 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(bs.label_entries),
         static_cast<unsigned long long>(bs.label_bytes), labeling_seconds[0],
         labeling_seconds[1], labeling_seconds[2], labeling_speedup_at_4);
+    json += buf;
+    json += "     \"concurrency\": {\"threads\": [";
+    for (std::size_t i = 0; i < conc_im.threads.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%u%s", conc_im.threads[i],
+                    i + 1 < conc_im.threads.size() ? ", " : "");
+      json += buf;
+    }
+    json += "], ";
+    JsonQpsArray(&json, "im_qps", conc_im);
+    json += ", ";
+    JsonQpsArray(&json, "disk_qps", conc_disk);
+    std::snprintf(buf, sizeof(buf), ", \"mismatches\": %llu},\n",
+                  static_cast<unsigned long long>(conc_im.mismatches +
+                                                  conc_disk.mismatches));
     json += buf;
     json += "     \"layouts\": {\n";
     JsonLayout(&json, "arena", arena);

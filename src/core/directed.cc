@@ -290,8 +290,13 @@ Status DirectedISLabel::Reachable(VertexId s, VertexId t, bool* out) {
 
 Distance DirectedISLabel::BiDijkstra(Distance mu, QueryStats* stats) {
   EnsureScratch();
+  // Epoch wrap (one in 2^32 queries): stamps compare for exact equality,
+  // so an epoch value may not be reused while stale stamps survive —
+  // reset the state and restart the counter. Same invariant as
+  // QueryEngine::ReserveEpochs (query.cc); kept inline here because this
+  // engine's vertex count is fixed at build time (no resize interaction)
+  // and it reserves exactly one epoch per query.
   if (++epoch_ == 0) {
-    // Epoch wrap: reset stamps rather than accept 2^32-query-old state.
     for (auto& side : sides_) side.assign(side.size(), NodeState{});
     epoch_ = 1;
   }

@@ -1,0 +1,33 @@
+#include "core/engine_pool.h"
+
+namespace islabel {
+
+QueryEnginePool::Lease QueryEnginePool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<QueryEngine> engine = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(engine));
+    }
+    ++created_;
+  }
+  // Construction happens outside the lock; the constructor only stores
+  // pointers (scratch is lazily sized at the engine's first query).
+  return Lease(this, std::make_unique<QueryEngine>(hierarchy_, provider_));
+}
+
+void QueryEnginePool::Return(std::unique_ptr<QueryEngine> engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(engine));
+}
+
+void QueryEnginePool::Lease::Release() {
+  if (pool_ != nullptr && engine_ != nullptr) {
+    pool_->Return(std::move(engine_));
+  }
+  pool_ = nullptr;
+  engine_.reset();
+}
+
+}  // namespace islabel

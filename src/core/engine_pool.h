@@ -1,0 +1,97 @@
+// QueryEnginePool: thread-safe engine checkout over a shared index.
+//
+// At query time the hierarchy, the label slab/CSR and the on-disk label
+// store are all immutable shared assets; what is NOT shareable is the
+// QueryEngine, which owns mutable per-query scratch (seed buffers, radix
+// heaps, epoch-stamped search state). The pool closes that gap: Acquire()
+// hands the calling thread an engine of its own — a recycled one when a
+// previous lease returned it, a freshly constructed one otherwise — as an
+// RAII lease that flows the engine back into the free list when it dies.
+// Steady-state serving therefore creates exactly as many engines as the
+// peak number of concurrent queries, and the per-query overhead is one
+// mutex lock/unlock pair on each side of the query.
+//
+// The pool synchronizes engine *ownership*, nothing else: updates (§8.3)
+// and Save/Load still must not run concurrently with queries.
+
+#ifndef ISLABEL_CORE_ENGINE_POOL_H_
+#define ISLABEL_CORE_ENGINE_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/query.h"
+
+namespace islabel {
+
+class QueryEnginePool {
+ public:
+  /// Every engine gets a copy of `provider`; the hierarchy and the
+  /// provider's backing storage (arena or store) must outlive the pool.
+  QueryEnginePool(const VertexHierarchy* hierarchy, LabelProvider provider)
+      : hierarchy_(hierarchy), provider_(provider) {}
+
+  QueryEnginePool(const QueryEnginePool&) = delete;
+  QueryEnginePool& operator=(const QueryEnginePool&) = delete;
+
+  /// RAII engine checkout; movable, returns the engine on destruction.
+  /// A default-constructed Lease is empty (get() == nullptr).
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(QueryEnginePool* pool, std::unique_ptr<QueryEngine> engine)
+        : pool_(pool), engine_(std::move(engine)) {}
+    ~Lease() { Release(); }
+
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_), engine_(std::move(o.engine_)) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      if (this != &o) {
+        Release();
+        pool_ = o.pool_;
+        engine_ = std::move(o.engine_);
+        o.pool_ = nullptr;
+      }
+      return *this;
+    }
+
+    QueryEngine* get() const { return engine_.get(); }
+    QueryEngine* operator->() const { return engine_.get(); }
+    QueryEngine& operator*() const { return *engine_; }
+    explicit operator bool() const { return engine_ != nullptr; }
+
+   private:
+    void Release();
+
+    QueryEnginePool* pool_ = nullptr;
+    std::unique_ptr<QueryEngine> engine_;
+  };
+
+  /// Returns a leased engine. Never blocks on other queries; an engine is
+  /// held by at most one lease at a time.
+  Lease Acquire();
+
+  /// Engines constructed over the pool's lifetime — equals the peak number
+  /// of simultaneous leases observed (diagnostics/tests).
+  std::size_t EnginesCreated() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+
+ private:
+  void Return(std::unique_ptr<QueryEngine> engine);
+
+  const VertexHierarchy* hierarchy_;
+  LabelProvider provider_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<QueryEngine>> free_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CORE_ENGINE_POOL_H_

@@ -1,10 +1,12 @@
 #include "core/index.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
 #include "graph/graph_io.h"
 #include "storage/label_store.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 #include "util/varint.h"
 
@@ -58,17 +60,14 @@ Result<ISLabelIndex> ISLabelIndex::Build(const Graph& g,
   index.build_stats_.level_stats = index.hierarchy_->stats;
   index.deleted_.Resize(index.hierarchy_->NumVertices());
   index.vias_enabled_ = options.keep_vias;
+  index.ResetPool();
   return index;
 }
 
-QueryEngine* ISLabelIndex::Engine() {
-  if (engine_ == nullptr) {
-    LabelProvider provider = store_ != nullptr
-                                 ? LabelProvider(store_.get())
-                                 : LabelProvider(labels_.get());
-    engine_ = std::make_unique<QueryEngine>(hierarchy_.get(), provider);
-  }
-  return engine_.get();
+void ISLabelIndex::ResetPool() {
+  LabelProvider provider = store_ != nullptr ? LabelProvider(store_.get())
+                                             : LabelProvider(labels_.get());
+  pool_ = std::make_unique<QueryEnginePool>(hierarchy_.get(), provider);
 }
 
 Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
@@ -86,7 +85,97 @@ Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
 Status ISLabelIndex::Query(VertexId s, VertexId t, Distance* out,
                            QueryStats* stats) {
   ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
-  return Engine()->Query(s, t, out, stats);
+  QueryEnginePool::Lease lease = pool_->Acquire();
+  return lease->Query(s, t, out, stats);
+}
+
+Status ISLabelIndex::QueryBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    std::vector<Distance>* out, std::uint32_t num_threads,
+    std::vector<Status>* statuses) {
+  if (hierarchy_ == nullptr) {
+    return Status::FailedPrecondition("index not built");
+  }
+  out->assign(pairs.size(), kInfDistance);
+  if (statuses != nullptr) statuses->assign(pairs.size(), Status::OK());
+  if (pairs.empty()) return Status::OK();
+
+  const std::size_t workers = std::min<std::size_t>(
+      EffectiveThreads(num_threads), pairs.size());
+  // One engine lease per worker chunk, so each worker pays the pool mutex
+  // once, not once per query.
+  std::vector<Status> first_error(workers, Status::OK());
+  ParallelForChunks(
+      pairs.size(), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        QueryEnginePool::Lease lease = pool_->Acquire();
+        for (std::size_t i = begin; i < end; ++i) {
+          Status st = CheckQueryable(pairs[i].first, pairs[i].second);
+          if (st.ok()) {
+            st = lease->Query(pairs[i].first, pairs[i].second, &(*out)[i]);
+          }
+          if (!st.ok()) {
+            (*out)[i] = kInfDistance;
+            if (statuses != nullptr) {
+              (*statuses)[i] = std::move(st);
+            } else if (first_error[w].ok()) {
+              first_error[w] = std::move(st);
+            }
+          }
+        }
+      });
+  if (statuses == nullptr) {
+    for (Status& st : first_error) {
+      if (!st.ok()) return std::move(st);
+    }
+  }
+  return Status::OK();
+}
+
+Status ISLabelIndex::QueryOneToMany(VertexId s,
+                                    const std::vector<VertexId>& targets,
+                                    std::vector<Distance>* out,
+                                    QueryStats* stats) {
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, s));
+  for (VertexId t : targets) {
+    ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  }
+  QueryEnginePool::Lease lease = pool_->Acquire();
+  return lease->QueryOneToMany(s, targets, out, stats);
+}
+
+Status ISLabelIndex::QueryManyToMany(const std::vector<VertexId>& sources,
+                                     const std::vector<VertexId>& targets,
+                                     std::vector<Distance>* out,
+                                     std::uint32_t num_threads) {
+  if (hierarchy_ == nullptr) {
+    return Status::FailedPrecondition("index not built");
+  }
+  for (VertexId s : sources) ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, s));
+  for (VertexId t : targets) ISLABEL_RETURN_IF_ERROR(CheckQueryable(t, t));
+  out->assign(sources.size() * targets.size(), kInfDistance);
+  if (sources.empty() || targets.empty()) return Status::OK();
+
+  const std::size_t workers = std::min<std::size_t>(
+      EffectiveThreads(num_threads), sources.size());
+  std::vector<Status> first_error(workers, Status::OK());
+  ParallelForChunks(
+      sources.size(), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        QueryEnginePool::Lease lease = pool_->Acquire();
+        for (std::size_t i = begin; i < end; ++i) {
+          Status st = lease->QueryOneToMany(sources[i], targets.data(),
+                                            targets.size(),
+                                            out->data() + i * targets.size());
+          if (!st.ok() && first_error[w].ok()) {
+            first_error[w] = std::move(st);
+          }
+        }
+      });
+  for (Status& st : first_error) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
 }
 
 void ISLabelIndex::RebuildCore(EdgeList edges) {
@@ -101,7 +190,7 @@ void ISLabelIndex::RebuildCore(EdgeList edges) {
     }
   }
   hierarchy_->stats.back().num_edges = hierarchy_->g_k.NumEdges();
-  ResetEngine();
+  ResetPool();
 }
 
 Status ISLabelIndex::Save(const std::string& dir) const {
@@ -216,6 +305,7 @@ Result<ISLabelIndex> ISLabelIndex::Load(const std::string& dir,
   index.build_stats_.k = k;
   index.build_stats_.core_vertices = core_vertices;
   index.build_stats_.core_edges = index.hierarchy_->g_k.NumEdges();
+  index.ResetPool();
   return index;
 }
 

@@ -7,6 +7,13 @@
 // Save()/Load() persist the index with disk-resident labels, reproducing
 // the paper's disk-based query mode (one label I/O per endpoint); Load()
 // with labels_in_memory = true is the paper's IM-ISL.
+//
+// Query serving is concurrent: the hierarchy and labels are immutable at
+// query time and every query entry point leases a private QueryEngine from
+// an internal QueryEnginePool, so any number of threads may call Query /
+// ShortestPath / the batched APIs on one index simultaneously (both IM and
+// disk-resident modes). Updates and Save/Load are NOT safe to run
+// concurrently with queries — quiesce traffic first.
 
 #ifndef ISLABEL_CORE_INDEX_H_
 #define ISLABEL_CORE_INDEX_H_
@@ -16,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine_pool.h"
 #include "core/hierarchy.h"
 #include "core/label_arena.h"
 #include "core/labeling.h"
@@ -42,8 +50,8 @@ struct BuildStats {
 };
 
 /// Exact point-to-point distance index (undirected). Movable, not copyable.
-/// Queries are not thread-safe (each carries reusable scratch); build one
-/// index per thread or guard externally.
+/// All query entry points are thread-safe (engines come from an internal
+/// pool); updates and persistence must not overlap with queries.
 class ISLabelIndex {
  public:
   ISLabelIndex() = default;
@@ -56,14 +64,47 @@ class ISLabelIndex {
                                     const IndexOptions& options = {});
 
   /// Exact distance from s to t; kInfDistance if disconnected.
+  /// Thread-safe.
   Status Query(VertexId s, VertexId t, Distance* out,
                QueryStats* stats = nullptr);
 
   /// Exact shortest path (sequence of original-graph vertices, s first,
   /// t last). Requires the index to have been built with keep_vias.
   /// Outputs an empty path and kInfDistance when disconnected.
+  /// Thread-safe.
   Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
                       Distance* dist);
+
+  // ---- Batched queries ----
+
+  /// Answers every (s, t) pair, parallelized over the engine pool with
+  /// `num_threads` workers (0 = hardware concurrency). out->size() ==
+  /// pairs.size(); pairs that fail individually (deleted endpoint, id out
+  /// of range) get kInfDistance in *out and their error in *statuses when
+  /// provided — otherwise the first per-pair error becomes the return
+  /// value (the batch still completes). Thread-safe.
+  Status QueryBatch(const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                    std::vector<Distance>* out, std::uint32_t num_threads = 0,
+                    std::vector<Status>* statuses = nullptr);
+
+  /// Distances from s to every target on one engine, fetching label(s) and
+  /// seeding its forward search once for the whole batch (the shared
+  /// "forward ball" — see QueryEngine::QueryOneToMany). All endpoints are
+  /// validated up front; any deleted/out-of-range endpoint fails the whole
+  /// call. Thread-safe.
+  Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
+                        std::vector<Distance>* out,
+                        QueryStats* stats = nullptr);
+
+  /// The kNN-style rectangle: out is row-major |sources| x |targets|,
+  /// (*out)[i * targets.size() + j] = d(sources[i], targets[j]). Rows run
+  /// in parallel over the pool (`num_threads` workers, 0 = hardware
+  /// concurrency), each row reusing its source's forward ball.
+  /// Thread-safe.
+  Status QueryManyToMany(const std::vector<VertexId>& sources,
+                         const std::vector<VertexId>& targets,
+                         std::vector<Distance>* out,
+                         std::uint32_t num_threads = 0);
 
   // ---- Update maintenance (§8.3; implemented in updates.cc) ----
 
@@ -76,7 +117,8 @@ class ISLabelIndex {
   /// Deletes a vertex per the paper's lazy scheme. Exact when the vertex is
   /// in G_k and appears in no label; otherwise distances involving paths
   /// through it may become stale until the index is rebuilt (the paper's
-  /// "rebuild periodically").
+  /// "rebuild periodically"). Queries naming the deleted vertex itself as
+  /// an endpoint fail with NotFound in every mode.
   Status DeleteVertex(VertexId v);
 
   bool IsDeleted(VertexId v) const {
@@ -109,12 +151,17 @@ class ISLabelIndex {
   /// True iff the index carries intermediate vertices for path queries
   /// (IndexOptions::keep_vias at build time; persisted across Save/Load).
   bool has_vias() const { return vias_enabled_; }
+  /// The engine pool behind the query entry points — for callers that want
+  /// to hold a lease across many queries (serve loops, benches).
+  QueryEnginePool* engine_pool() { return pool_.get(); }
 
  private:
   friend class PathReconstructor;
 
-  QueryEngine* Engine();
-  void ResetEngine() { engine_.reset(); }
+  /// (Re)creates the engine pool over the current hierarchy/labels; called
+  /// eagerly at Build/Load and after every update, so the query entry
+  /// points never construct shared state lazily (and thus never race).
+  void ResetPool();
   Status CheckQueryable(VertexId s, VertexId t) const;
 
   // Rebuilds the G_k CSR from an edge list after an update (updates.cc).
@@ -123,7 +170,7 @@ class ISLabelIndex {
   std::unique_ptr<VertexHierarchy> hierarchy_;
   std::unique_ptr<LabelArena> labels_ = std::make_unique<LabelArena>();
   std::unique_ptr<LabelStore> store_;
-  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<QueryEnginePool> pool_;
   BuildStats build_stats_;
   BitVector deleted_;
   bool vias_enabled_ = true;

@@ -122,10 +122,11 @@ Status ISLabelIndex::ShortestPath(VertexId s, VertexId t,
     return Status::FailedPrecondition(
         "index was built without vias (IndexOptions::keep_vias)");
   }
+  QueryEnginePool::Lease lease = pool_->Acquire();
   PathCapture capture;
-  ISLABEL_RETURN_IF_ERROR(Engine()->DistanceWithCapture(s, t, &capture));
+  ISLABEL_RETURN_IF_ERROR(lease->DistanceWithCapture(s, t, &capture));
   *dist = capture.dist;
-  PathReconstructor reconstructor(Engine());
+  PathReconstructor reconstructor(lease.get());
   return reconstructor.Reconstruct(s, t, capture, path);
 }
 

@@ -1,6 +1,7 @@
 #include "core/query.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/timer.h"
 
@@ -47,8 +48,23 @@ QueryEngine::QueryEngine(const VertexHierarchy* hierarchy,
 void QueryEngine::EnsureScratch() {
   const std::size_t n = h_->level.size();
   for (auto& side : sides_) {
+    // assign (not resize) on any size change: it rewrites every element,
+    // so a grown vector can never carry stamps from before the growth.
+    // ReserveEpochs' wrap reset relies on this — after a resize all
+    // stamps are 0, an epoch value the counter never produces.
     if (side.size() != n) side.assign(n, NodeState{});
   }
+}
+
+void QueryEngine::ReserveEpochs(std::uint64_t count) {
+  // Stamps compare for exact equality against the epoch, so an epoch
+  // value may not be reused while stamps from its previous lifetime
+  // survive. When the requested bumps would wrap the 32-bit counter (one
+  // in 2^32 queries), wipe the search state and restart from 0 (the first
+  // bump hands out 1; default-constructed stamps are 0 and stay invalid).
+  if (count <= std::numeric_limits<std::uint32_t>::max() - epoch_) return;
+  for (auto& side : sides_) side.assign(side.size(), NodeState{});
+  epoch_ = 0;
 }
 
 Status QueryEngine::Query(VertexId s, VertexId t, Distance* out,
@@ -157,25 +173,114 @@ Status QueryEngine::Run(VertexId s, VertexId t, Distance* out,
   return Status::OK();
 }
 
+Status QueryEngine::QueryOneToMany(VertexId s, const VertexId* targets,
+                                   std::size_t num_targets, Distance* out,
+                                   QueryStats* stats) {
+  const VertexId n = h_->NumVertices();
+  if (s >= n) return Status::OutOfRange("query vertex id out of range");
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    if (targets[i] >= n) {
+      return Status::OutOfRange("query vertex id out of range");
+    }
+  }
+  if (stats != nullptr) *stats = QueryStats{};
+  if (num_targets == 0) return Status::OK();
+
+  // label(s) is fetched and its Algorithm 1 seeds extracted exactly once.
+  // The view stays valid for the whole batch: the arena slab is immutable
+  // and the disk decode lands in fetch_[0], which only this side uses.
+  std::uint64_t ios = 0;
+  LabelView label_s;
+  std::uint32_t cut_s = 0;
+  if (h_->InCore(s)) {
+    self_[0] = LabelEntry(s, 0);
+    label_s = LabelView(&self_[0], 1);
+  } else {
+    ISLABEL_RETURN_IF_ERROR(
+        provider_.View(s, &label_s, &fetch_[0], &ios, &cut_s));
+  }
+  seeds_[0].clear();
+  for (std::size_t i = cut_s; i < label_s.size(); ++i) {
+    if (h_->InCore(label_s[i].node)) seeds_[0].push_back(label_s[i]);
+  }
+
+  EnsureScratch();
+  // One epoch for the shared forward ball plus one per target's reverse
+  // search; reserving them up front keeps a wrap from wiping the warm
+  // forward state mid-batch.
+  ReserveEpochs(static_cast<std::uint64_t>(num_targets) + 1);
+  const std::uint32_t fwd_epoch = ++epoch_;
+  pq_[0].Clear();
+  for (const LabelEntry& e : seeds_[0]) {
+    NodeState& node = sides_[0][e.node];
+    node.dist = e.dist;
+    node.stamp = fwd_epoch;
+    node.parent = kInvalidVertex;
+    node.parent_via = kInvalidVertex;
+    pq_[0].Push(e.node, e.dist);
+  }
+
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    const VertexId t = targets[i];
+    if (t == s) {
+      out[i] = 0;
+      continue;
+    }
+    LabelView label_t;
+    std::uint32_t cut_t = 0;
+    if (h_->InCore(t)) {
+      self_[1] = LabelEntry(t, 0);
+      label_t = LabelView(&self_[1], 1);
+    } else {
+      ISLABEL_RETURN_IF_ERROR(
+          provider_.View(t, &label_t, &fetch_[1], &ios, &cut_t));
+    }
+    const Eq1Result eq1 = EvaluateEq1(label_s, label_t);
+    seeds_[1].clear();
+    for (std::size_t j = cut_t; j < label_t.size(); ++j) {
+      if (h_->InCore(label_t[j].node)) seeds_[1].push_back(label_t[j]);
+    }
+    if (seeds_[0].empty() || seeds_[1].empty()) {
+      out[i] = eq1.dist;  // Type 1: Equation 1 is the answer (Theorem 3).
+      continue;
+    }
+    const std::uint32_t rev_epoch = ++epoch_;
+    pq_[1].Clear();
+    Distance best = disable_mu_pruning_ ? kInfDistance : eq1.dist;
+    for (const LabelEntry& e : seeds_[1]) {
+      NodeState& node = sides_[1][e.node];
+      node.dist = e.dist;
+      node.stamp = rev_epoch;
+      node.parent = kInvalidVertex;
+      node.parent_via = kInvalidVertex;
+      pq_[1].Push(e.node, e.dist);
+      // Seed-time µ check against the warm forward ball. Forward vertices
+      // settled while serving an earlier target did their relax-time µ
+      // checks against THAT target's reverse epoch; a shortest path ending
+      // at this seed must therefore be counted here (or by a reverse
+      // expansion that reaches a forward-stamped vertex) — without this
+      // the stop rule can fire early against the inflated forward
+      // frontier. Not just pruning: correctness of the warm restart.
+      const NodeState& fwd = sides_[0][e.node];
+      if (fwd.stamp == fwd_epoch) {
+        const Distance cand = SatAdd(e.dist, fwd.dist);
+        if (cand < best) best = cand;
+      }
+    }
+    if (stats != nullptr) stats->used_search = true;
+    Distance d = SearchLoop(best, fwd_epoch, rev_epoch, stats, nullptr);
+    if (disable_mu_pruning_ && eq1.dist < d) d = eq1.dist;
+    out[i] = d;
+  }
+  if (stats != nullptr) stats->label_ios = ios;
+  return Status::OK();
+}
+
 Distance QueryEngine::BiDijkstra(Distance mu, QueryStats* stats,
                                  PathCapture* capture) {
   EnsureScratch();
-  if (++epoch_ == 0) {
-    // Epoch wrap (one in 2^32 queries): stamps from 2^32 queries ago would
-    // read as current — reset the search state instead.
-    for (auto& side : sides_) side.assign(side.size(), NodeState{});
-    epoch_ = 1;
-  }
-  const std::uint32_t epoch = epoch_;
-  const Graph& gk = h_->g_k;
-
-  auto dist_of = [&](int side, VertexId v) -> Distance {
-    const NodeState& node = sides_[side][v];
-    return node.stamp == epoch ? node.dist : kInfDistance;
-  };
-  auto is_settled = [&](int side, VertexId v) {
-    return sides_[side][v].settled_stamp == epoch;
-  };
+  ReserveEpochs(1);
+  const std::uint32_t epoch = ++epoch_;
 
   // Engine-owned monotone radix heaps (bucket capacity persists across
   // queries; Clear() just resets them).
@@ -184,18 +289,35 @@ Distance QueryEngine::BiDijkstra(Distance mu, QueryStats* stats,
 
   auto seed_side = [&](int side) {
     for (const LabelEntry& e : seeds_[side]) {
-      if (e.dist < dist_of(side, e.node)) {
-        NodeState& node = sides_[side][e.node];
-        node.dist = e.dist;
-        node.stamp = epoch;
-        node.parent = kInvalidVertex;  // marks "label seed"
-        node.parent_via = kInvalidVertex;
-        pq_[side].Push(e.node, e.dist);
-      }
+      NodeState& node = sides_[side][e.node];
+      // Label entries are unique per ancestor, so a fresh epoch sees each
+      // node at most once.
+      node.dist = e.dist;
+      node.stamp = epoch;
+      node.parent = kInvalidVertex;  // marks "label seed"
+      node.parent_via = kInvalidVertex;
+      pq_[side].Push(e.node, e.dist);
     }
   };
   seed_side(0);
   seed_side(1);
+
+  return SearchLoop(mu, epoch, epoch, stats, capture);
+}
+
+Distance QueryEngine::SearchLoop(Distance mu, std::uint32_t fwd_epoch,
+                                 std::uint32_t rev_epoch, QueryStats* stats,
+                                 PathCapture* capture) {
+  const Graph& gk = h_->g_k;
+  const std::uint32_t ep[2] = {fwd_epoch, rev_epoch};
+
+  auto dist_of = [&](int side, VertexId v) -> Distance {
+    const NodeState& node = sides_[side][v];
+    return node.stamp == ep[side] ? node.dist : kInfDistance;
+  };
+  auto is_settled = [&](int side, VertexId v) {
+    return sides_[side][v].settled_stamp == ep[side];
+  };
 
   Distance best = mu;
   VertexId meet = kInvalidVertex;
@@ -226,7 +348,7 @@ Distance QueryEngine::BiDijkstra(Distance mu, QueryStats* stats,
     const int side = (mf <= mr) ? 0 : 1;
     const int opp = 1 - side;
     const auto [v, d] = pq_[side].PopMin();
-    sides_[side][v].settled_stamp = epoch;
+    sides_[side][v].settled_stamp = ep[side];
     if (stats != nullptr) ++stats->settled;
 
     // µ tightening. NOTE (deviation from the paper, documented in
@@ -252,10 +374,10 @@ Distance QueryEngine::BiDijkstra(Distance mu, QueryStats* stats,
       const Distance nd = d + ws[i];
       if (stats != nullptr) ++stats->relaxed;
       NodeState& node = sides_[side][u];
-      Distance du = node.stamp == epoch ? node.dist : kInfDistance;
+      Distance du = node.stamp == ep[side] ? node.dist : kInfDistance;
       if (nd < du) {
         node.dist = nd;
-        node.stamp = epoch;
+        node.stamp = ep[side];
         node.parent = v;
         node.parent_via = vias ? gk.NeighborVias(v)[i] : kInvalidVertex;
         pq_[side].Push(u, nd);

@@ -120,6 +120,24 @@ class QueryEngine {
   Status DistanceWithCapture(VertexId s, VertexId t, PathCapture* capture,
                              QueryStats* stats = nullptr);
 
+  /// One-to-many: distances from s to every target (out[i] = d(s,
+  /// targets[i])). label(s) is fetched and its Algorithm 1 seeds extracted
+  /// once, and the forward bi-Dijkstra state (the "forward ball") is a
+  /// single Dijkstra shared by all targets — it only ever grows, so work
+  /// spent expanding from s amortizes across the batch. `stats` (optional)
+  /// receives aggregate counters (label_ios/settled/relaxed summed over
+  /// the batch; location/intersection fields are not meaningful here).
+  Status QueryOneToMany(VertexId s, const VertexId* targets,
+                        std::size_t num_targets, Distance* out,
+                        QueryStats* stats = nullptr);
+  Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
+                        std::vector<Distance>* out,
+                        QueryStats* stats = nullptr) {
+    out->assign(targets.size(), kInfDistance);
+    return QueryOneToMany(s, targets.data(), targets.size(), out->data(),
+                          stats);
+  }
+
   /// Ablation hook (bench_ablation_pruning): when true, the bi-Dijkstra
   /// starts with µ = ∞ instead of the Equation-1 bound; answers stay exact
   /// (the final result still takes min with Equation 1) but the search
@@ -128,6 +146,10 @@ class QueryEngine {
 
   const VertexHierarchy& hierarchy() const { return *h_; }
 
+  /// Test hook: plants the epoch counter so the wrap path (one in 2^32
+  /// queries) can be exercised deterministically.
+  void SetEpochForTesting(std::uint32_t epoch) { epoch_ = epoch; }
+
  private:
   Status Run(VertexId s, VertexId t, Distance* out, QueryStats* stats,
              PathCapture* capture);
@@ -135,7 +157,18 @@ class QueryEngine {
   /// Algorithm 1 stage 2, over the engine-owned seeds_[01]_ buffers.
   Distance BiDijkstra(Distance mu, QueryStats* stats, PathCapture* capture);
 
+  /// The Algorithm 1 search loop with independent per-side epochs — the
+  /// one-to-many path keeps the forward side warm across targets.
+  Distance SearchLoop(Distance mu, std::uint32_t fwd_epoch,
+                      std::uint32_t rev_epoch, QueryStats* stats,
+                      PathCapture* capture);
+
   void EnsureScratch();
+  /// Guarantees the next `count` epoch bumps cannot wrap the 32-bit
+  /// counter (stamps compare for exact equality, so an epoch value may
+  /// never be reused while stale stamps survive). Call after
+  /// EnsureScratch so a reset covers the full — possibly grown — range.
+  void ReserveEpochs(std::uint64_t count);
   void TraceSide(int side, VertexId meet, const LabelEntry* seeds_begin,
                  std::size_t seeds_count, LabelEntry* seed_out,
                  std::vector<PathStep>* steps_out) const;

@@ -133,7 +133,7 @@ Status ISLabelIndex::DeleteVertex(VertexId v) {
     }
     RebuildCore(std::move(rebuilt));
   } else {
-    ResetEngine();
+    ResetPool();
   }
   return Status::OK();
 }

@@ -1,6 +1,9 @@
 #include "storage/block_file.h"
 
-#include <algorithm>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 
@@ -9,98 +12,138 @@ namespace islabel {
 Status BlockFile::Open(const std::string& path, bool truncate,
                        std::size_t block_size) {
   Close();
-  file_ = std::fopen(path.c_str(), truncate ? "w+b" : "r+b");
-  if (file_ == nullptr && !truncate) {
-    // Allow opening a not-yet-existing file for read/write.
-    file_ = std::fopen(path.c_str(), "w+b");
-  }
-  if (file_ == nullptr) {
+  const int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
     return Status::IOError("open failed: " + path + ": " +
                            std::strerror(errno));
   }
   path_ = path;
   block_size_ = block_size;
-  std::fseek(file_, 0, SEEK_END);
-  file_size_ = static_cast<std::uint64_t>(std::ftell(file_));
-  next_sequential_read_ = UINT64_MAX;
-  next_sequential_write_ = UINT64_MAX;
-  stats_.Clear();
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError("stat failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+  file_size_.store(static_cast<std::uint64_t>(st.st_size),
+                   std::memory_order_relaxed);
+  ResetStats();
   return Status::OK();
 }
 
+void BlockFile::ResetStats() {
+  next_sequential_read_.store(UINT64_MAX, std::memory_order_relaxed);
+  next_sequential_write_.store(UINT64_MAX, std::memory_order_relaxed);
+  block_reads_.store(0, std::memory_order_relaxed);
+  block_writes_.store(0, std::memory_order_relaxed);
+  bytes_read_.store(0, std::memory_order_relaxed);
+  bytes_written_.store(0, std::memory_order_relaxed);
+  seeks_.store(0, std::memory_order_relaxed);
+}
+
 void BlockFile::Close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
   }
 }
 
 void BlockFile::Account(std::uint64_t offset, std::size_t n, bool is_write) {
   const std::uint64_t blocks =
       (offset % block_size_ + n + block_size_ - 1) / block_size_;
-  std::uint64_t& next_seq =
+  std::atomic<std::uint64_t>& next_seq =
       is_write ? next_sequential_write_ : next_sequential_read_;
-  if (offset != next_seq) ++stats_.seeks;
-  next_seq = offset + n;
-  if (is_write) {
-    stats_.block_writes += blocks;
-    stats_.bytes_written += n;
-  } else {
-    stats_.block_reads += blocks;
-    stats_.bytes_read += n;
+  // exchange (not load+store) so two interleaved readers cannot both
+  // claim the same continuation offset; the classification stays
+  // approximate under concurrency but the counter never loses updates.
+  if (next_seq.exchange(offset + n, std::memory_order_relaxed) != offset) {
+    seeks_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (is_write) {
+    block_writes_.fetch_add(blocks, std::memory_order_relaxed);
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  } else {
+    block_reads_.fetch_add(blocks, std::memory_order_relaxed);
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+Status BlockFile::PReadFull(std::uint64_t offset, void* dst, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r =
+        ::pread(fd_, static_cast<char*>(dst) + done, n - done,
+                static_cast<off_t>(offset + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read failed: " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("short read: " + path_);
+    done += static_cast<std::size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status BlockFile::PWriteFull(std::uint64_t offset, const void* data,
+                             std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w =
+        ::pwrite(fd_, static_cast<const char*>(data) + done, n - done,
+                 static_cast<off_t>(offset + done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("write failed: " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(w);
+  }
+  return Status::OK();
 }
 
 Status BlockFile::Append(const void* data, std::size_t n,
                          std::uint64_t* offset) {
-  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
-    return Status::IOError("seek failed: " + path_);
-  }
-  std::uint64_t at = static_cast<std::uint64_t>(std::ftell(file_));
-  if (std::fwrite(data, 1, n, file_) != n) {
-    return Status::IOError("append failed: " + path_);
-  }
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t at = file_size_.load(std::memory_order_relaxed);
+  ISLABEL_RETURN_IF_ERROR(PWriteFull(at, data, n));
   Account(at, n, /*is_write=*/true);
-  file_size_ = at + n;
+  file_size_.store(at + n, std::memory_order_relaxed);
   if (offset != nullptr) *offset = at;
   return Status::OK();
 }
 
 Status BlockFile::ReadAt(std::uint64_t offset, void* dst, std::size_t n) {
-  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
-  if (offset + n > file_size_) {
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  if (offset + n > file_size_.load(std::memory_order_relaxed)) {
     return Status::OutOfRange("read past EOF in " + path_);
   }
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError("seek failed: " + path_);
-  }
-  if (std::fread(dst, 1, n, file_) != n) {
-    return Status::IOError("short read: " + path_);
-  }
+  ISLABEL_RETURN_IF_ERROR(PReadFull(offset, dst, n));
   Account(offset, n, /*is_write=*/false);
   return Status::OK();
 }
 
 Status BlockFile::WriteAt(std::uint64_t offset, const void* data,
                           std::size_t n) {
-  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError("seek failed: " + path_);
-  }
-  if (std::fwrite(data, 1, n, file_) != n) {
-    return Status::IOError("write failed: " + path_);
-  }
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  std::lock_guard<std::mutex> lock(mu_);
+  ISLABEL_RETURN_IF_ERROR(PWriteFull(offset, data, n));
   Account(offset, n, /*is_write=*/true);
-  file_size_ = std::max(file_size_, offset + n);
+  std::uint64_t size = file_size_.load(std::memory_order_relaxed);
+  if (offset + n > size) {
+    file_size_.store(offset + n, std::memory_order_relaxed);
+  }
   return Status::OK();
 }
 
 Status BlockFile::Flush() {
-  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("flush failed: " + path_);
-  }
+  if (fd_ < 0) return Status::FailedPrecondition("file not open");
+  // pwrite lands directly in the OS page cache — there is no user-space
+  // buffer to drain (the stdio-era behavior this preserves). Durability
+  // (fsync) has never been part of the contract.
   return Status::OK();
 }
 

@@ -168,9 +168,19 @@ Status LabelStore::GetLabel(VertexId v, std::vector<LabelEntry>* out) {
   const std::uint64_t lo = offsets_[v], hi = offsets_[v + 1];
   out->clear();
   if (lo == hi) return Status::OK();
-  std::vector<char> raw(static_cast<std::size_t>(hi - lo));
-  ISLABEL_RETURN_IF_ERROR(file_.ReadAt(lo, raw.data(), raw.size()));
-  return DecodeLabel(raw.data(), raw.size(), out);
+  // Typical labels are tens-to-hundreds of delta-varint bytes; a stack
+  // buffer keeps the concurrent query hot path allocation-free, with a
+  // heap fallback for outlier labels.
+  const std::size_t len = static_cast<std::size_t>(hi - lo);
+  char stack_buf[4096];
+  std::vector<char> heap_buf;
+  char* raw = stack_buf;
+  if (len > sizeof(stack_buf)) {
+    heap_buf.resize(len);
+    raw = heap_buf.data();
+  }
+  ISLABEL_RETURN_IF_ERROR(file_.ReadAt(lo, raw, len));
+  return DecodeLabel(raw, len, out);
 }
 
 Status LabelStore::LoadAll(std::vector<std::vector<LabelEntry>>* labels) {

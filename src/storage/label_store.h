@@ -67,7 +67,11 @@ class LabelStore {
   VertexId num_vertices() const { return num_vertices_; }
   bool store_vias() const { return store_vias_; }
 
-  /// Reads label(v) from disk with a single positioned read.
+  /// Reads label(v) from disk with a single positioned read. Safe to call
+  /// concurrently from many threads after Open(): the offset table is
+  /// immutable, BlockFile reads are positioned (pread), and the decode
+  /// lands in the caller-owned scratch — this is what lets one store back
+  /// every engine of a QueryEnginePool in disk-resident mode.
   Status GetLabel(VertexId v, std::vector<LabelEntry>* out);
 
   /// Total byte size of the entry region — the paper's "Label size" column.

@@ -23,6 +23,30 @@ inline unsigned EffectiveThreads(std::uint32_t requested) {
   return hw != 0 ? hw : 1;
 }
 
+/// Calls fn(worker, begin, end) for each of `workers` static contiguous
+/// chunks of [0, n) — the chunk-level primitive behind ParallelFor, for
+/// callers that carry per-worker state across a whole chunk (one leased
+/// query engine per worker, accumulators, ...). `workers` is clamped to
+/// [1, n]; chunk 0 runs on the calling thread. fn must not throw.
+template <typename Fn>
+void ParallelForChunks(std::size_t n, std::size_t workers, Fn&& fn) {
+  if (n == 0) return;
+  workers = std::min(std::max<std::size_t>(workers, 1), n);
+  if (workers == 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    pool.emplace_back([&fn, n, workers, w] {
+      fn(w, n * w / workers, n * (w + 1) / workers);
+    });
+  }
+  fn(std::size_t{0}, std::size_t{0}, n / workers);
+  for (std::thread& t : pool) t.join();
+}
+
 /// Calls fn(i) for every i in [0, n), split across `num_threads` workers
 /// (0 = hardware concurrency). Runs inline when one worker suffices. fn
 /// must not throw. `min_items_per_worker` caps the worker count for small
@@ -36,22 +60,10 @@ void ParallelFor(std::size_t n, std::uint32_t num_threads, Fn&& fn,
     workers = std::min(workers,
                        std::max<std::size_t>(1, n / min_items_per_worker));
   }
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(workers - 1);
-  auto run_chunk = [&fn, n, workers](std::size_t w) {
-    const std::size_t begin = n * w / workers;
-    const std::size_t end = n * (w + 1) / workers;
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-  };
-  for (std::size_t w = 1; w < workers; ++w) {
-    pool.emplace_back(run_chunk, w);
-  }
-  run_chunk(0);
-  for (std::thread& t : pool) t.join();
+  ParallelForChunks(n, workers,
+                    [&fn](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) fn(i);
+                    });
 }
 
 }  // namespace islabel

@@ -380,6 +380,92 @@ TEST(Query, DiskModeMatchesMemoryMode) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// ---------- Epoch wrap across a vertex-count resize ----------
+
+// The per-vertex search state is epoch-stamped and never cleared in bulk;
+// correctness across the 32-bit epoch wrap relies on EnsureScratch fully
+// rewriting the state on any resize (grown regions must never carry old
+// stamps once the counter cycles back over their values). This forces the
+// counter to wrap right after InsertVertex grows the vertex count, on an
+// engine that survives the growth.
+TEST(EpochWrap, QueriesStayExactAcrossInsertAndWrap) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 150, true, 9);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  // An engine of our own, NOT reset by the index's update path.
+  QueryEngine engine(&index.hierarchy(), LabelProvider(&index.labels()));
+  engine.SetEpochForTesting(std::numeric_limits<std::uint32_t>::max() - 3);
+
+  // Stamp search state near the wrap at the pre-insert size.
+  auto pairs = SampleQueryPairs(g, 8, 77);
+  for (auto [s, t] : pairs) {
+    Distance d = 0;
+    ASSERT_TRUE(engine.Query(s, t, &d).ok());
+    ASSERT_EQ(d, DijkstraP2P(g, s, t));
+  }
+
+  // Grow the vertex count; the engine's scratch resizes at its next query
+  // and the epoch counter wraps within the following few queries.
+  const VertexId v = index.NumVertices();
+  ASSERT_TRUE(index.InsertVertex(v, {{3, 2}, {10, 5}}).ok());
+  EdgeList updated = g.ToEdgeList();
+  updated.EnsureVertices(v + 1);
+  updated.Add(v, 3, 2);
+  updated.Add(v, 10, 5);
+  Graph g2 = Graph::FromEdgeList(std::move(updated));
+
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    for (auto [s, t] : SampleQueryPairs(g2, 6, 101 + round)) {
+      Distance d = 0;
+      ASSERT_TRUE(engine.Query(s, t, &d).ok());
+      ASSERT_EQ(d, DijkstraP2P(g2, s, t)) << "(" << s << "," << t << ")";
+    }
+    Distance d = 0;
+    ASSERT_TRUE(engine.Query(0, v, &d).ok());
+    ASSERT_EQ(d, DijkstraP2P(g2, 0, v));
+  }
+
+  // The one-to-many path reserves one epoch per target; a batch larger
+  // than the remaining epoch space must trigger the reset, not reuse
+  // stamps.
+  engine.SetEpochForTesting(std::numeric_limits<std::uint32_t>::max() - 2);
+  std::vector<VertexId> targets;
+  for (VertexId t = 0; t < g2.NumVertices(); t += 7) targets.push_back(t);
+  std::vector<Distance> out;
+  ASSERT_TRUE(engine.QueryOneToMany(5, targets, &out).ok());
+  SsspResult sssp = DijkstraSssp(g2, 5);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    ASSERT_EQ(out[i], sssp.dist[targets[i]]) << "t=" << targets[i];
+  }
+}
+
+// ---------- One-to-many matches the single-query engine ----------
+
+TEST(Query, OneToManyMatchesSingleQueries) {
+  Graph g = MakeTestGraph(Family::kRMat, 256, true, 57);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  QueryEngine engine(&index.hierarchy(), LabelProvider(&index.labels()));
+  Rng rng(3);
+  const VertexId n = index.NumVertices();
+  for (int round = 0; round < 8; ++round) {
+    const VertexId s = static_cast<VertexId>(rng.Uniform(n));
+    std::vector<VertexId> targets;
+    for (int j = 0; j < 50; ++j) {
+      targets.push_back(static_cast<VertexId>(rng.Uniform(n)));
+    }
+    std::vector<Distance> got;
+    ASSERT_TRUE(engine.QueryOneToMany(s, targets, &got).ok());
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      ASSERT_EQ(got[j], DijkstraP2P(g, s, targets[j]))
+          << "s=" << s << " t=" << targets[j];
+    }
+  }
+}
+
 // ---------- Arena and nested layouts answer identically ----------
 
 TEST(Query, NestedLayoutMatchesArenaLayout) {

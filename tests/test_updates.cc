@@ -199,6 +199,101 @@ TEST(Delete, EndpointErrorsAfterDelete) {
   EXPECT_TRUE(index.ShortestPath(5, 1, &path, &d).IsNotFound());
 }
 
+// Deleted endpoints must error in EVERY serving mode — the freshly built
+// index, an in-memory reload, a disk-resident reload, and each batched
+// entry point — not just the in-memory fast path.
+TEST(Delete, EndpointErrorsPersistAcrossAllModes) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 80, /*weighted=*/true, 5);
+  auto built = ISLabelIndex::Build(g, IndexOptions{});
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  const VertexId dead = 7;
+  ASSERT_TRUE(index.DeleteVertex(dead).ok());
+
+  auto expect_not_found = [&](ISLabelIndex* idx) {
+    Distance d = 0;
+    EXPECT_TRUE(idx->Query(dead, 1, &d).IsNotFound());
+    EXPECT_TRUE(idx->Query(1, dead, &d).IsNotFound());
+    std::vector<Distance> dists;
+    EXPECT_TRUE(idx->QueryOneToMany(dead, {1, 2}, &dists).IsNotFound());
+    EXPECT_TRUE(idx->QueryOneToMany(1, {2, dead}, &dists).IsNotFound());
+    EXPECT_TRUE(
+        idx->QueryManyToMany({1, dead}, {2}, &dists, 1).IsNotFound());
+    std::vector<Status> statuses;
+    EXPECT_TRUE(
+        idx->QueryBatch({{1, 2}, {dead, 2}}, &dists, 1, &statuses).ok());
+    EXPECT_TRUE(statuses[0].ok());
+    EXPECT_TRUE(statuses[1].IsNotFound());
+    EXPECT_EQ(dists[1], kInfDistance);
+  };
+  expect_not_found(&index);
+
+  std::string dir = ::testing::TempDir() + "islabel_upd_modes";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(index.Save(dir).ok());
+  auto mem = ISLabelIndex::Load(dir, /*labels_in_memory=*/true);
+  ASSERT_TRUE(mem.ok());
+  expect_not_found(&mem.value());
+  auto disk = ISLabelIndex::Load(dir, /*labels_in_memory=*/false);
+  ASSERT_TRUE(disk.ok());
+  expect_not_found(&disk.value());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+// Pins the documented §8.3 staleness window so a future exact-delete fix
+// shows up as a deliberate test change, not an accident: deleting a
+// below-core vertex leaves the augmenting core edges derived through it,
+// so queries BETWEEN surviving vertices can still route over the deleted
+// vertex and silently return the pre-delete distance.
+TEST(Delete, StaleTransitDistanceIsPinned) {
+  Graph g = MakeTestGraph(Family::kPath, 12, /*weighted=*/true, 4);
+  IndexOptions opts;
+  opts.forced_k = 2;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  // An interior below-core path vertex: its two neighbors are core (an IS
+  // never contains adjacent vertices), and peeling it added the augmenting
+  // core edge (v-1, v+1) carrying its transit distance.
+  VertexId v = kInvalidVertex;
+  for (VertexId u = 1; u + 1 < g.NumVertices(); ++u) {
+    if (!index.InCore(u)) {
+      ASSERT_TRUE(index.InCore(u - 1));
+      ASSERT_TRUE(index.InCore(u + 1));
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidVertex) << "no below-core interior vertex at k=2";
+  const VertexId a = v - 1, b = v + 1;
+  const Distance transit = g.EdgeWeight(a, v) + g.EdgeWeight(v, b);
+  Distance pre = 0;
+  ASSERT_TRUE(index.Query(a, b, &pre).ok());
+  ASSERT_EQ(pre, transit);  // the unique a-b path runs through v
+
+  ASSERT_TRUE(index.DeleteVertex(v).ok());
+
+  // The deleted vertex itself errors...
+  Distance d = 0;
+  EXPECT_TRUE(index.Query(a, v, &d).IsNotFound());
+  EXPECT_TRUE(index.Query(v, b, &d).IsNotFound());
+  // ...but a-b still answers the PRE-delete distance (stale transit): the
+  // true post-delete graph is disconnected between a and b.
+  Distance post = 0;
+  ASSERT_TRUE(index.Query(a, b, &post).ok());
+  EXPECT_EQ(post, transit) << "documented §8.3 staleness window changed";
+  const EdgeList all = g.ToEdgeList();
+  EdgeList survivors(g.NumVertices());
+  for (const Edge& e : all.edges()) {
+    if (e.u != v && e.v != v) survivors.Add(e.u, e.v, e.w);
+  }
+  Graph truth = Graph::FromEdgeList(std::move(survivors));
+  EXPECT_EQ(DijkstraP2P(truth, a, b), kInfDistance)
+      << "fixture lost its uniqueness: a-b must disconnect without v";
+}
+
 TEST(Delete, LabeledVertexRemovedFromAllLabels) {
   Graph g = MakeTestGraph(Family::kBarabasiAlbert, 150, false, 9);
   auto built = ISLabelIndex::Build(g, IndexOptions{});

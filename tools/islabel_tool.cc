@@ -4,15 +4,22 @@
 //   islabel stats  --graph FILE
 //   islabel build  --graph FILE --index DIR [--sigma S | --k K] [...]
 //   islabel query  --index DIR [--disk] [--path] S T [S T ...]
+//   islabel batch  --index DIR [--disk] [--threads T] [--in FILE]
+//   islabel serve  --index DIR [--disk]
 //   islabel bench  --index DIR [--queries N] [--disk]
 //
 // Graphs are text edge lists ("u v [w]" per line, '#' comments — SNAP
 // compatible). Indexes are the three-file directories of ISLabelIndex.
+// `batch` answers a file/stdin of "s t" pairs in parallel over the engine
+// pool; `serve` is a line-oriented request loop (see CmdServe).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -85,6 +92,8 @@ int Usage() {
       "  islabel build --graph FILE --index DIR [--sigma S] [--k K]\n"
       "                [--no-vias] [--external-mb MB] [--tmp DIR]\n"
       "  islabel query --index DIR [--disk] [--path] S T [S T ...]\n"
+      "  islabel batch --index DIR [--disk] [--threads T] [--in FILE]\n"
+      "  islabel serve --index DIR [--disk]\n"
       "  islabel bench --index DIR [--queries N] [--disk] [--verify]\n");
   return 2;
 }
@@ -266,6 +275,180 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+Result<ISLabelIndex> LoadIndexArg(const Args& args) {
+  const std::string dir = args.Get("index", "");
+  if (dir.empty()) return Status::InvalidArgument("--index is required");
+  return ISLabelIndex::Load(dir, /*labels_in_memory=*/!args.Has("disk"));
+}
+
+// batch: reads "s t" pairs (one per line, '#' comments) from --in FILE or
+// stdin, answers them all with QueryBatch over the engine pool, and prints
+// "s t dist" per pair in input order.
+int CmdBatch(const Args& args) {
+  auto loaded = LoadIndexArg(args);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(loaded).value();
+
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  const std::string in_path = args.Get("in", "");
+  if (!in_path.empty()) {
+    file.open(in_path);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", in_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    VertexId s = 0, t = 0;
+    if (!(ls >> s >> t)) {
+      std::fprintf(stderr, "skipping malformed line: %s\n", line.c_str());
+      continue;
+    }
+    pairs.emplace_back(s, t);
+  }
+
+  const std::uint32_t threads =
+      static_cast<std::uint32_t>(args.GetInt("threads", 0));
+  std::vector<Distance> dists;
+  std::vector<Status> statuses;
+  WallTimer t;
+  Status st = index.QueryBatch(pairs, &dists, threads, &statuses);
+  const double secs = t.ElapsedSeconds();
+  if (!st.ok()) {
+    std::fprintf(stderr, "batch failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (!statuses[i].ok()) {
+      std::printf("%u %u error: %s\n", pairs[i].first, pairs[i].second,
+                  statuses[i].ToString().c_str());
+    } else if (dists[i] == kInfDistance) {
+      std::printf("%u %u unreachable\n", pairs[i].first, pairs[i].second);
+    } else {
+      std::printf("%u %u %llu\n", pairs[i].first, pairs[i].second,
+                  static_cast<unsigned long long>(dists[i]));
+    }
+  }
+  std::fprintf(stderr, "%zu queries in %.3fs (%.0f QPS)\n", pairs.size(),
+               secs, secs > 0 ? static_cast<double>(pairs.size()) / secs : 0);
+  return 0;
+}
+
+// serve: line-oriented request loop on stdin/stdout. Requests:
+//   S T             distance query        → "DIST" | "unreachable"
+//   one S T1 T2...  one-to-many           → one distance per target
+//   path S T        shortest path         → "DIST: v0 v1 ... vk"
+//   quit            exit (EOF also exits)
+// One response line per request, flushed immediately, "error: ..." on
+// failure — trivially scriptable, and because every entry point leases an
+// engine from the pool, several serve processes (or a threaded front end
+// linked against the library) can share one disk-resident index.
+int CmdServe(const Args& args) {
+  auto loaded = LoadIndexArg(args);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  ISLabelIndex index = std::move(loaded).value();
+  std::fprintf(stderr,
+               "serving %u vertices (%s labels); 'S T', 'one S T...', "
+               "'path S T', 'quit'\n",
+               index.NumVertices(), args.Has("disk") ? "disk" : "in-memory");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head == "quit" || head == "exit") break;
+
+    if (head == "one") {
+      VertexId s = 0;
+      std::vector<VertexId> targets;
+      VertexId t = 0;
+      if (!(ls >> s)) {
+        std::printf("error: usage: one S T1 [T2 ...]\n");
+        std::fflush(stdout);
+        continue;
+      }
+      while (ls >> t) targets.push_back(t);
+      std::vector<Distance> dists;
+      Status st = index.QueryOneToMany(s, targets, &dists);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      } else {
+        for (std::size_t i = 0; i < dists.size(); ++i) {
+          if (dists[i] == kInfDistance) {
+            std::printf("%sunreachable", i == 0 ? "" : " ");
+          } else {
+            std::printf("%s%llu", i == 0 ? "" : " ",
+                        static_cast<unsigned long long>(dists[i]));
+          }
+        }
+        std::printf("\n");
+      }
+      std::fflush(stdout);
+      continue;
+    }
+
+    if (head == "path") {
+      VertexId s = 0, t = 0;
+      if (!(ls >> s >> t)) {
+        std::printf("error: usage: path S T\n");
+        std::fflush(stdout);
+        continue;
+      }
+      std::vector<VertexId> path;
+      Distance d = 0;
+      Status st = index.ShortestPath(s, t, &path, &d);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+      } else if (d == kInfDistance) {
+        std::printf("unreachable\n");
+      } else {
+        std::printf("%llu:", static_cast<unsigned long long>(d));
+        for (VertexId v : path) std::printf(" %u", v);
+        std::printf("\n");
+      }
+      std::fflush(stdout);
+      continue;
+    }
+
+    // Bare "S T" distance query.
+    VertexId s = 0, t = 0;
+    std::istringstream qs(line);
+    if (!(qs >> s >> t)) {
+      std::printf("error: unrecognized request: %s\n", line.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    Distance d = 0;
+    Status st = index.Query(s, t, &d);
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+    } else if (d == kInfDistance) {
+      std::printf("unreachable\n");
+    } else {
+      std::printf("%llu\n", static_cast<unsigned long long>(d));
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int CmdBench(const Args& args) {
   const std::string dir = args.Get("index", "");
   if (dir.empty()) return Usage();
@@ -309,6 +492,8 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "build") return CmdBuild(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "batch") return CmdBatch(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "bench") return CmdBench(args);
   return Usage();
 }
