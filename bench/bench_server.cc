@@ -1,0 +1,383 @@
+// TCP serving bench: loopback clients against the epoll server.
+//
+// For every generator dataset this bench builds the index, starts the
+// TCP server on an ephemeral loopback port, and drives it with four
+// concurrent client connections sending a Zipf-skewed repeated-pair
+// workload (the scale-free query skew that makes a result cache pay),
+// pipelined in chunks. Three legs per dataset:
+//   * no cache        — baseline server QPS,
+//   * sharded cache   — same workload, cache hit-rate recorded,
+//   * after an update — InsertVertex bumps the cache generation; served
+//     answers are re-verified against a fresh engine, proving invalidated
+//     entries are recomputed, not served stale.
+// Every response in every leg is checked against the single-threaded
+// engine; any mismatch fails the bench with exit code 2 (same contract
+// as bench_query_throughput). Results go to BENCH_server.json (override:
+// ISLABEL_BENCH_JSON). ISLABEL_SCALE / ISLABEL_QUERIES as usual.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "server/protocol.h"
+#include "server/query_cache.h"
+#include "server/tcp_server.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using namespace islabel::bench;
+
+namespace {
+
+constexpr unsigned kClients = 4;
+constexpr std::size_t kPipelineChunk = 64;
+
+/// Blocking loopback client: sends a chunk of requests in one write,
+/// reads the same number of response lines back.
+class BenchClient {
+ public:
+  explicit BenchClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buf_, 0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct WorkloadOp {
+  VertexId s = 0;
+  VertexId t = 0;
+  std::string expect;
+};
+
+/// One client's request stream: `count` ops drawn Zipf-ish (quadratic
+/// skew toward low indices) from the distinct-pair pool, so popular
+/// pairs repeat both within and across clients.
+std::vector<std::size_t> SkewedIndices(std::size_t count, std::size_t pool,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::size_t> indices;
+  indices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t u = rng.Uniform(pool);
+    indices.push_back(static_cast<std::size_t>(u * u / pool));  // quadratic skew
+  }
+  return indices;
+}
+
+struct LegResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t mismatches = 0;
+};
+
+/// Runs the full multi-client workload against a started server; every
+/// response is compared with its precomputed expectation.
+LegResult RunWorkload(std::uint16_t port,
+                      const std::vector<std::vector<WorkloadOp>>& per_client) {
+  LegResult result;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> completed{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(per_client.size());
+  for (const std::vector<WorkloadOp>& ops : per_client) {
+    threads.emplace_back([&, ops_ptr = &ops] {
+      BenchClient client(port);
+      if (!client.ok()) {
+        mismatches.fetch_add(ops_ptr->size());
+        return;
+      }
+      const std::vector<WorkloadOp>& work = *ops_ptr;
+      std::string line;
+      for (std::size_t begin = 0; begin < work.size();
+           begin += kPipelineChunk) {
+        const std::size_t end =
+            std::min(begin + kPipelineChunk, work.size());
+        std::string burst;
+        for (std::size_t i = begin; i < end; ++i) {
+          burst += std::to_string(work[i].s);
+          burst += ' ';
+          burst += std::to_string(work[i].t);
+          burst += '\n';
+        }
+        if (!client.Send(burst)) {
+          mismatches.fetch_add(end - begin);
+          return;
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!client.ReadLine(&line) || line != work[i].expect) {
+            mismatches.fetch_add(1);
+          }
+          completed.fetch_add(1);
+        }
+      }
+      client.Send("quit\n");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = timer.ElapsedSeconds();
+  result.requests = completed.load();
+  result.mismatches = mismatches.load();
+  result.qps = result.seconds > 0
+                   ? static_cast<double>(result.requests) / result.seconds
+                   : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_pairs = QueriesFromEnv();
+  const char* json_env = std::getenv("ISLABEL_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_server.json";
+  std::uint64_t total_mismatches = 0;
+
+  PrintHeader("TCP serving (epoll server, 4 loopback clients)",
+              "Zipf-skewed repeated pairs; cached vs uncached vs "
+              "post-update");
+  std::printf("%-14s %10s %10s %8s %9s %10s\n", "dataset", "QPS",
+              "QPS+cache", "hit%", "post-upd", "requests");
+
+  std::string json = "{\n  \"bench\": \"server\",\n";
+  {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"scale\": %.3f, \"clients\": %u, \"distinct_pairs\": "
+                  "%zu,\n  \"datasets\": [\n",
+                  scale, kClients, num_pairs);
+    json += buf;
+  }
+
+  bool first_dataset = true;
+  for (const std::string& name : DatasetNames()) {
+    Dataset d = MakeDataset(name, scale);
+    auto built = ISLabelIndex::Build(d.graph, IndexOptions{});
+    if (!built.ok()) {
+      std::printf("%-14s build failed: %s\n", d.name.c_str(),
+                  built.status().ToString().c_str());
+      continue;
+    }
+    ISLabelIndex index = std::move(built).value();
+
+    // Distinct pairs + single-threaded ground truth.
+    const auto pairs = MakeQueries(d.graph, num_pairs, 99);
+    QueryEngine engine(&index.hierarchy(), LabelProvider(&index.labels()));
+    std::vector<std::string> expect(pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      Distance dist = 0;
+      (void)engine.Query(pairs[i].first, pairs[i].second, &dist);
+      expect[i] = server::FormatDistance(dist);
+    }
+
+    // Per-client skewed request streams (4x the distinct pool each, so
+    // repeats are guaranteed).
+    std::vector<std::vector<WorkloadOp>> workload(kClients);
+    for (unsigned c = 0; c < kClients; ++c) {
+      const auto indices =
+          SkewedIndices(4 * pairs.size(), pairs.size(), 1000 + c);
+      workload[c].reserve(indices.size());
+      for (std::size_t idx : indices) {
+        workload[c].push_back(
+            {pairs[idx].first, pairs[idx].second, expect[idx]});
+      }
+    }
+
+    server::TcpServerOptions sopts;
+    sopts.port = 0;
+    sopts.num_workers = kClients;
+
+    // A leg that cannot even start must fail the gate, not vacuously
+    // pass it with zero verified answers.
+    std::uint64_t infra_failures = 0;
+
+    // Leg 1: no cache.
+    LegResult uncached;
+    {
+      server::TcpServer srv(&index, nullptr, sopts);
+      if (srv.Start().ok()) {
+        uncached = RunWorkload(srv.port(), workload);
+        srv.Stop();
+        srv.Wait();
+      } else {
+        std::fprintf(stderr, "!! uncached leg failed to start (%s)\n",
+                     d.name.c_str());
+        ++infra_failures;
+      }
+    }
+
+    // Leg 2: sharded LRU cache in front of the engine.
+    auto cache = std::make_shared<server::QueryCache>();
+    index.set_distance_cache(cache);
+    LegResult cached;
+    server::QueryCacheStats cache_stats;
+    {
+      server::TcpServer srv(&index, cache.get(), sopts);
+      if (srv.Start().ok()) {
+        cached = RunWorkload(srv.port(), workload);
+        cache_stats = cache->GetStats();
+        srv.Stop();
+        srv.Wait();
+      } else {
+        std::fprintf(stderr, "!! cached leg failed to start (%s)\n",
+                     d.name.c_str());
+        ++infra_failures;
+      }
+    }
+    const double hit_rate =
+        cache_stats.hits + cache_stats.misses > 0
+            ? static_cast<double>(cache_stats.hits) /
+                  static_cast<double>(cache_stats.hits + cache_stats.misses)
+            : 0.0;
+
+    // Leg 3: update invalidation. InsertVertex bumps the cache
+    // generation; the served answers must match a FRESH engine on the
+    // updated index — bit-identical cached vs uncached across the update.
+    LegResult post_update;
+    {
+      std::vector<std::pair<VertexId, Weight>> adj = {
+          {0, 1}, {d.graph.NumVertices() / 2, 1}};
+      const Status updated = index.InsertVertex(index.NumVertices(), adj);
+      if (updated.ok()) {
+        QueryEngine fresh(&index.hierarchy(),
+                          LabelProvider(&index.labels()));
+        const std::size_t sample = std::min<std::size_t>(pairs.size(), 200);
+        std::vector<std::vector<WorkloadOp>> verify(kClients);
+        for (unsigned c = 0; c < kClients; ++c) {
+          verify[c].reserve(2 * sample);
+          // Two passes per client: the first misses (generation bumped),
+          // the second hits — both must match the fresh engine.
+          for (int pass = 0; pass < 2; ++pass) {
+            for (std::size_t i = 0; i < sample; ++i) {
+              Distance dist = 0;
+              (void)fresh.Query(pairs[i].first, pairs[i].second, &dist);
+              verify[c].push_back({pairs[i].first, pairs[i].second,
+                                   server::FormatDistance(dist)});
+            }
+          }
+        }
+        server::TcpServer srv(&index, cache.get(), sopts);
+        if (srv.Start().ok()) {
+          post_update = RunWorkload(srv.port(), verify);
+          srv.Stop();
+          srv.Wait();
+        } else {
+          std::fprintf(stderr, "!! post-update leg failed to start (%s)\n",
+                       d.name.c_str());
+          ++infra_failures;
+        }
+      } else {
+        std::fprintf(stderr, "!! post-update leg skipped (%s): %s\n",
+                     d.name.c_str(), updated.ToString().c_str());
+        ++infra_failures;
+      }
+    }
+
+    const std::uint64_t mismatches = uncached.mismatches + cached.mismatches +
+                                     post_update.mismatches + infra_failures;
+    total_mismatches += mismatches;
+    std::printf("%-14s %10.0f %10.0f %7.1f%% %9.0f %10llu\n", d.name.c_str(),
+                uncached.qps, cached.qps, hit_rate * 100, post_update.qps,
+                static_cast<unsigned long long>(uncached.requests +
+                                                cached.requests +
+                                                post_update.requests));
+    if (mismatches != 0) {
+      std::printf("  !! %llu served answers mismatch the single-threaded "
+                  "engine\n",
+                  static_cast<unsigned long long>(mismatches));
+    }
+
+    char buf[512];
+    if (!first_dataset) json += ",\n";
+    first_dataset = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"name\": \"%s\", \"vertices\": %u, \"edges\": %llu,\n"
+        "     \"qps_uncached\": %.1f, \"qps_cached\": %.1f, "
+        "\"qps_post_update\": %.1f,\n"
+        "     \"cache_hits\": %llu, \"cache_misses\": %llu, "
+        "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu,\n"
+        "     \"requests\": %llu, \"mismatches\": %llu}",
+        d.name.c_str(), d.graph.NumVertices(),
+        static_cast<unsigned long long>(d.graph.NumEdges()), uncached.qps,
+        cached.qps, post_update.qps,
+        static_cast<unsigned long long>(cache_stats.hits),
+        static_cast<unsigned long long>(cache_stats.misses), hit_rate,
+        static_cast<unsigned long long>(cache_stats.entries),
+        static_cast<unsigned long long>(
+            uncached.requests + cached.requests + post_update.requests),
+        static_cast<unsigned long long>(mismatches));
+    json += buf;
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::printf("\ncould not write %s\n", json_path.c_str());
+    return 1;
+  }
+  return total_mismatches == 0 ? 0 : 2;
+}

@@ -68,6 +68,9 @@ void ISLabelIndex::ResetPool() {
   LabelProvider provider = store_ != nullptr ? LabelProvider(store_.get())
                                              : LabelProvider(labels_.get());
   pool_ = std::make_unique<QueryEnginePool>(hierarchy_.get(), provider);
+  // Every pool reset marks a potential answer change (InsertVertex,
+  // DeleteVertex, reload): invalidate all cached distances.
+  if (distance_cache_ != nullptr) distance_cache_->BumpGeneration();
 }
 
 Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
@@ -85,8 +88,21 @@ Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
 Status ISLabelIndex::Query(VertexId s, VertexId t, Distance* out,
                            QueryStats* stats) {
   ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  // The deleted-endpoint check above runs before the cache, so a cached
+  // pair naming a since-deleted endpoint still fails with NotFound. The
+  // generation is snapshotted before the engine runs: if an update lands
+  // mid-compute, Insert sees a moved generation and drops the answer
+  // instead of stamping a pre-update distance as current.
+  const bool use_cache = distance_cache_ != nullptr && stats == nullptr;
+  std::uint64_t cache_gen = 0;
+  if (use_cache) {
+    cache_gen = distance_cache_->generation();
+    if (distance_cache_->Lookup(s, t, out)) return Status::OK();
+  }
   QueryEnginePool::Lease lease = pool_->Acquire();
-  return lease->Query(s, t, out, stats);
+  Status st = lease->Query(s, t, out, stats);
+  if (st.ok() && use_cache) distance_cache_->Insert(s, t, *out, cache_gen);
+  return st;
 }
 
 Status ISLabelIndex::QueryBatch(

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/distance_cache.h"
 #include "core/engine_pool.h"
 #include "core/hierarchy.h"
 #include "core/label_arena.h"
@@ -155,6 +156,18 @@ class ISLabelIndex {
   /// to hold a lease across many queries (serve loops, benches).
   QueryEnginePool* engine_pool() { return pool_.get(); }
 
+  // ---- Optional query-result cache ----
+
+  /// Installs a distance cache consulted by Query() before leasing an
+  /// engine (pass nullptr to remove). Only stats-free Query calls hit the
+  /// cache, so instrumented queries always measure the real engine. The
+  /// index bumps the cache generation on every pool reset (updates,
+  /// reloads), so stale entries are never served — see DistanceCache.
+  void set_distance_cache(std::shared_ptr<DistanceCache> cache) {
+    distance_cache_ = std::move(cache);
+  }
+  DistanceCache* distance_cache() const { return distance_cache_.get(); }
+
  private:
   friend class PathReconstructor;
 
@@ -171,6 +184,7 @@ class ISLabelIndex {
   std::unique_ptr<LabelArena> labels_ = std::make_unique<LabelArena>();
   std::unique_ptr<LabelStore> store_;
   std::unique_ptr<QueryEnginePool> pool_;
+  std::shared_ptr<DistanceCache> distance_cache_;
   BuildStats build_stats_;
   BitVector deleted_;
   bool vias_enabled_ = true;

@@ -1,0 +1,52 @@
+#include "server/dispatcher.h"
+
+#include <vector>
+
+namespace islabel {
+namespace server {
+
+std::string RequestDispatcher::Execute(const Request& req) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (req.kind) {
+    case RequestKind::kDistance: {
+      Distance d = 0;
+      Status st = index_->Query(req.s, req.t, &d);
+      if (!st.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return FormatError(st);
+      }
+      return FormatDistance(d);
+    }
+    case RequestKind::kOneToMany: {
+      std::vector<Distance> dists;
+      Status st = index_->QueryOneToMany(req.s, req.targets, &dists);
+      if (!st.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return FormatError(st);
+      }
+      return FormatDistances(dists);
+    }
+    case RequestKind::kPath: {
+      std::vector<VertexId> path;
+      Distance d = 0;
+      Status st = index_->ShortestPath(req.s, req.t, &path, &d);
+      if (!st.ok()) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return FormatError(st);
+      }
+      return FormatPath(d, path);
+    }
+    case RequestKind::kInvalid:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return req.error;
+    case RequestKind::kNone:
+    case RequestKind::kStats:
+    case RequestKind::kQuit:
+      break;
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return "error: internal: request kind not dispatchable";
+}
+
+}  // namespace server
+}  // namespace islabel

@@ -1,0 +1,56 @@
+// RequestDispatcher: executes parsed protocol requests against an index.
+//
+// Shared by the stdin serve loop and the TCP server's worker threads so
+// request semantics (which API each verb maps to, error formatting,
+// request/error counting) are defined exactly once. Thread-safe: the
+// index entry points lease engines internally and the counters are
+// atomic, so any number of workers may call Execute concurrently.
+//
+// kNone, kQuit and kStats are front-end concerns (no response / session
+// close / front-end counters) and are not handled here.
+
+#ifndef ISLABEL_SERVER_DISPATCHER_H_
+#define ISLABEL_SERVER_DISPATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/index.h"
+#include "server/protocol.h"
+
+namespace islabel {
+namespace server {
+
+class RequestDispatcher {
+ public:
+  explicit RequestDispatcher(ISLabelIndex* index) : index_(index) {}
+
+  /// Returns the response line (no trailing '\n') for a kDistance,
+  /// kOneToMany, kPath or kInvalid request, bumping the request/error
+  /// counters as a side effect.
+  std::string Execute(const Request& req);
+
+  std::uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts a served `stats` request (issued by the front end, which owns
+  /// the stats response).
+  void CountStatsRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+
+  ISLabelIndex* index() const { return index_; }
+
+ private:
+  ISLabelIndex* index_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace server
+}  // namespace islabel
+
+#endif  // ISLABEL_SERVER_DISPATCHER_H_

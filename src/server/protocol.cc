@@ -1,0 +1,158 @@
+#include "server/protocol.h"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+
+namespace islabel {
+namespace server {
+
+namespace {
+
+constexpr std::string_view kUsageDistance = "error: usage: S T";
+constexpr std::string_view kUsageOne = "error: usage: one S T1 [T2 ...]";
+constexpr std::string_view kUsagePath = "error: usage: path S T";
+
+/// Splits on runs of spaces/tabs (the only separators the grammar allows).
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+/// Strict decimal uint32: the whole token must be digits and fit VertexId.
+bool ParseVertexId(std::string_view token, VertexId* out) {
+  std::uint32_t value = 0;
+  const char* end = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(token.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+Request Invalid(std::string_view usage) {
+  Request r;
+  r.kind = RequestKind::kInvalid;
+  r.error = std::string(usage);
+  return r;
+}
+
+void AppendU64(std::string* out, const char* key, std::uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, v);
+  *out += buf;
+}
+
+}  // namespace
+
+Request ParseRequest(std::string_view line) {
+  // Strip a trailing '\r' so CRLF clients (telnet, netcat -C) work.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  Request r;
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty() || tokens[0].front() == '#') return r;  // kNone
+
+  const std::string_view head = tokens[0];
+  if (head == "quit" || head == "exit") {
+    if (tokens.size() != 1) return Invalid("error: usage: quit");
+    r.kind = RequestKind::kQuit;
+    return r;
+  }
+  if (head == "stats") {
+    if (tokens.size() != 1) return Invalid("error: usage: stats");
+    r.kind = RequestKind::kStats;
+    return r;
+  }
+  if (head == "one") {
+    if (tokens.size() < 3) return Invalid(kUsageOne);
+    if (!ParseVertexId(tokens[1], &r.s)) return Invalid(kUsageOne);
+    r.targets.reserve(tokens.size() - 2);
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      VertexId t = 0;
+      if (!ParseVertexId(tokens[i], &t)) return Invalid(kUsageOne);
+      r.targets.push_back(t);
+    }
+    r.kind = RequestKind::kOneToMany;
+    return r;
+  }
+  if (head == "path") {
+    if (tokens.size() != 3 || !ParseVertexId(tokens[1], &r.s) ||
+        !ParseVertexId(tokens[2], &r.t)) {
+      return Invalid(kUsagePath);
+    }
+    r.kind = RequestKind::kPath;
+    return r;
+  }
+
+  // Bare "S T" distance query. A numeric head with the wrong shape
+  // (missing T, trailing garbage, bad id) is a usage error; a non-numeric
+  // head is an unknown verb.
+  VertexId s = 0;
+  if (!ParseVertexId(head, &s)) {
+    Request bad;
+    bad.kind = RequestKind::kInvalid;
+    bad.error = "error: unrecognized request: " + std::string(line);
+    return bad;
+  }
+  if (tokens.size() != 2 || !ParseVertexId(tokens[1], &r.t)) {
+    return Invalid(kUsageDistance);
+  }
+  r.s = s;
+  r.kind = RequestKind::kDistance;
+  return r;
+}
+
+std::string FormatDistance(Distance d) {
+  if (d == kInfDistance) return "unreachable";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, d);
+  return buf;
+}
+
+std::string FormatDistances(const std::vector<Distance>& dists) {
+  std::string out;
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += FormatDistance(dists[i]);
+  }
+  return out;
+}
+
+std::string FormatPath(Distance d, const std::vector<VertexId>& path) {
+  if (d == kInfDistance) return "unreachable";
+  std::string out = FormatDistance(d);
+  out += ':';
+  char buf[16];
+  for (VertexId v : path) {
+    std::snprintf(buf, sizeof(buf), " %u", v);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FormatError(const Status& st) {
+  return "error: " + st.ToString();
+}
+
+std::string FormatStats(const ServeStats& s) {
+  std::string out = "stats:";
+  AppendU64(&out, "connections_open", s.connections_open);
+  AppendU64(&out, "connections_accepted", s.connections_accepted);
+  AppendU64(&out, "requests", s.requests);
+  AppendU64(&out, "errors", s.errors);
+  AppendU64(&out, "cache_hits", s.cache_hits);
+  AppendU64(&out, "cache_misses", s.cache_misses);
+  AppendU64(&out, "cache_entries", s.cache_entries);
+  AppendU64(&out, "cache_generation", s.cache_generation);
+  return out;
+}
+
+}  // namespace server
+}  // namespace islabel

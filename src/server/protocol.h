@@ -1,0 +1,82 @@
+// Wire protocol of the serving layer (stdin serve loop and TCP server).
+//
+// The protocol is line-oriented text, one request per '\n'-terminated
+// line, one response line per request:
+//
+//   S T              exact distance         → "D" | "unreachable"
+//   one S T1 [T2...] one-to-many            → one value per target, spaces
+//   path S T         shortest path          → "D: v0 v1 ... vk"
+//   stats            serving counters       → "stats: k=v k=v ..."
+//   quit | exit      close the session      → (no response)
+//   # comment / blank line                  → (no response)
+//
+// Errors are a single line starting with "error: ". Parsing is strict:
+// ids must be pure decimal uint32 tokens and a request must carry exactly
+// its grammar's token count — trailing garbage ("1 2 junk") is rejected
+// with a usage error instead of being silently ignored.
+//
+// Both front ends parse with ParseRequest and format with the Format*
+// helpers below, so the stdin loop and the TCP server cannot drift.
+
+#ifndef ISLABEL_SERVER_PROTOCOL_H_
+#define ISLABEL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph_defs.h"
+#include "util/status.h"
+
+namespace islabel {
+namespace server {
+
+enum class RequestKind : std::uint8_t {
+  kNone = 0,    // blank line or comment: no response
+  kDistance,    // "S T"
+  kOneToMany,   // "one S T1 [T2 ...]"
+  kPath,        // "path S T"
+  kStats,       // "stats"
+  kQuit,        // "quit" / "exit"
+  kInvalid,     // malformed; `error` holds the full response line
+};
+
+/// One parsed request line.
+struct Request {
+  RequestKind kind = RequestKind::kNone;
+  VertexId s = 0;
+  VertexId t = 0;
+  std::vector<VertexId> targets;  // kOneToMany only
+  std::string error;              // kInvalid only: "error: ..." line
+};
+
+/// Parses one request line (no trailing '\n'). Never fails — malformed
+/// input yields kInvalid with the error response prefilled.
+Request ParseRequest(std::string_view line);
+
+/// Serving counters reported by the `stats` request. The stdin loop
+/// reports connections == 0; the TCP server fills all fields.
+struct ServeStats {
+  std::uint64_t connections_open = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_generation = 0;
+};
+
+// ---- Response formatting (no trailing '\n') ----
+
+std::string FormatDistance(Distance d);
+std::string FormatDistances(const std::vector<Distance>& dists);
+std::string FormatPath(Distance d, const std::vector<VertexId>& path);
+std::string FormatError(const Status& st);
+std::string FormatStats(const ServeStats& stats);
+
+}  // namespace server
+}  // namespace islabel
+
+#endif  // ISLABEL_SERVER_PROTOCOL_H_

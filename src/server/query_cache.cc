@@ -1,0 +1,96 @@
+#include "server/query_cache.h"
+
+#include <algorithm>
+
+namespace islabel {
+namespace server {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(const QueryCacheOptions& options) {
+  const std::size_t shards =
+      RoundUpPow2(std::max<std::size_t>(options.num_shards, 1));
+  shards_ = std::vector<Shard>(shards);
+  shard_mask_ = shards - 1;
+  const std::size_t total_entries =
+      std::max<std::size_t>(options.capacity_bytes / kBytesPerEntry, shards);
+  per_shard_capacity_ = std::max<std::size_t>(total_entries / shards, 1);
+  capacity_entries_ = per_shard_capacity_ * shards;
+}
+
+bool QueryCache::Lookup(VertexId s, VertexId t, Distance* out) {
+  const std::uint64_t key = Key(s, t);
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return false;
+  }
+  if (it->second->generation != gen) {
+    // Stale entry from before an index update: erase lazily, miss.
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->dist;
+  ++shard.hits;
+  return true;
+}
+
+void QueryCache::Insert(VertexId s, VertexId t, Distance d,
+                        std::uint64_t gen) {
+  // The caller snapshotted `gen` before computing d; if an invalidation
+  // landed in between, the answer may predate the update — drop it
+  // rather than stamp a stale value as current.
+  if (gen != generation_.load(std::memory_order_acquire)) return;
+  const std::uint64_t key = Key(s, t);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->dist = d;
+    it->second->generation = gen;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, d, gen});
+  shard.map.emplace(key, shard.lru.begin());
+  if (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void QueryCache::BumpGeneration() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+QueryCacheStats QueryCache::GetStats() const {
+  QueryCacheStats stats;
+  stats.generation = generation_.load(std::memory_order_acquire);
+  stats.capacity_entries = capacity_entries_;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.entries += shard.map.size();
+    stats.evictions += shard.evictions;
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace islabel

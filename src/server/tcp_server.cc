@@ -1,0 +1,505 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+namespace islabel {
+namespace server {
+
+namespace {
+
+/// The server whose Stop() the SIGINT/SIGTERM handlers call. One server
+/// per process may install handlers (the CLI case).
+std::atomic<TcpServer*> g_signal_server{nullptr};
+
+void HandleStopSignal(int /*signo*/) {
+  // Stop() is an atomic store plus an eventfd write — async-signal-safe.
+  TcpServer* s = g_signal_server.load(std::memory_order_acquire);
+  if (s != nullptr) s->Stop();
+}
+
+}  // namespace
+
+/// Per-connection state. The fd, the unparsed input tail and the
+/// EPOLLOUT arm flag belong to the event-loop thread alone; everything a
+/// worker touches lives behind `mu`.
+struct TcpServer::Connection {
+  int fd = -1;                  // loop-thread private; -1 once closed
+  std::string in;               // loop-thread private: bytes before '\n'
+  bool epollout_armed = false;  // loop-thread private
+
+  std::mutex mu;
+  std::string out;              // response bytes awaiting write
+  std::deque<Request> pending;  // parsed requests awaiting execution
+  bool scheduled = false;       // queued for / held by a worker
+  bool want_close = false;      // close once out drained and !scheduled
+};
+
+TcpServer::TcpServer(ISLabelIndex* index, QueryCache* cache,
+                     const TcpServerOptions& options)
+    : index_(index), cache_(cache), options_(options), dispatcher_(index) {}
+
+TcpServer::~TcpServer() {
+  Stop();
+  Wait();
+  if (signal_handlers_installed_) {
+    g_signal_server.store(nullptr, std::memory_order_release);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status TcpServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  const std::string host =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse listen host " +
+                                   options_.host);
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status st = Status::IOError("bind " + options_.host + ": " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    Status st = Status::IOError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    return Status::IOError("epoll_create1/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::IOError("epoll_ctl(listen) failed");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IOError("epoll_ctl(wake) failed");
+  }
+
+  if (options_.install_signal_handlers) {
+    g_signal_server.store(this, std::memory_order_release);
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    signal_handlers_installed_ = true;
+  }
+
+  std::uint32_t workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t tick = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &tick, sizeof(tick));
+  }
+}
+
+void TcpServer::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    workers_shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+// ---- Event loop (all fd operations happen on this thread) ----
+
+void TcpServer::EventLoop() {
+  std::array<epoll_event, 64> events;
+  std::chrono::steady_clock::time_point drain_deadline{};
+  for (;;) {
+    const int timeout_ms = stopping_ ? 50 : -1;
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.fd == wake_fd_) {
+        HandleWake();
+        continue;
+      }
+      if (ev.data.fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      auto it = conns_.find(ev.data.fd);
+      if (it == conns_.end()) continue;  // already closed this batch
+      std::shared_ptr<Connection> conn = it->second;
+      if (ev.events & (EPOLLHUP | EPOLLERR)) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->want_close = true;
+      }
+      if (ev.events & (EPOLLIN | EPOLLRDHUP)) HandleRead(conn);
+      if (ev.events & EPOLLOUT) Flush(conn);
+      if (ev.events & (EPOLLHUP | EPOLLERR)) Flush(conn);
+    }
+    if (stop_requested_.load(std::memory_order_acquire) && !stopping_) {
+      BeginShutdown();
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+    if (stopping_) {
+      if (conns_.empty()) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline) {
+        auto snapshot = conns_;  // CloseConn mutates conns_
+        for (auto& [fd, conn] : snapshot) CloseConn(conn);
+        break;
+      }
+    }
+  }
+}
+
+void TcpServer::BeginShutdown() {
+  stopping_ = true;
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  auto snapshot = conns_;  // Flush may close and erase
+  for (auto& [fd, conn] : snapshot) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->want_close = true;
+    }
+    Flush(conn);
+  }
+}
+
+void TcpServer::HandleWake() {
+  std::uint64_t ticks = 0;
+  while (::read(wake_fd_, &ticks, sizeof(ticks)) > 0) {
+  }
+  std::deque<std::shared_ptr<Connection>> ready;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    ready.swap(flush_queue_);
+  }
+  for (auto& conn : ready) Flush(conn);
+}
+
+void TcpServer::AcceptAll() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // The listen fd is edge-triggered: a transient failure must not
+      // strand already-queued connections behind it.
+      if (errno == ECONNABORTED || errno == EINTR) continue;
+      break;  // EAGAIN (drained) or a real error (EMFILE...): stop
+    }
+    if (stopping_) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  bool peer_done = false;
+  char buf[65536];
+  for (;;) {  // edge-triggered: drain to EAGAIN
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    peer_done = true;  // EOF or hard error
+    break;
+  }
+  ParseLines(conn);
+  if (peer_done) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->want_close = true;
+    }
+    Flush(conn);
+  }
+}
+
+void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
+  std::deque<Request> parsed;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t nl = conn->in.find('\n', begin);
+    if (nl == std::string::npos) break;
+    Request req = ParseRequest(
+        std::string_view(conn->in).substr(begin, nl - begin));
+    begin = nl + 1;
+    if (req.kind != RequestKind::kNone) parsed.push_back(std::move(req));
+  }
+  conn->in.erase(0, begin);
+  const bool overlong = conn->in.size() > options_.max_line_bytes;
+  if (overlong) {
+    // Sequence the error and the close AFTER the responses to the valid
+    // requests parsed from the same read: an invalid sentinel followed
+    // by a quit, flowing through the normal pending pipeline.
+    conn->in.clear();
+    Request err;
+    err.kind = RequestKind::kInvalid;
+    err.error = "error: request line too long";
+    parsed.push_back(std::move(err));
+    Request quit;
+    quit.kind = RequestKind::kQuit;
+    parsed.push_back(std::move(quit));
+  }
+  if (parsed.empty()) return;
+
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    // Nothing after a quit (or a peer close) is answered.
+    if (conn->want_close) return;
+    for (Request& req : parsed) conn->pending.push_back(std::move(req));
+    if (!conn->scheduled && !conn->pending.empty()) {
+      conn->scheduled = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      work_queue_.push_back(conn);
+    }
+    work_cv_.notify_one();
+  }
+}
+
+void TcpServer::Flush(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  bool want_out = false;
+  bool can_close = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    while (!conn->out.empty()) {  // edge-triggered: write to EAGAIN
+      const ssize_t n =
+          ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+        conn->out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn->want_close = true;  // peer gone; drop what it will never read
+      conn->out.clear();
+      break;
+    }
+    want_out = !conn->out.empty();
+    can_close = conn->want_close && conn->out.empty() && !conn->scheduled;
+  }
+  if (can_close) {
+    CloseConn(conn);
+    return;
+  }
+  UpdateEpollOut(conn, want_out);
+}
+
+void TcpServer::UpdateEpollOut(const std::shared_ptr<Connection>& conn,
+                               bool want) {
+  if (conn->fd < 0 || conn->epollout_armed == want) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET | (want ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->epollout_armed = want;
+  }
+}
+
+void TcpServer::CloseConn(const std::shared_ptr<Connection>& conn) {
+  if (conn->fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conns_.erase(conn->fd);
+  conn->fd = -1;
+  open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// ---- Workers ----
+
+void TcpServer::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] {
+        return workers_shutdown_ || !work_queue_.empty();
+      });
+      if (work_queue_.empty()) return;  // shutdown and drained
+      conn = std::move(work_queue_.front());
+      work_queue_.pop_front();
+    }
+    ProcessConnection(conn);
+  }
+}
+
+void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
+  // Keep draining: lines parsed while this worker was busy land in
+  // `pending` without a second enqueue (scheduled stays true), so the
+  // worker owns the connection until pending is empty. Responses are
+  // appended under the lock before scheduled can flip, preserving
+  // request order.
+  for (;;) {
+    std::deque<Request> batch;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->pending.empty()) {
+        conn->scheduled = false;
+        break;
+      }
+      batch.swap(conn->pending);
+    }
+    std::string responses;
+    bool quit = false;
+    for (const Request& req : batch) {
+      if (quit) break;  // nothing after quit is answered
+      switch (req.kind) {
+        case RequestKind::kQuit:
+          quit = true;
+          break;
+        case RequestKind::kStats:
+          dispatcher_.CountStatsRequest();
+          responses += FormatStats(ServeStatsSnapshot());
+          responses += '\n';
+          break;
+        default:
+          responses += dispatcher_.Execute(req);
+          responses += '\n';
+          break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out += responses;
+      if (quit) {
+        conn->want_close = true;
+        conn->pending.clear();
+      }
+    }
+  }
+  NotifyFlush(conn);
+}
+
+void TcpServer::NotifyFlush(std::shared_ptr<Connection> conn) {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_queue_.push_back(std::move(conn));
+  }
+  const std::uint64_t tick = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &tick, sizeof(tick));
+}
+
+// ---- Stats ----
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.requests = dispatcher_.requests();
+  s.errors = dispatcher_.errors();
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+ServeStats TcpServer::ServeStatsSnapshot() const {
+  ServeStats s;
+  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.requests = dispatcher_.requests();
+  s.errors = dispatcher_.errors();
+  if (cache_ != nullptr) {
+    const QueryCacheStats cs = cache_->GetStats();
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_entries = cs.entries;
+    s.cache_generation = cs.generation;
+  }
+  return s;
+}
+
+}  // namespace server
+}  // namespace islabel

@@ -1,0 +1,164 @@
+// TcpServer: epoll-based TCP front end for the IS-LABEL wire protocol.
+//
+// Threading model (one event loop + a worker pool):
+//
+//   * The event-loop thread owns every file descriptor: it accepts
+//     non-blocking connections, reads request bytes, parses complete
+//     lines (server/protocol.h), writes buffered responses, and is the
+//     only thread that ever calls epoll_ctl / close. Sockets are
+//     edge-triggered, so reads and writes always drain to EAGAIN.
+//   * Worker threads execute parsed requests through RequestDispatcher
+//     (each index entry point leases an engine from the QueryEnginePool),
+//     append responses to the connection's output buffer, and wake the
+//     event loop through an eventfd to flush.
+//
+// A connection is scheduled to at most one worker at a time, so
+// pipelined requests on one connection are answered strictly in request
+// order while different connections run in parallel. The only state
+// shared between the loop and a worker is the per-connection
+// {pending requests, output buffer, flags} record, guarded by the
+// connection mutex; fd lifecycle stays loop-private, which keeps the
+// whole server ThreadSanitizer-clean.
+//
+// Shutdown: Stop() (async-signal-safe: an atomic store plus an eventfd
+// write, also reachable from the optional SIGINT/SIGTERM handlers) makes
+// the loop stop accepting, flush every connection's buffered responses,
+// close drained connections, and force-close stragglers after
+// drain_timeout_ms. Wait() joins the loop and the workers.
+
+#ifndef ISLABEL_SERVER_TCP_SERVER_H_
+#define ISLABEL_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "server/dispatcher.h"
+#include "server/protocol.h"
+#include "server/query_cache.h"
+#include "util/status.h"
+
+namespace islabel {
+namespace server {
+
+struct TcpServerOptions {
+  /// IPv4 dotted quad, or "localhost". "0.0.0.0" binds every interface.
+  std::string host = "127.0.0.1";
+  /// 0 requests an ephemeral port; read the real one back with port().
+  std::uint16_t port = 0;
+  /// Request-executing workers; 0 = hardware concurrency.
+  std::uint32_t num_workers = 0;
+  /// A request line longer than this (no '\n' seen) closes the
+  /// connection with an error response.
+  std::size_t max_line_bytes = 1u << 20;
+  int listen_backlog = 128;
+  /// How long Stop() keeps draining buffered responses before
+  /// force-closing connections.
+  std::uint32_t drain_timeout_ms = 5000;
+  /// Install SIGINT/SIGTERM handlers that call Stop() (CLI mode).
+  bool install_signal_handlers = false;
+};
+
+struct TcpServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_open = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class TcpServer {
+ public:
+  /// `index` must outlive the server. `cache` (nullable) is only used to
+  /// fill the cache fields of `stats` responses — install it on the index
+  /// with set_distance_cache to actually cache answers.
+  TcpServer(ISLabelIndex* index, QueryCache* cache,
+            const TcpServerOptions& options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the event loop + workers.
+  Status Start();
+
+  /// Requests shutdown. Async-signal-safe, callable from any thread,
+  /// idempotent. Returns immediately; use Wait() to block until drained.
+  void Stop();
+
+  /// Blocks until the event loop and all workers have exited.
+  void Wait();
+
+  /// The bound port (resolves port 0 after Start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  TcpServerStats stats() const;
+  /// The counters behind a `stats` response, cache fields included.
+  ServeStats ServeStatsSnapshot() const;
+
+ private:
+  struct Connection;
+
+  void EventLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  void HandleWake();
+  void BeginShutdown();
+  void HandleRead(const std::shared_ptr<Connection>& conn);
+  void ParseLines(const std::shared_ptr<Connection>& conn);
+  void Flush(const std::shared_ptr<Connection>& conn);
+  void CloseConn(const std::shared_ptr<Connection>& conn);
+  void ProcessConnection(const std::shared_ptr<Connection>& conn);
+  void NotifyFlush(std::shared_ptr<Connection> conn);
+  void UpdateEpollOut(const std::shared_ptr<Connection>& conn, bool want);
+
+  ISLabelIndex* index_;
+  QueryCache* cache_;
+  TcpServerOptions options_;
+  RequestDispatcher dispatcher_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  bool started_ = false;
+  bool signal_handlers_installed_ = false;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Loop-thread-private connection table (fd → connection).
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+  bool stopping_ = false;  // loop-thread private
+
+  std::atomic<bool> stop_requested_{false};
+
+  // Worker queue: connections with pending requests.
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_;
+  bool workers_shutdown_ = false;
+
+  // Flush queue: connections with fresh output, drained by the loop.
+  std::mutex flush_mu_;
+  std::deque<std::shared_ptr<Connection>> flush_queue_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> open_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+}  // namespace server
+}  // namespace islabel
+
+#endif  // ISLABEL_SERVER_TCP_SERVER_H_

@@ -1,0 +1,669 @@
+// Tests for the network serving subsystem: the wire protocol parser and
+// formatters, the sharded LRU query cache (including generation-based
+// invalidation across the §8.3 update paths), the cache hook inside
+// ISLabelIndex::Query, and a loopback integration test that drives the
+// epoll TCP server with concurrent, pipelined, and partially-written
+// requests. The whole file runs under the TSan preset in CI.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/dijkstra.h"
+#include "core/index.h"
+#include "server/dispatcher.h"
+#include "server/protocol.h"
+#include "server/query_cache.h"
+#include "server/tcp_server.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using server::ParseRequest;
+using server::QueryCache;
+using server::QueryCacheOptions;
+using server::QueryCacheStats;
+using server::Request;
+using server::RequestKind;
+using server::TcpServer;
+using server::TcpServerOptions;
+using testing::Family;
+using testing::MakeTestGraph;
+using testing::SampleQueryPairs;
+
+// ---------------------------------------------------------------------------
+// Protocol parsing
+// ---------------------------------------------------------------------------
+
+TEST(Protocol, ParsesDistanceRequest) {
+  Request r = ParseRequest("17 4242");
+  ASSERT_EQ(r.kind, RequestKind::kDistance);
+  EXPECT_EQ(r.s, 17u);
+  EXPECT_EQ(r.t, 4242u);
+  // Extra whitespace (spaces/tabs) is insignificant.
+  r = ParseRequest("  17 \t 4242  ");
+  ASSERT_EQ(r.kind, RequestKind::kDistance);
+  EXPECT_EQ(r.s, 17u);
+  EXPECT_EQ(r.t, 4242u);
+}
+
+TEST(Protocol, RejectsTrailingGarbageOnDistance) {
+  // The PR-3 stdin loop silently ignored the tail of "1 2 junk"; the
+  // shared parser pins the strict behavior.
+  Request r = ParseRequest("1 2 junk");
+  ASSERT_EQ(r.kind, RequestKind::kInvalid);
+  EXPECT_EQ(r.error, "error: usage: S T");
+  EXPECT_EQ(ParseRequest("1 2 3").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("1").kind, RequestKind::kInvalid);
+}
+
+TEST(Protocol, RejectsNonNumericIds) {
+  EXPECT_EQ(ParseRequest("1 two").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("1 2x").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("-1 2").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("1.5 2").kind, RequestKind::kInvalid);
+  // Larger than uint32: not a valid vertex id.
+  EXPECT_EQ(ParseRequest("4294967296 1").kind, RequestKind::kInvalid);
+  // Unknown verbs report the full line.
+  Request r = ParseRequest("frobnicate 1 2");
+  ASSERT_EQ(r.kind, RequestKind::kInvalid);
+  EXPECT_EQ(r.error, "error: unrecognized request: frobnicate 1 2");
+}
+
+TEST(Protocol, ParsesOneToMany) {
+  Request r = ParseRequest("one 7 1 2 3");
+  ASSERT_EQ(r.kind, RequestKind::kOneToMany);
+  EXPECT_EQ(r.s, 7u);
+  EXPECT_EQ(r.targets, (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(ParseRequest("one 7").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("one 7 x").kind, RequestKind::kInvalid);
+}
+
+TEST(Protocol, ParsesPathStatsQuit) {
+  Request r = ParseRequest("path 3 9");
+  ASSERT_EQ(r.kind, RequestKind::kPath);
+  EXPECT_EQ(r.s, 3u);
+  EXPECT_EQ(r.t, 9u);
+  EXPECT_EQ(ParseRequest("path 3").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("path 3 9 2").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("stats").kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequest("stats now").kind, RequestKind::kInvalid);
+  EXPECT_EQ(ParseRequest("quit").kind, RequestKind::kQuit);
+  EXPECT_EQ(ParseRequest("exit").kind, RequestKind::kQuit);
+  EXPECT_EQ(ParseRequest("quit now").kind, RequestKind::kInvalid);
+}
+
+TEST(Protocol, SkipsBlankAndComments) {
+  EXPECT_EQ(ParseRequest("").kind, RequestKind::kNone);
+  EXPECT_EQ(ParseRequest("   \t ").kind, RequestKind::kNone);
+  EXPECT_EQ(ParseRequest("# a comment").kind, RequestKind::kNone);
+  // CRLF clients work.
+  EXPECT_EQ(ParseRequest("1 2\r").kind, RequestKind::kDistance);
+  EXPECT_EQ(ParseRequest("\r").kind, RequestKind::kNone);
+}
+
+TEST(Protocol, FormatsResponses) {
+  EXPECT_EQ(server::FormatDistance(42), "42");
+  EXPECT_EQ(server::FormatDistance(kInfDistance), "unreachable");
+  EXPECT_EQ(server::FormatDistances({1, kInfDistance, 3}),
+            "1 unreachable 3");
+  EXPECT_EQ(server::FormatPath(5, {1, 2, 3}), "5: 1 2 3");
+  EXPECT_EQ(server::FormatPath(kInfDistance, {}), "unreachable");
+  EXPECT_EQ(server::FormatError(Status::NotFound("gone")),
+            "error: NotFound: gone");
+}
+
+// ---------------------------------------------------------------------------
+// QueryCache
+// ---------------------------------------------------------------------------
+
+TEST(QueryCache, HitAfterMiss) {
+  QueryCache cache;
+  Distance d = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d));
+  cache.Insert(1, 2, 77);
+  ASSERT_TRUE(cache.Lookup(1, 2, &d));
+  EXPECT_EQ(d, 77u);
+  const QueryCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(QueryCache, CanonicalizesUndirectedPairs) {
+  QueryCache cache;
+  cache.Insert(9, 4, 13);
+  Distance d = 0;
+  ASSERT_TRUE(cache.Lookup(4, 9, &d));  // (t, s) shares the entry
+  EXPECT_EQ(d, 13u);
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+  cache.Insert(4, 9, 13);  // reinsert under the swapped order: no growth
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+TEST(QueryCache, GenerationInvalidates) {
+  QueryCache cache;
+  cache.Insert(1, 2, 5);
+  cache.BumpGeneration();
+  Distance d = 0;
+  EXPECT_FALSE(cache.Lookup(1, 2, &d)) << "stale entry must never be served";
+  EXPECT_EQ(cache.GetStats().entries, 0u) << "stale entry erased lazily";
+  cache.Insert(1, 2, 9);
+  ASSERT_TRUE(cache.Lookup(1, 2, &d));
+  EXPECT_EQ(d, 9u);
+}
+
+TEST(QueryCache, EvictsLeastRecentlyUsedAtCapacity) {
+  QueryCacheOptions opts;
+  opts.num_shards = 1;
+  opts.capacity_bytes = 2 * QueryCache::kBytesPerEntry;  // 2 entries
+  QueryCache cache(opts);
+  ASSERT_EQ(cache.capacity_entries(), 2u);
+  cache.Insert(1, 10, 100);
+  cache.Insert(2, 10, 200);
+  Distance d = 0;
+  ASSERT_TRUE(cache.Lookup(1, 10, &d));  // touch: 1 becomes MRU
+  cache.Insert(3, 10, 300);              // evicts 2 (LRU), not 1
+  EXPECT_TRUE(cache.Lookup(1, 10, &d));
+  EXPECT_FALSE(cache.Lookup(2, 10, &d));
+  EXPECT_TRUE(cache.Lookup(3, 10, &d));
+  const QueryCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(QueryCache, BoundedUnderChurn) {
+  QueryCacheOptions opts;
+  opts.num_shards = 4;
+  opts.capacity_bytes = 64 * QueryCache::kBytesPerEntry;
+  QueryCache cache(opts);
+  for (VertexId i = 0; i < 10000; ++i) cache.Insert(i, i + 1, i);
+  EXPECT_LE(cache.GetStats().entries, cache.capacity_entries());
+}
+
+// ---------------------------------------------------------------------------
+// The cache hook in ISLabelIndex::Query
+// ---------------------------------------------------------------------------
+
+TEST(IndexCache, CachedAnswersMatchUncached) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 300, /*weighted=*/true, 7);
+  auto built = ISLabelIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  const auto pairs = SampleQueryPairs(g, 200, 11);
+
+  // Uncached ground truth first.
+  std::vector<Distance> expect(pairs.size(), 0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_TRUE(
+        index.Query(pairs[i].first, pairs[i].second, &expect[i]).ok());
+  }
+
+  auto cache = std::make_shared<QueryCache>();
+  index.set_distance_cache(cache);
+  // Pass 1 fills the cache; pass 2 must hit it; pass 3 queries the
+  // reversed pairs, which share canonical entries. Every answer must be
+  // bit-identical to the uncached one.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const VertexId s = pass == 2 ? pairs[i].second : pairs[i].first;
+      const VertexId t = pass == 2 ? pairs[i].first : pairs[i].second;
+      Distance d = 0;
+      ASSERT_TRUE(index.Query(s, t, &d).ok());
+      ASSERT_EQ(d, expect[i]) << "pair " << i << " pass " << pass;
+    }
+  }
+  const QueryCacheStats stats = cache->GetStats();
+  EXPECT_GT(stats.hits, 0u);
+  // Passes 2 and 3 are all hits (pass 1 missed at most once per pair).
+  EXPECT_GE(stats.hits, 2 * pairs.size());
+}
+
+TEST(IndexCache, StatsQueriesBypassTheCache) {
+  Graph g = MakeTestGraph(Family::kErdosRenyi, 100, /*weighted=*/true, 3);
+  auto built = ISLabelIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  auto cache = std::make_shared<QueryCache>();
+  index.set_distance_cache(cache);
+  Distance d = 0;
+  ASSERT_TRUE(index.Query(1, 2, &d).ok());  // fills the cache
+  QueryStats qstats;
+  ASSERT_TRUE(index.Query(1, 2, &d, &qstats).ok());
+  // An instrumented query must have run the real engine.
+  EXPECT_EQ(cache->GetStats().hits, 0u);
+}
+
+TEST(IndexCache, InsertVertexInvalidates) {
+  // A weighted path: inserting a new vertex adjacent to both endpoints
+  // creates a shortcut, so the cached end-to-end distance must change.
+  Graph g = MakeTestGraph(Family::kPath, 12, /*weighted=*/true, 4);
+  auto built = ISLabelIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  const VertexId s = 0, t = g.NumVertices() - 1;
+
+  auto cache = std::make_shared<QueryCache>();
+  index.set_distance_cache(cache);
+  Distance before = 0;
+  ASSERT_TRUE(index.Query(s, t, &before).ok());
+  ASSERT_TRUE(index.Query(s, t, &before).ok());  // now cached
+  ASSERT_GT(before, 2u);
+
+  const VertexId v = g.NumVertices();
+  ASSERT_TRUE(index.InsertVertex(v, {{s, 1}, {t, 1}}).ok());
+
+  Distance after = 0;
+  ASSERT_TRUE(index.Query(s, t, &after).ok());
+  EXPECT_EQ(after, 2u) << "stale cached distance served across InsertVertex";
+  // And the new answer is itself cached and stable.
+  Distance again = 0;
+  ASSERT_TRUE(index.Query(s, t, &again).ok());
+  EXPECT_EQ(again, after);
+}
+
+TEST(IndexCache, DeleteVertexInvalidatesAndPinsStaleTransit) {
+  // The §8.3 pinned scenario from test_updates.cc, now with the cache in
+  // front: after DeleteVertex the generation bump forces a recompute, and
+  // the recomputed answer must equal what the engine answers uncached —
+  // the documented stale-transit distance, NOT a cache artifact.
+  Graph g = MakeTestGraph(Family::kPath, 12, /*weighted=*/true, 4);
+  IndexOptions opts;
+  opts.forced_k = 2;
+  auto built = ISLabelIndex::Build(g, opts);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  VertexId v = kInvalidVertex;
+  for (VertexId u = 1; u + 1 < g.NumVertices(); ++u) {
+    if (!index.InCore(u)) {
+      v = u;
+      break;
+    }
+  }
+  ASSERT_NE(v, kInvalidVertex);
+  const VertexId a = v - 1, b = v + 1;
+  const Distance transit = g.EdgeWeight(a, v) + g.EdgeWeight(v, b);
+
+  auto cache = std::make_shared<QueryCache>();
+  index.set_distance_cache(cache);
+  Distance pre = 0;
+  ASSERT_TRUE(index.Query(a, b, &pre).ok());
+  ASSERT_EQ(pre, transit);
+  Distance via = 0;
+  ASSERT_TRUE(index.Query(a, v, &via).ok());  // cache the deleted endpoint
+
+  ASSERT_TRUE(index.DeleteVertex(v).ok());
+
+  // Cached pairs naming the deleted endpoint fail before the cache.
+  Distance d = 0;
+  EXPECT_TRUE(index.Query(a, v, &d).IsNotFound());
+  EXPECT_TRUE(index.Query(v, b, &d).IsNotFound());
+
+  // a-b recomputes under the new generation...
+  const std::uint64_t hits_before = cache->GetStats().hits;
+  Distance post = 0;
+  ASSERT_TRUE(index.Query(a, b, &post).ok());
+  EXPECT_EQ(cache->GetStats().hits, hits_before)
+      << "a-b was served from a stale cache entry across DeleteVertex";
+  // ...and still answers the pinned §8.3 stale-transit distance, exactly
+  // as the uncached engine does.
+  EXPECT_EQ(post, transit);
+  Distance cached_post = 0;
+  ASSERT_TRUE(index.Query(a, b, &cached_post).ok());
+  EXPECT_EQ(cached_post, post);
+  EXPECT_GT(cache->GetStats().hits, hits_before);
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback integration
+// ---------------------------------------------------------------------------
+
+/// Minimal blocking line client for the loopback tests. A 10 s receive
+/// timeout turns a protocol bug into a test failure instead of a hang.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+    EXPECT_TRUE(connected_);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next '\n'-terminated line (without the '\n'); "<eof>" on close.
+  std::string ReadLine() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "<eof>";
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::vector<std::string> ReadLines(std::size_t count) {
+    std::vector<std::string> lines;
+    lines.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) lines.push_back(ReadLine());
+    return lines;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = MakeTestGraph(Family::kErdosRenyi, 300, /*weighted=*/true, 21);
+    auto built = ISLabelIndex::Build(graph_);
+    ASSERT_TRUE(built.ok());
+    index_ = std::move(built).value();
+    cache_ = std::make_shared<QueryCache>();
+    index_.set_distance_cache(cache_);
+
+    TcpServerOptions opts;
+    opts.port = 0;  // ephemeral
+    opts.num_workers = 4;
+    server_ = std::make_unique<TcpServer>(&index_, cache_.get(), opts);
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+
+    // Single-threaded ground truth through a private engine (bypasses
+    // both the pool and the cache).
+    engine_ = std::make_unique<QueryEngine>(&index_.hierarchy(),
+                                            LabelProvider(&index_.labels()));
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->Wait();
+    }
+  }
+
+  Distance Expected(VertexId s, VertexId t) {
+    Distance d = 0;
+    EXPECT_TRUE(engine_->Query(s, t, &d).ok());
+    return d;
+  }
+
+  Graph graph_;
+  ISLabelIndex index_;
+  std::shared_ptr<QueryCache> cache_;
+  std::unique_ptr<TcpServer> server_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(TcpServerTest, AnswersMixedRequests) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("1 2\n");
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)));
+
+  client.Send("one 1 2 3 4\n");
+  EXPECT_EQ(client.ReadLine(),
+            server::FormatDistances(
+                {Expected(1, 2), Expected(1, 3), Expected(1, 4)}));
+
+  client.Send("path 1 5\n");
+  const std::string path_line = client.ReadLine();
+  const Distance d15 = Expected(1, 5);
+  if (d15 == kInfDistance) {
+    EXPECT_EQ(path_line, "unreachable");
+  } else {
+    std::istringstream is(path_line);
+    Distance dist = 0;
+    char colon = 0;
+    ASSERT_TRUE(is >> dist >> colon);
+    EXPECT_EQ(dist, d15);
+    EXPECT_EQ(colon, ':');
+    std::vector<VertexId> path;
+    VertexId vertex = 0;
+    while (is >> vertex) path.push_back(vertex);
+    testing::AssertValidPath(graph_, 1, 5, path, dist);
+  }
+
+  client.Send("1 2 junk\n");
+  EXPECT_EQ(client.ReadLine(), "error: usage: S T");
+  client.Send("bogus\n");
+  EXPECT_EQ(client.ReadLine(), "error: unrecognized request: bogus");
+  client.Send("9999999 1\n");
+  EXPECT_EQ(client.ReadLine(), "error: OutOfRange: vertex id out of range");
+
+  client.Send("stats\n");
+  const std::string stats_line = client.ReadLine();
+  EXPECT_EQ(stats_line.rfind("stats:", 0), 0u) << stats_line;
+  EXPECT_NE(stats_line.find("requests="), std::string::npos);
+
+  client.Send("quit\n");
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsAnswerInOrder) {
+  const auto pairs = SampleQueryPairs(graph_, 64, 5);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (const auto& [s, t] : pairs) {
+    burst += std::to_string(s) + " " + std::to_string(t) + "\n";
+  }
+  client.Send(burst);  // everything in one write
+  for (const auto& [s, t] : pairs) {
+    ASSERT_EQ(client.ReadLine(), server::FormatDistance(Expected(s, t)))
+        << "pipelined (" << s << ", " << t << ")";
+  }
+}
+
+TEST_F(TcpServerTest, PartialWritesReassemble) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // One request dribbled byte-wise across many TCP segments...
+  const std::string req = "one 1 2 3\n";
+  for (char c : req) {
+    client.Send(std::string(1, c));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(client.ReadLine(),
+            server::FormatDistances({Expected(1, 2), Expected(1, 3)}));
+  // ...and a split that lands mid-token, plus the next request's head in
+  // the same segment as the previous tail.
+  client.Send("pa");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  client.Send("th 1 5\n7 ");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  client.Send("9\n");
+  const std::string path_line = client.ReadLine();
+  const Distance d15 = Expected(1, 5);
+  if (d15 == kInfDistance) {
+    EXPECT_EQ(path_line, "unreachable");
+  } else {
+    EXPECT_EQ(path_line.substr(0, path_line.find(':')),
+              server::FormatDistance(d15));
+  }
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(7, 9)));
+}
+
+TEST_F(TcpServerTest, ConcurrentClientsGetCorrectAnswers) {
+  // ≥ 4 concurrent connections, each mixing pipelined bursts, one/path
+  // requests, repeated pairs (cache hits), and a stats probe. Every
+  // distance is checked against the single-threaded engine.
+  constexpr int kClients = 6;
+  constexpr std::size_t kPairsPerClient = 40;
+
+  // Precompute per-client workloads and expected answers (the engine is
+  // not thread-safe, so ground truth is established up front).
+  struct Op {
+    std::string request;
+    std::string expected;  // empty = skip exact check (stats)
+  };
+  std::vector<std::vector<Op>> workloads(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    auto pairs = SampleQueryPairs(graph_, kPairsPerClient,
+                                  /*seed=*/100 + c % 3);  // overlap → hits
+    std::vector<Op>& ops = workloads[c];
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto [s, t] = pairs[i];
+      if (i % 10 == 3) {
+        ops.push_back({"one " + std::to_string(s) + " " + std::to_string(t) +
+                           " " + std::to_string((t + 1) % graph_.NumVertices()),
+                       server::FormatDistances(
+                           {Expected(s, t),
+                            Expected(s, (t + 1) % graph_.NumVertices())})});
+      } else if (i % 10 == 7) {
+        ops.push_back({"stats", ""});
+      } else {
+        ops.push_back({std::to_string(s) + " " + std::to_string(t),
+                       server::FormatDistance(Expected(s, t))});
+      }
+    }
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures[c] = "connect failed";
+        return;
+      }
+      const std::vector<Op>& ops = workloads[c];
+      // Mix transport patterns per client: pipelined bursts for even
+      // clients, partial writes for odd ones.
+      if (c % 2 == 0) {
+        std::string burst;
+        for (const Op& op : ops) burst += op.request + "\n";
+        client.Send(burst);
+      } else {
+        for (const Op& op : ops) {
+          const std::string line = op.request + "\n";
+          const std::size_t half = line.size() / 2;
+          client.Send(line.substr(0, half));
+          client.Send(line.substr(half));
+        }
+      }
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const std::string got = client.ReadLine();
+        if (got == "<eof>") {
+          failures[c] = "premature eof at op " + std::to_string(i);
+          return;
+        }
+        if (!ops[i].expected.empty() && got != ops[i].expected) {
+          failures[c] = "op " + std::to_string(i) + " (" + ops[i].request +
+                        "): got '" + got + "' want '" + ops[i].expected + "'";
+          return;
+        }
+        if (ops[i].expected.empty() && got.rfind("stats:", 0) != 0) {
+          failures[c] = "bad stats response: " + got;
+          return;
+        }
+      }
+      client.Send("quit\n");
+      if (client.ReadLine() != "<eof>") failures[c] = "quit did not close";
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+
+  const auto stats = server_->stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_GT(stats.requests, 0u);
+  // Overlapping workloads → the shared cache must have been hit.
+  EXPECT_GT(cache_->GetStats().hits, 0u);
+}
+
+TEST_F(TcpServerTest, RequestsAfterQuitAreDropped) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("1 2\nquit\n3 4\n5 6\n");
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+}
+
+TEST_F(TcpServerTest, SurvivesAbruptDisconnect) {
+  {
+    TestClient client(server_->port());
+    ASSERT_TRUE(client.connected());
+    client.Send("1 2\n");
+    // Close without reading the response or sending quit.
+  }
+  // The server must still serve new connections.
+  TestClient client2(server_->port());
+  ASSERT_TRUE(client2.connected());
+  client2.Send("3 4\n");
+  EXPECT_EQ(client2.ReadLine(), server::FormatDistance(Expected(3, 4)));
+}
+
+TEST_F(TcpServerTest, OverlongLineIsRejected) {
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 1;
+  opts.max_line_bytes = 64;
+  TcpServer small(&index_, cache_.get(), opts);
+  ASSERT_TRUE(small.Start().ok());
+  TestClient client(small.port());
+  ASSERT_TRUE(client.connected());
+  client.Send(std::string(1000, '7'));  // no newline, over the limit
+  EXPECT_EQ(client.ReadLine(), "error: request line too long");
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+  small.Stop();
+  small.Wait();
+}
+
+TEST_F(TcpServerTest, StopDrainsAndCloses) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("1 2\n");
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  server_->Stop();
+  server_->Wait();
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+  EXPECT_EQ(server_->stats().connections_open, 0u);
+}
+
+}  // namespace
+}  // namespace islabel

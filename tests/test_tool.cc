@@ -1,0 +1,202 @@
+// End-to-end tests for the islabel CLI: drives the real binary (path
+// injected by CMake as ISLABEL_TOOL_PATH) through gen → build → query /
+// batch / serve pipelines and asserts on the exact protocol responses,
+// validated against the library loaded in-process.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+#include "graph/graph_io.h"
+#include "tests/test_common.h"
+
+namespace islabel {
+namespace {
+
+using testing::Family;
+using testing::MakeTestGraph;
+
+/// Runs `command` under sh, captures stdout (stderr discarded), returns
+/// the exit code.
+int RunCommand(const std::string& command, std::string* stdout_text) {
+  stdout_text->clear();
+  std::FILE* pipe = ::popen((command + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    stdout_text->append(buf, n);
+  }
+  const int rc = ::pclose(pipe);
+  return WEXITSTATUS(rc);
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t nl = text.find('\n', begin);
+    if (nl == std::string::npos) nl = text.size();
+    lines.push_back(text.substr(begin, nl - begin));
+    begin = nl + 1;
+  }
+  return lines;
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tool_ = ISLABEL_TOOL_PATH;
+    ASSERT_TRUE(std::filesystem::exists(tool_))
+        << "islabel binary not built at " << tool_;
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("islabel_tool_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+    graph_path_ = dir_ + "/g.txt";
+    index_dir_ = dir_ + "/idx";
+
+    // A deterministic weighted graph written through the library, then
+    // indexed through the CLI.
+    graph_ = MakeTestGraph(Family::kErdosRenyi, 200, /*weighted=*/true, 9);
+    ASSERT_TRUE(WriteEdgeListText(graph_, graph_path_).ok());
+    std::string out;
+    ASSERT_EQ(RunCommand(tool_ + " build --graph " + graph_path_ +
+                             " --index " + index_dir_,
+                         &out),
+              0)
+        << out;
+    ASSERT_NE(out.find("saved to"), std::string::npos) << out;
+
+    auto loaded = ISLabelIndex::Load(index_dir_);
+    ASSERT_TRUE(loaded.ok());
+    index_ = std::move(loaded).value();
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Distance Dist(VertexId s, VertexId t) {
+    Distance d = 0;
+    EXPECT_TRUE(index_.Query(s, t, &d).ok());
+    return d;
+  }
+  std::string DistStr(VertexId s, VertexId t) {
+    const Distance d = Dist(s, t);
+    return d == kInfDistance ? "unreachable" : std::to_string(d);
+  }
+
+  std::string tool_;
+  std::string dir_;
+  std::string graph_path_;
+  std::string index_dir_;
+  Graph graph_;
+  ISLabelIndex index_;
+};
+
+TEST_F(ToolTest, QueryCommandAnswersPairs) {
+  std::string out;
+  ASSERT_EQ(
+      RunCommand(tool_ + " query --index " + index_dir_ + " 1 2 3 4", &out),
+      0);
+  EXPECT_NE(out.find("dist(1, 2) = " + DistStr(1, 2)), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("dist(3, 4) = " + DistStr(3, 4)), std::string::npos)
+      << out;
+}
+
+TEST_F(ToolTest, ServeAnswersProtocolOverPipes) {
+  std::string out;
+  const std::string script =
+      "printf '1 2\\none 1 2 3\\npath 1 5\\nstats\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --index " +
+                           index_dir_ + " --cache-mb 8",
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 4u) << out;
+  EXPECT_EQ(lines[0], DistStr(1, 2));
+  EXPECT_EQ(lines[1],
+            DistStr(1, 2) + " " + DistStr(1, 3));
+  // path response: "D: v0 ... vk" (or unreachable).
+  if (Dist(1, 5) == kInfDistance) {
+    EXPECT_EQ(lines[2], "unreachable");
+  } else {
+    EXPECT_EQ(lines[2].substr(0, lines[2].find(':')), DistStr(1, 5));
+  }
+  EXPECT_EQ(lines[3].rfind("stats:", 0), 0u) << lines[3];
+  EXPECT_NE(lines[3].find("requests=4"), std::string::npos) << lines[3];
+}
+
+TEST_F(ToolTest, ServeRejectsMalformedRequests) {
+  // The PR-4 satellite fix: trailing garbage and non-numeric ids answer
+  // with a usage error instead of being silently truncated.
+  std::string out;
+  const std::string script =
+      "printf '1 2 junk\\n1 x\\nnonsense req\\n7 8\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --index " +
+                           index_dir_,
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 4u) << out;
+  EXPECT_EQ(lines[0], "error: usage: S T");
+  EXPECT_EQ(lines[1], "error: usage: S T");
+  EXPECT_EQ(lines[2], "error: unrecognized request: nonsense req");
+  EXPECT_EQ(lines[3], DistStr(7, 8));  // the loop keeps serving
+}
+
+TEST_F(ToolTest, ServeDiskModeMatchesInMemory) {
+  std::string out;
+  const std::string script = "printf '1 2\\n3 4\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --index " +
+                           index_dir_ + " --disk",
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 2u) << out;
+  EXPECT_EQ(lines[0], DistStr(1, 2));
+  EXPECT_EQ(lines[1], DistStr(3, 4));
+}
+
+TEST_F(ToolTest, BatchAnswersPairsFile) {
+  const std::string pairs_path = dir_ + "/pairs.txt";
+  std::FILE* f = std::fopen(pairs_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "1 2\n3 4\n# comment\n5 6\n");
+  std::fclose(f);
+  std::string out;
+  ASSERT_EQ(RunCommand(tool_ + " batch --index " + index_dir_ + " --in " +
+                           pairs_path,
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 3u) << out;
+  EXPECT_EQ(lines[0], "1 2 " + DistStr(1, 2));
+  EXPECT_EQ(lines[1], "3 4 " + DistStr(3, 4));
+  EXPECT_EQ(lines[2], "5 6 " + DistStr(5, 6));
+}
+
+TEST_F(ToolTest, GenStatsRoundTrip) {
+  const std::string gen_path = dir_ + "/gen.txt";
+  std::string out;
+  ASSERT_EQ(RunCommand(tool_ + " gen --type grid --n 100 --out " + gen_path,
+                       &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos) << out;
+  ASSERT_EQ(RunCommand(tool_ + " stats --graph " + gen_path, &out), 0);
+  EXPECT_NE(out.find("vertices:"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace islabel

@@ -5,13 +5,16 @@
 //   islabel build  --graph FILE --index DIR [--sigma S | --k K] [...]
 //   islabel query  --index DIR [--disk] [--path] S T [S T ...]
 //   islabel batch  --index DIR [--disk] [--threads T] [--in FILE]
-//   islabel serve  --index DIR [--disk]
+//   islabel serve  --index DIR [--disk] [--listen HOST:PORT]
+//                  [--threads N] [--cache-mb M]
 //   islabel bench  --index DIR [--queries N] [--disk]
 //
 // Graphs are text edge lists ("u v [w]" per line, '#' comments — SNAP
 // compatible). Indexes are the three-file directories of ISLabelIndex.
 // `batch` answers a file/stdin of "s t" pairs in parallel over the engine
-// pool; `serve` is a line-oriented request loop (see CmdServe).
+// pool; `serve` speaks the line-oriented wire protocol of
+// server/protocol.h on stdin/stdout, or over TCP with --listen (see
+// CmdServe).
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +33,10 @@
 #include "graph/graph_io.h"
 #include "graph/components.h"
 #include "graph/stats.h"
+#include "server/dispatcher.h"
+#include "server/protocol.h"
+#include "server/query_cache.h"
+#include "server/tcp_server.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -93,7 +101,8 @@ int Usage() {
       "                [--no-vias] [--external-mb MB] [--tmp DIR]\n"
       "  islabel query --index DIR [--disk] [--path] S T [S T ...]\n"
       "  islabel batch --index DIR [--disk] [--threads T] [--in FILE]\n"
-      "  islabel serve --index DIR [--disk]\n"
+      "  islabel serve --index DIR [--disk] [--listen HOST:PORT]\n"
+      "                [--threads N] [--cache-mb M]\n"
       "  islabel bench --index DIR [--queries N] [--disk] [--verify]\n");
   return 2;
 }
@@ -345,15 +354,15 @@ int CmdBatch(const Args& args) {
   return 0;
 }
 
-// serve: line-oriented request loop on stdin/stdout. Requests:
-//   S T             distance query        → "DIST" | "unreachable"
-//   one S T1 T2...  one-to-many           → one distance per target
-//   path S T        shortest path         → "DIST: v0 v1 ... vk"
-//   quit            exit (EOF also exits)
-// One response line per request, flushed immediately, "error: ..." on
-// failure — trivially scriptable, and because every entry point leases an
-// engine from the pool, several serve processes (or a threaded front end
-// linked against the library) can share one disk-resident index.
+// serve: the line-oriented wire protocol of server/protocol.h
+// ("S T", "one S T1 T2...", "path S T", "stats", "quit"), one response
+// line per request. Default front end is stdin/stdout (trivially
+// scriptable); --listen HOST:PORT serves the same protocol over TCP with
+// the epoll server (--threads workers, SIGINT/SIGTERM shut it down
+// gracefully). --cache-mb M puts a sharded LRU distance cache in front
+// of the engine (default 64 MB in TCP mode, off in stdin mode); cache
+// entries are invalidated by generation on every index update, so cached
+// answers are always identical to freshly computed ones.
 int CmdServe(const Args& args) {
   auto loaded = LoadIndexArg(args);
   if (!loaded.ok()) {
@@ -362,88 +371,89 @@ int CmdServe(const Args& args) {
     return 1;
   }
   ISLabelIndex index = std::move(loaded).value();
+  const bool tcp = args.Has("listen");
+
+  std::shared_ptr<server::QueryCache> cache;
+  const long cache_mb = args.GetInt("cache-mb", tcp ? 64 : 0);
+  if (cache_mb > 0) {
+    server::QueryCacheOptions copts;
+    copts.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
+    cache = std::make_shared<server::QueryCache>(copts);
+    index.set_distance_cache(cache);
+  }
+
+  if (tcp) {
+    const std::string listen = args.Get("listen", "");
+    const std::size_t colon = listen.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? "" : listen.substr(colon + 1);
+    char* port_end = nullptr;
+    const unsigned long port =
+        port_str.empty() ? 65536ul
+                         : std::strtoul(port_str.c_str(), &port_end, 10);
+    if (colon == std::string::npos || colon == 0 || port > 65535 ||
+        port_end == nullptr || *port_end != '\0') {
+      std::fprintf(stderr,
+                   "--listen expects HOST:PORT (port 0-65535, 0 = "
+                   "ephemeral)\n");
+      return 2;
+    }
+    server::TcpServerOptions sopts;
+    sopts.host = listen.substr(0, colon);
+    sopts.port = static_cast<std::uint16_t>(port);
+    sopts.num_workers = static_cast<std::uint32_t>(args.GetInt("threads", 0));
+    sopts.install_signal_handlers = true;
+    server::TcpServer tcp_server(&index, cache.get(), sopts);
+    Status st = tcp_server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving %u vertices (%s labels, cache %ld MB) on %s:%u; "
+                 "SIGINT/SIGTERM to stop\n",
+                 index.NumVertices(), args.Has("disk") ? "disk" : "in-memory",
+                 cache_mb > 0 ? cache_mb : 0, sopts.host.c_str(),
+                 tcp_server.port());
+    tcp_server.Wait();
+    const server::TcpServerStats stats = tcp_server.stats();
+    std::fprintf(stderr,
+                 "served %llu requests (%llu errors) over %llu connections\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.errors),
+                 static_cast<unsigned long long>(stats.connections_accepted));
+    return 0;
+  }
+
   std::fprintf(stderr,
                "serving %u vertices (%s labels); 'S T', 'one S T...', "
-               "'path S T', 'quit'\n",
+               "'path S T', 'stats', 'quit'\n",
                index.NumVertices(), args.Has("disk") ? "disk" : "in-memory");
-
+  server::RequestDispatcher dispatcher(&index);
   std::string line;
   while (std::getline(std::cin, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string head;
-    ls >> head;
-    if (head == "quit" || head == "exit") break;
-
-    if (head == "one") {
-      VertexId s = 0;
-      std::vector<VertexId> targets;
-      VertexId t = 0;
-      if (!(ls >> s)) {
-        std::printf("error: usage: one S T1 [T2 ...]\n");
-        std::fflush(stdout);
-        continue;
+    const server::Request req = server::ParseRequest(line);
+    if (req.kind == server::RequestKind::kNone) continue;
+    if (req.kind == server::RequestKind::kQuit) break;
+    std::string response;
+    if (req.kind == server::RequestKind::kStats) {
+      dispatcher.CountStatsRequest();
+      server::ServeStats stats;
+      stats.requests = dispatcher.requests();
+      stats.errors = dispatcher.errors();
+      if (cache != nullptr) {
+        const server::QueryCacheStats cs = cache->GetStats();
+        stats.cache_hits = cs.hits;
+        stats.cache_misses = cs.misses;
+        stats.cache_entries = cs.entries;
+        stats.cache_generation = cs.generation;
       }
-      while (ls >> t) targets.push_back(t);
-      std::vector<Distance> dists;
-      Status st = index.QueryOneToMany(s, targets, &dists);
-      if (!st.ok()) {
-        std::printf("error: %s\n", st.ToString().c_str());
-      } else {
-        for (std::size_t i = 0; i < dists.size(); ++i) {
-          if (dists[i] == kInfDistance) {
-            std::printf("%sunreachable", i == 0 ? "" : " ");
-          } else {
-            std::printf("%s%llu", i == 0 ? "" : " ",
-                        static_cast<unsigned long long>(dists[i]));
-          }
-        }
-        std::printf("\n");
-      }
-      std::fflush(stdout);
-      continue;
-    }
-
-    if (head == "path") {
-      VertexId s = 0, t = 0;
-      if (!(ls >> s >> t)) {
-        std::printf("error: usage: path S T\n");
-        std::fflush(stdout);
-        continue;
-      }
-      std::vector<VertexId> path;
-      Distance d = 0;
-      Status st = index.ShortestPath(s, t, &path, &d);
-      if (!st.ok()) {
-        std::printf("error: %s\n", st.ToString().c_str());
-      } else if (d == kInfDistance) {
-        std::printf("unreachable\n");
-      } else {
-        std::printf("%llu:", static_cast<unsigned long long>(d));
-        for (VertexId v : path) std::printf(" %u", v);
-        std::printf("\n");
-      }
-      std::fflush(stdout);
-      continue;
-    }
-
-    // Bare "S T" distance query.
-    VertexId s = 0, t = 0;
-    std::istringstream qs(line);
-    if (!(qs >> s >> t)) {
-      std::printf("error: unrecognized request: %s\n", line.c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    Distance d = 0;
-    Status st = index.Query(s, t, &d);
-    if (!st.ok()) {
-      std::printf("error: %s\n", st.ToString().c_str());
-    } else if (d == kInfDistance) {
-      std::printf("unreachable\n");
+      response = server::FormatStats(stats);
     } else {
-      std::printf("%llu\n", static_cast<unsigned long long>(d));
+      response = dispatcher.Execute(req);
     }
+    std::printf("%s\n", response.c_str());
     std::fflush(stdout);
   }
   return 0;
