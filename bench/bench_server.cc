@@ -14,6 +14,14 @@
 // engine; any mismatch fails the bench with exit code 2 (same contract
 // as bench_query_throughput). Results go to BENCH_server.json (override:
 // ISLABEL_BENCH_JSON). ISLABEL_SCALE / ISLABEL_QUERIES as usual.
+//
+// A final catalog leg exercises the multi-dataset serving layer: two
+// disconnected datasets built as partitioned catalogs and hosted by one
+// catalog-mode server, four clients switching datasets with `use` while
+// a fifth connection issues `reload` continuously. Served answers are
+// re-verified against fresh per-part engines (routing map + one
+// QueryEngine per component); results go to BENCH_catalog.json
+// (override: ISLABEL_BENCH_CATALOG_JSON), mismatches exit 2.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -24,12 +32,15 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "catalog/catalog.h"
+#include "catalog/partitioned_index.h"
 #include "core/index.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
@@ -179,6 +190,234 @@ LegResult RunWorkload(std::uint16_t port,
   result.qps = result.seconds > 0
                    ? static_cast<double>(result.requests) / result.seconds
                    : 0.0;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog leg: multi-dataset hosting + reload under load
+// ---------------------------------------------------------------------------
+
+/// Answers queries the way the catalog must: route via the partition
+/// map, then one fresh QueryEngine per part — the independent ground
+/// truth the served responses are verified against.
+class FreshPartEngines {
+ public:
+  explicit FreshPartEngines(PartitionedIndex* index) : index_(index) {
+    engines_.reserve(index->num_parts());
+    for (std::uint32_t p = 0; p < index->num_parts(); ++p) {
+      ISLabelIndex* part = index->mutable_part(p);
+      engines_.push_back(std::make_unique<QueryEngine>(
+          &part->hierarchy(), LabelProvider(&part->labels())));
+    }
+  }
+
+  std::string Expect(VertexId s, VertexId t) {
+    if (index_->ComponentOf(s) != index_->ComponentOf(t)) {
+      return server::FormatDistance(kInfDistance);
+    }
+    const std::uint32_t p = index_->PartOf(s);
+    if (p == GraphPartition::kNoPart) return server::FormatDistance(0);
+    Distance d = 0;
+    (void)engines_[p]->Query(index_->LocalId(s), index_->LocalId(t), &d);
+    return server::FormatDistance(d);
+  }
+
+ private:
+  PartitionedIndex* index_;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+};
+
+struct CatalogLegResult {
+  double seconds = 0.0;
+  double qps = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t mismatches = 0;
+  std::uint32_t parts = 0;
+};
+
+/// Builds two disconnected datasets (each dataset = two offset copies of
+/// a generator graph, so the partitioner produces multiple parts), saves
+/// them as catalog directories, and serves both from one catalog-mode
+/// TCP server while clients switch datasets and a reloader hot-swaps
+/// them continuously.
+CatalogLegResult RunCatalogLeg(double scale, std::size_t num_pairs) {
+  CatalogLegResult result;
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("islabel_bench_catalog_" + std::to_string(::getpid())))
+          .string();
+  // Unconditional cleanup: the early-failure returns below must not
+  // leak the temp catalog directories.
+  struct TempDirGuard {
+    std::string path;
+    ~TempDirGuard() {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  } guard{root};
+  const std::vector<std::string> sources = {DatasetNames()[0],
+                                            DatasetNames()[1]};
+  const std::vector<std::string> names = {"cat0", "cat1"};
+
+  Catalog catalog;
+  std::vector<std::unique_ptr<PartitionedIndex>> verify;
+  std::vector<std::vector<std::pair<VertexId, VertexId>>> pairs(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    Dataset d = MakeDataset(sources[i], scale);
+    // Two offset copies of the component → a genuinely partitioned
+    // dataset with guaranteed cross-component pairs.
+    EdgeList edges = d.graph.ToEdgeList();
+    const VertexId half = d.graph.NumVertices();
+    const std::size_t original = edges.size();
+    for (std::size_t e = 0; e < original; ++e) {
+      const Edge copy = edges.edges()[e];
+      edges.Add(copy.u + half, copy.v + half, copy.w);
+    }
+    Graph g = Graph::FromEdgeList(std::move(edges));
+    auto built = PartitionedIndex::Build(g);
+    if (!built.ok()) {
+      std::fprintf(stderr, "!! catalog dataset build failed: %s\n",
+                   built.status().ToString().c_str());
+      ++result.mismatches;
+      return result;
+    }
+    const std::string dir = root + "/" + names[i];
+    if (!built->Save(dir).ok() || !catalog.Add(names[i], dir).ok()) {
+      std::fprintf(stderr, "!! catalog dataset save/add failed\n");
+      ++result.mismatches;
+      return result;
+    }
+    result.parts += built->num_parts();
+    // Ground truth: an independently loaded copy + fresh per-part
+    // engines. Queries mix same-component and cross-component pairs.
+    auto fresh = PartitionedIndex::Load(dir);
+    if (!fresh.ok()) {
+      std::fprintf(stderr, "!! catalog dataset reload failed\n");
+      ++result.mismatches;
+      return result;
+    }
+    verify.push_back(
+        std::make_unique<PartitionedIndex>(std::move(fresh).value()));
+    pairs[i] = MakeQueries(g, num_pairs, 400 + i);
+  }
+  if (!catalog.WaitReady().ok()) {
+    std::fprintf(stderr, "!! catalog load failed\n");
+    ++result.mismatches;
+    return result;
+  }
+  for (const std::string& name : names) {
+    (void)catalog.SetDistanceCache(name,
+                                   std::make_shared<server::QueryCache>());
+  }
+
+  // Per-client rounds alternating datasets; expectations from the fresh
+  // per-part engines.
+  struct Round {
+    std::string use_line;
+    std::string burst;
+    std::vector<std::string> expect;
+  };
+  constexpr int kRounds = 4;
+  std::vector<std::vector<Round>> plans(kClients);
+  {
+    std::vector<FreshPartEngines> engines;
+    engines.reserve(verify.size());
+    for (auto& v : verify) engines.emplace_back(v.get());
+    for (unsigned c = 0; c < kClients; ++c) {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::size_t d = (c + static_cast<unsigned>(r)) % names.size();
+        Round round;
+        round.use_line = "use " + names[d] + "\n";
+        const auto indices =
+            SkewedIndices(pairs[d].size(), pairs[d].size(), 500 + 10 * c + r);
+        for (std::size_t idx : indices) {
+          const auto [s, t] = pairs[d][idx];
+          round.burst += std::to_string(s) + " " + std::to_string(t) + "\n";
+          round.expect.push_back(engines[d].Expect(s, t));
+        }
+        plans[c].push_back(std::move(round));
+      }
+    }
+  }
+
+  server::TcpServerOptions sopts;
+  sopts.port = 0;
+  sopts.num_workers = kClients + 1;  // clients + the reloader
+  server::TcpServer srv(&catalog, names[0], sopts);
+  if (!srv.Start().ok()) {
+    std::fprintf(stderr, "!! catalog server failed to start\n");
+    ++result.mismatches;
+    return result;
+  }
+
+  std::atomic<bool> stop_reloading{false};
+  std::atomic<std::uint64_t> reloads{0};
+  std::thread reloader([&] {
+    BenchClient client(srv.port());
+    if (!client.ok()) return;
+    std::string line;
+    int flips = 0;
+    while (!stop_reloading.load(std::memory_order_acquire)) {
+      const std::string name = names[static_cast<std::size_t>(flips++) %
+                                     names.size()];
+      if (!client.Send("reload " + name + "\n") || !client.ReadLine(&line) ||
+          line != "ok: reloaded " + name) {
+        return;
+      }
+      reloads.fetch_add(1, std::memory_order_relaxed);
+    }
+    client.Send("quit\n");
+  });
+
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> completed{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      BenchClient client(srv.port());
+      if (!client.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      std::string line;
+      for (const Round& round : plans[c]) {
+        if (!client.Send(round.use_line + round.burst) ||
+            !client.ReadLine(&line) ||
+            line.rfind("ok: using ", 0) != 0) {
+          mismatches.fetch_add(round.expect.size());
+          return;
+        }
+        for (const std::string& expect : round.expect) {
+          if (!client.ReadLine(&line) || line != expect) {
+            mismatches.fetch_add(1);
+          }
+          completed.fetch_add(1);
+        }
+      }
+      client.Send("quit\n");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.seconds = timer.ElapsedSeconds();
+  stop_reloading.store(true, std::memory_order_release);
+  reloader.join();
+  srv.Stop();
+  srv.Wait();
+
+  result.requests = completed.load();
+  result.reloads = reloads.load();
+  result.mismatches += mismatches.load();
+  result.qps = result.seconds > 0
+                   ? static_cast<double>(result.requests) / result.seconds
+                   : 0.0;
+  // A leg with zero reloads never exercised hot swap: count it as an
+  // infrastructure failure rather than a vacuous pass.
+  if (result.reloads == 0) {
+    std::fprintf(stderr, "!! catalog leg completed without any reload\n");
+    ++result.mismatches;
+  }
   return result;
 }
 
@@ -378,6 +617,50 @@ int main() {
   } else {
     std::printf("\ncould not write %s\n", json_path.c_str());
     return 1;
+  }
+
+  // ---- Catalog leg: multi-dataset + reload under load ----
+  PrintHeader("Partitioned catalog (2 datasets, reload under load)",
+              "4 clients switching datasets + continuous hot-swap reloads; "
+              "answers re-verified against fresh per-part engines");
+  std::printf("%-14s %10s %10s %8s %9s\n", "leg", "QPS", "requests",
+              "reloads", "parts");
+  const CatalogLegResult catalog_leg =
+      RunCatalogLeg(scale, std::min<std::size_t>(num_pairs, 400));
+  total_mismatches += catalog_leg.mismatches;
+  std::printf("%-14s %10.0f %10llu %8llu %9u\n", "catalog", catalog_leg.qps,
+              static_cast<unsigned long long>(catalog_leg.requests),
+              static_cast<unsigned long long>(catalog_leg.reloads),
+              catalog_leg.parts);
+  if (catalog_leg.mismatches != 0) {
+    std::printf("  !! %llu catalog answers mismatch the fresh per-part "
+                "engines\n",
+                static_cast<unsigned long long>(catalog_leg.mismatches));
+  }
+  const char* catalog_env = std::getenv("ISLABEL_BENCH_CATALOG_JSON");
+  const std::string catalog_json_path =
+      catalog_env != nullptr ? catalog_env : "BENCH_catalog.json";
+  {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n  \"bench\": \"catalog\",\n  \"scale\": %.3f, \"clients\": %u,\n"
+        "  \"qps\": %.1f, \"requests\": %llu, \"reloads\": %llu,\n"
+        "  \"parts\": %u, \"seconds\": %.3f, \"mismatches\": %llu\n}\n",
+        scale, kClients, catalog_leg.qps,
+        static_cast<unsigned long long>(catalog_leg.requests),
+        static_cast<unsigned long long>(catalog_leg.reloads),
+        catalog_leg.parts, catalog_leg.seconds,
+        static_cast<unsigned long long>(catalog_leg.mismatches));
+    std::FILE* cf = std::fopen(catalog_json_path.c_str(), "w");
+    if (cf != nullptr) {
+      std::fputs(buf, cf);
+      std::fclose(cf);
+      std::printf("wrote %s\n", catalog_json_path.c_str());
+    } else {
+      std::printf("could not write %s\n", catalog_json_path.c_str());
+      return 1;
+    }
   }
   return total_mismatches == 0 ? 0 : 2;
 }

@@ -1,0 +1,310 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace islabel {
+
+const char* DatasetStateName(DatasetState state) {
+  switch (state) {
+    case DatasetState::kLoading: return "loading";
+    case DatasetState::kReady: return "ready";
+    case DatasetState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// One named dataset. The index pointer is the only hot-swapped field;
+/// everything a query path touches is either immutable after
+/// registration (name, dir), snapshotted under `mu` (index), or atomic
+/// (counters).
+struct Catalog::Dataset {
+  std::string name;
+  std::string dir;
+  bool labels_in_memory = true;
+
+  mutable std::mutex mu;  // guards index / state / load_status
+  std::condition_variable loaded_cv;
+  std::shared_ptr<PartitionedIndex> index;
+  DatasetState state = DatasetState::kLoading;
+  Status load_status;
+
+  std::shared_ptr<DistanceCache> cache;  // set before serving starts
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> reloads{0};
+};
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+const std::string& Catalog::Handle::name() const { return dataset_->name; }
+
+DatasetState Catalog::Handle::state() const {
+  std::lock_guard<std::mutex> lock(dataset_->mu);
+  return dataset_->state;
+}
+
+Status Catalog::Handle::load_status() const {
+  std::lock_guard<std::mutex> lock(dataset_->mu);
+  return dataset_->load_status;
+}
+
+std::shared_ptr<PartitionedIndex> Catalog::Handle::index() const {
+  std::lock_guard<std::mutex> lock(dataset_->mu);
+  return dataset_->index;
+}
+
+DistanceCache* Catalog::Handle::cache() const {
+  return dataset_->cache.get();
+}
+
+Status Catalog::Handle::Ready(
+    std::shared_ptr<PartitionedIndex>* index) const {
+  std::lock_guard<std::mutex> lock(dataset_->mu);
+  switch (dataset_->state) {
+    case DatasetState::kReady:
+      *index = dataset_->index;
+      return Status::OK();
+    case DatasetState::kLoading:
+      return Status::FailedPrecondition("dataset " + dataset_->name +
+                                        " is still loading");
+    case DatasetState::kFailed:
+      return Status::FailedPrecondition("dataset " + dataset_->name +
+                                        " failed to load: " +
+                                        dataset_->load_status.ToString());
+  }
+  return Status::Internal("unknown dataset state");
+}
+
+Status Catalog::Handle::Query(VertexId s, VertexId t, Distance* out,
+                              QueryStats* stats) const {
+  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  // Generation FIRST, index snapshot second: if a reload lands between
+  // the two, this query runs on the NEW index and its insert (under the
+  // pre-bump generation) is dropped — conservative but never stale. An
+  // answer computed on the OLD index always inserts under a generation
+  // the reload's bump has moved past, so it is dropped too. Either way a
+  // cached answer can only describe the index that was current when its
+  // generation was minted.
+  DistanceCache* cache = dataset_->cache.get();
+  const bool use_cache = cache != nullptr && stats == nullptr;
+  std::uint64_t cache_gen = 0;
+  if (use_cache) {
+    cache_gen = cache->generation();
+    if (cache->Lookup(s, t, out)) return Status::OK();
+  }
+  std::shared_ptr<PartitionedIndex> index;
+  Status st = Ready(&index);
+  if (st.ok()) st = index->Query(s, t, out, stats);
+  if (!st.ok()) {
+    dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  if (use_cache) cache->Insert(s, t, *out, cache_gen);
+  return Status::OK();
+}
+
+Status Catalog::Handle::ShortestPath(VertexId s, VertexId t,
+                                     std::vector<VertexId>* path,
+                                     Distance* dist) const {
+  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<PartitionedIndex> index;
+  Status st = Ready(&index);
+  if (st.ok()) st = index->ShortestPath(s, t, path, dist);
+  if (!st.ok()) dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status Catalog::Handle::QueryOneToMany(VertexId s,
+                                       const std::vector<VertexId>& targets,
+                                       std::vector<Distance>* out,
+                                       QueryStats* stats) const {
+  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<PartitionedIndex> index;
+  Status st = Ready(&index);
+  if (st.ok()) st = index->QueryOneToMany(s, targets, out, stats);
+  if (!st.ok()) dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+Catalog::~Catalog() {
+  std::vector<std::thread> loaders;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    loaders.swap(loaders_);
+  }
+  for (std::thread& t : loaders) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::shared_ptr<Catalog::Dataset> Catalog::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ds : datasets_) {
+    if (ds->name == name) return ds;
+  }
+  return nullptr;
+}
+
+Status Catalog::Add(const std::string& name, const std::string& dir,
+                    bool labels_in_memory) {
+  if (name.empty()) return Status::InvalidArgument("dataset name is empty");
+  auto ds = std::make_shared<Dataset>();
+  ds->name = name;
+  ds->dir = dir;
+  ds->labels_in_memory = labels_in_memory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& existing : datasets_) {
+      if (existing->name == name) {
+        return Status::InvalidArgument("dataset " + name +
+                                       " is already registered");
+      }
+    }
+    datasets_.push_back(ds);
+    loaders_.emplace_back([ds] {
+      auto loaded = PartitionedIndex::Load(ds->dir, ds->labels_in_memory);
+      std::lock_guard<std::mutex> dlock(ds->mu);
+      if (loaded.ok()) {
+        ds->index = std::make_shared<PartitionedIndex>(
+            std::move(loaded).value());
+        ds->state = DatasetState::kReady;
+      } else {
+        ds->load_status = loaded.status();
+        ds->state = DatasetState::kFailed;
+      }
+      ds->loaded_cv.notify_all();
+    });
+  }
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(const std::string& name, PartitionedIndex index,
+                         std::string dir) {
+  if (name.empty()) return Status::InvalidArgument("dataset name is empty");
+  auto ds = std::make_shared<Dataset>();
+  ds->name = name;
+  ds->dir = std::move(dir);
+  ds->index = std::make_shared<PartitionedIndex>(std::move(index));
+  ds->state = DatasetState::kReady;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : datasets_) {
+    if (existing->name == name) {
+      return Status::InvalidArgument("dataset " + name +
+                                     " is already registered");
+    }
+  }
+  datasets_.push_back(std::move(ds));
+  return Status::OK();
+}
+
+Status Catalog::WaitReady() {
+  std::vector<std::shared_ptr<Dataset>> datasets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    datasets = datasets_;
+  }
+  Status first_error;
+  for (const auto& ds : datasets) {
+    std::unique_lock<std::mutex> dlock(ds->mu);
+    ds->loaded_cv.wait(dlock,
+                       [&] { return ds->state != DatasetState::kLoading; });
+    if (ds->state == DatasetState::kFailed && first_error.ok()) {
+      first_error = ds->load_status;
+    }
+  }
+  return first_error;
+}
+
+Catalog::Handle Catalog::Get(const std::string& name) const {
+  return Handle(Find(name));
+}
+
+Status Catalog::Reload(const std::string& name) {
+  std::shared_ptr<Dataset> ds = Find(name);
+  if (ds == nullptr) return Status::NotFound("unknown dataset " + name);
+  std::string dir;
+  bool labels_in_memory;
+  {
+    std::lock_guard<std::mutex> lock(ds->mu);
+    if (ds->state == DatasetState::kLoading) {
+      return Status::FailedPrecondition("dataset " + name +
+                                        " is still loading");
+    }
+    dir = ds->dir;
+    labels_in_memory = ds->labels_in_memory;
+  }
+  if (dir.empty()) {
+    return Status::FailedPrecondition("dataset " + name +
+                                      " has no backing directory");
+  }
+  // The expensive load runs without any lock; queries proceed on the old
+  // index throughout.
+  auto loaded = PartitionedIndex::Load(dir, labels_in_memory);
+  if (!loaded.ok()) return loaded.status();
+  auto fresh =
+      std::make_shared<PartitionedIndex>(std::move(loaded).value());
+  {
+    std::lock_guard<std::mutex> lock(ds->mu);
+    ds->index = std::move(fresh);  // old version lives on in query snapshots
+    ds->state = DatasetState::kReady;
+    ds->load_status = Status::OK();
+  }
+  // Publish-then-bump: see the ordering argument in Handle::Query.
+  if (ds->cache != nullptr) ds->cache->BumpGeneration();
+  ds->reloads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Catalog::SetDistanceCache(const std::string& name,
+                                 std::shared_ptr<DistanceCache> cache) {
+  std::shared_ptr<Dataset> ds = Find(name);
+  if (ds == nullptr) return Status::NotFound("unknown dataset " + name);
+  ds->cache = std::move(cache);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& ds : datasets_) names.push_back(ds->name);
+  return names;
+}
+
+std::vector<DatasetInfo> Catalog::List() const {
+  std::vector<std::shared_ptr<Dataset>> datasets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    datasets = datasets_;
+  }
+  std::vector<DatasetInfo> infos;
+  infos.reserve(datasets.size());
+  for (const auto& ds : datasets) {
+    DatasetInfo info;
+    info.name = ds->name;
+    info.requests = ds->requests.load(std::memory_order_relaxed);
+    info.errors = ds->errors.load(std::memory_order_relaxed);
+    info.reloads = ds->reloads.load(std::memory_order_relaxed);
+    info.cache = ds->cache;
+    {
+      std::lock_guard<std::mutex> dlock(ds->mu);
+      info.state = ds->state;
+      if (ds->index != nullptr) {
+        info.parts = ds->index->num_parts();
+        info.vertices = ds->index->NumVertices();
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+}  // namespace islabel

@@ -1,0 +1,169 @@
+// Catalog: named multi-dataset hosting with hot-swap reload.
+//
+// One process, many indexes: the catalog maps dataset names to
+// PartitionedIndex instances, loads them on background threads, and can
+// atomically replace a dataset's index from its directory while queries
+// are in flight ("reload"). The serving layer (stdin loop and TCP
+// server) routes each connection's requests to its selected dataset.
+//
+// Lifetime model — why reload is safe under load:
+//   * the current index of a dataset is held as a shared_ptr; Handle
+//     query calls snapshot it, so an in-flight query keeps the old index
+//     alive until the call returns, no matter how many reloads land;
+//   * the swap itself is a pointer assignment under the dataset mutex —
+//     queries never block on a reload (they only take the mutex for the
+//     snapshot copy).
+//
+// Cache coherence across a swap: each dataset may carry a DistanceCache
+// (installed by the serving layer). Handle::Query snapshots the cache
+// generation BEFORE snapshotting the index, and Reload publishes the new
+// index BEFORE bumping the generation. Any answer computed on the old
+// index therefore inserts under a generation that has moved on by the
+// time the new index is visible, so the cache (whose Insert drops
+// stale-generation entries by contract) can never serve an answer that
+// outlives a swapped index. See DESIGN.md §12 for the interleaving
+// argument.
+
+#ifndef ISLABEL_CATALOG_CATALOG_H_
+#define ISLABEL_CATALOG_CATALOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/partitioned_index.h"
+#include "core/distance_cache.h"
+#include "util/status.h"
+
+namespace islabel {
+
+/// Load state of a catalog dataset.
+enum class DatasetState : std::uint8_t {
+  kLoading = 0,
+  kReady = 1,
+  kFailed = 2,
+};
+
+/// Returns "loading" / "ready" / "failed".
+const char* DatasetStateName(DatasetState state);
+
+/// Point-in-time counters for one dataset (the `stats` verb and the
+/// `datasets` listing).
+struct DatasetInfo {
+  std::string name;
+  DatasetState state = DatasetState::kLoading;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reloads = 0;
+  std::uint32_t parts = 0;
+  std::uint64_t vertices = 0;
+  /// The dataset's distance cache (null if none installed) — surfaced
+  /// here so stats assembly needs no per-dataset catalog lookups.
+  std::shared_ptr<DistanceCache> cache;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  ~Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  struct Dataset;
+
+  /// Ref-counted dataset handle. Copyable and cheap; keeps the dataset
+  /// record (not any particular index version) alive. Query calls
+  /// snapshot the current index, so they are safe across Reload.
+  class Handle {
+   public:
+    Handle() = default;
+
+    explicit operator bool() const { return dataset_ != nullptr; }
+    const std::string& name() const;
+    DatasetState state() const;
+    /// The load error when state() == kFailed.
+    Status load_status() const;
+
+    /// Snapshot of the current index (nullptr until loaded). Holding the
+    /// returned pointer pins that index version across reloads.
+    std::shared_ptr<PartitionedIndex> index() const;
+
+    /// The dataset's distance cache, if the serving layer installed one.
+    DistanceCache* cache() const;
+
+    // -- Query surface: routes to the current index snapshot, consults
+    // the dataset cache (stats-free Query only), and bumps the
+    // per-dataset request/error counters. All thread-safe. --
+    Status Query(VertexId s, VertexId t, Distance* out,
+                 QueryStats* stats = nullptr) const;
+    Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
+                        Distance* dist) const;
+    Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
+                          std::vector<Distance>* out,
+                          QueryStats* stats = nullptr) const;
+
+   private:
+    friend class Catalog;
+    explicit Handle(std::shared_ptr<Dataset> dataset)
+        : dataset_(std::move(dataset)) {}
+
+    Status Ready(std::shared_ptr<PartitionedIndex>* index) const;
+
+    std::shared_ptr<Dataset> dataset_;
+  };
+
+  /// Registers `name` and starts loading `dir` on a background thread
+  /// (PartitionedIndex::Load — both catalog and plain index directories).
+  /// Fails if the name is already registered.
+  Status Add(const std::string& name, const std::string& dir,
+             bool labels_in_memory = true);
+
+  /// Registers an already-built index under `name` (ready immediately).
+  /// `dir` may be empty; Reload then fails until one is set via Add.
+  Status AddIndex(const std::string& name, PartitionedIndex index,
+                  std::string dir = "");
+
+  /// Blocks until every registered dataset has finished loading; returns
+  /// the first load error (all loads still run to completion).
+  Status WaitReady();
+
+  /// Handle for `name`; an empty Handle if the name is unknown.
+  Handle Get(const std::string& name) const;
+
+  /// Reloads `name` from its directory and atomically swaps the fresh
+  /// index in. In-flight queries keep the old index alive; the dataset's
+  /// cache generation is bumped after the swap so no cached answer
+  /// outlives it. Blocking (call from a worker, not the event loop).
+  Status Reload(const std::string& name);
+
+  /// Installs a distance cache for `name` (consulted by Handle::Query).
+  /// Not thread-safe against concurrent queries on the same dataset —
+  /// install caches before serving starts.
+  Status SetDistanceCache(const std::string& name,
+                          std::shared_ptr<DistanceCache> cache);
+
+  /// Registered dataset names, in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Counters for every dataset, in registration order.
+  std::vector<DatasetInfo> List() const;
+
+ private:
+  std::shared_ptr<Dataset> Find(const std::string& name) const;
+
+  mutable std::mutex mu_;  // guards datasets_ / loaders_
+  std::vector<std::shared_ptr<Dataset>> datasets_;
+  std::vector<std::thread> loaders_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CATALOG_CATALOG_H_

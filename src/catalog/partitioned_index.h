@@ -1,0 +1,209 @@
+// PartitionedIndex: per-connected-component sub-indexes behind the
+// ISLabelIndex query surface.
+//
+// The paper's large instances (BTC, web-uk, the DIMACS road networks)
+// are disconnected in the raw data, yet a monolithic index burns a full
+// bidirectional search to conclude "unreachable" for every
+// cross-component pair. This layer decomposes the input before labeling:
+// ComponentPartitioner splits the graph into connected components with
+// densely renumbered per-part vertex ids, Build() labels each component
+// independently (in parallel across components), and queries route
+// through the vertex→component map — same-component pairs are translated
+// into the owning sub-index (answers and paths are mapped back to
+// original ids), cross-component pairs answer kInfDistance in O(1)
+// without ever leasing a query engine.
+//
+// Invariants that make routed answers bit-identical to a monolithic
+// index on the same graph:
+//   * the sub-graph of a component contains exactly its induced edges,
+//     so every s-t path of the original graph survives the remap;
+//   * local ids are assigned in ascending global-id order per part, and
+//     GlobalId(PartOf(v), LocalId(v)) == v for every vertex;
+//   * singleton components build no sub-index at all — the only
+//     same-component query they can receive is s == t, answered 0
+//     directly (and `{s}` for paths), exactly as the engine would.
+//
+// Thread-safety matches ISLabelIndex: the routing arrays are immutable
+// after Build/Load and every sub-index entry point leases engines
+// internally, so all query entry points may be called concurrently.
+
+#ifndef ISLABEL_CATALOG_PARTITIONED_INDEX_H_
+#define ISLABEL_CATALOG_PARTITIONED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/index.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// One connected component extracted by ComponentPartitioner, with the
+/// id remapping that produced it.
+struct GraphPart {
+  /// The component id (index into GraphPartition::part_of_component).
+  std::uint32_t component = 0;
+  /// Induced subgraph over the component, vertices renumbered densely in
+  /// ascending global-id order.
+  Graph graph;
+  /// Local id -> original id (ascending).
+  std::vector<VertexId> global_ids;
+};
+
+/// Full result of a partitioning pass. Components of size 1 get no part
+/// (part_of_component[c] == kNoPart): they carry no edges, so there is
+/// nothing to index.
+struct GraphPartition {
+  static constexpr std::uint32_t kNoPart = UINT32_MAX;
+
+  /// component[v] = connected-component id in [0, num_components).
+  std::vector<std::uint32_t> component;
+  /// local_id[v] = v's dense id inside its part (0 for singletons).
+  std::vector<VertexId> local_id;
+  /// component id -> part index, or kNoPart for singletons.
+  std::vector<std::uint32_t> part_of_component;
+  std::vector<GraphPart> parts;
+  std::uint32_t num_components = 0;
+};
+
+/// Splits a graph into its connected components with per-part dense
+/// renumbering (see GraphPartition). Deterministic: components, parts and
+/// local ids are all ordered by smallest global vertex id.
+class ComponentPartitioner {
+ public:
+  static GraphPartition Partition(const Graph& g);
+};
+
+/// Options for PartitionedIndex::Build.
+struct PartitionOptions {
+  /// Per-component build options (σ, forced k, vias, labeling threads...).
+  IndexOptions index;
+  /// Worker threads ACROSS components (0 = hardware concurrency). Within
+  /// a component, labeling uses index.num_threads as usual.
+  std::uint32_t num_threads = 0;
+};
+
+/// An ISLabelIndex-shaped index composed of one sub-index per connected
+/// component. Movable, not copyable. All query entry points are
+/// thread-safe; the index is immutable after Build/Load.
+class PartitionedIndex {
+ public:
+  PartitionedIndex() = default;
+  PartitionedIndex(PartitionedIndex&&) = default;
+  PartitionedIndex& operator=(PartitionedIndex&&) = default;
+
+  /// Partitions `g` and builds one sub-index per multi-vertex component,
+  /// components built in parallel (PartitionOptions::num_threads).
+  static Result<PartitionedIndex> Build(const Graph& g,
+                                       const PartitionOptions& options = {});
+
+  /// Wraps an already-built monolithic index as a single-part
+  /// partitioned index (identity id mapping, every vertex in part 0) —
+  /// how plain `islabel build` directories enter the catalog.
+  static PartitionedIndex FromMonolithic(ISLabelIndex index);
+
+  // ---- Query surface (mirrors ISLabelIndex; original-graph ids) ----
+
+  /// Exact distance; kInfDistance for cross-component pairs, answered in
+  /// O(1) from the partition map without leasing an engine. Thread-safe.
+  Status Query(VertexId s, VertexId t, Distance* out,
+               QueryStats* stats = nullptr);
+
+  /// Exact shortest path in original-graph ids (empty + kInfDistance when
+  /// disconnected, including the O(1) cross-component case). Thread-safe.
+  Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
+                      Distance* dist);
+
+  /// Answers every pair; same per-pair error semantics as
+  /// ISLabelIndex::QueryBatch. Cross-component pairs cost O(1) each.
+  /// Thread-safe.
+  Status QueryBatch(const std::vector<std::pair<VertexId, VertexId>>& pairs,
+                    std::vector<Distance>* out, std::uint32_t num_threads = 0,
+                    std::vector<Status>* statuses = nullptr);
+
+  /// Distances from s to every target. Targets in s's component share one
+  /// forward ball in the owning sub-index; targets elsewhere are answered
+  /// unreachable without touching it. All endpoints validated up front,
+  /// any invalid endpoint fails the whole call (ISLabelIndex semantics).
+  /// Thread-safe.
+  Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
+                        std::vector<Distance>* out,
+                        QueryStats* stats = nullptr);
+
+  // ---- Persistence ----
+
+  /// Writes `<dir>/partition.islp` (the vertex→component/local-id map)
+  /// plus one ISLabelIndex directory per part under `<dir>/partNNNNN`.
+  Status Save(const std::string& dir) const;
+
+  /// Loads a saved catalog directory. Falls back to a monolithic
+  /// ISLabelIndex directory (wrapped via FromMonolithic) when
+  /// `<dir>/partition.islp` is absent, so both layouts are servable.
+  static Result<PartitionedIndex> Load(const std::string& dir,
+                                       bool labels_in_memory = true);
+
+  // ---- Introspection ----
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(component_.size());
+  }
+  std::uint32_t num_components() const { return num_components_; }
+  std::uint32_t num_parts() const {
+    return static_cast<std::uint32_t>(parts_.size());
+  }
+  std::uint32_t ComponentOf(VertexId v) const { return component_[v]; }
+  /// Part owning v, or GraphPartition::kNoPart for singleton vertices.
+  std::uint32_t PartOf(VertexId v) const {
+    return part_of_component_[component_[v]];
+  }
+  VertexId LocalId(VertexId v) const { return local_id_[v]; }
+  VertexId GlobalId(std::uint32_t part, VertexId local) const {
+    return parts_[part].global_ids[local];
+  }
+  const ISLabelIndex& part(std::uint32_t p) const { return parts_[p].index; }
+  ISLabelIndex* mutable_part(std::uint32_t p) { return &parts_[p].index; }
+  const std::vector<VertexId>& part_global_ids(std::uint32_t p) const {
+    return parts_[p].global_ids;
+  }
+  bool has_vias() const { return vias_enabled_; }
+
+  /// Queries answered unreachable straight from the partition map (no
+  /// engine lease) / routed into a sub-index, since construction.
+  std::uint64_t cross_component_queries() const {
+    return counters_->cross_component.load(std::memory_order_relaxed);
+  }
+  std::uint64_t routed_queries() const {
+    return counters_->routed.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PartEntry {
+    std::uint32_t component = 0;
+    std::vector<VertexId> global_ids;
+    ISLabelIndex index;
+  };
+  /// Heap-allocated so the index stays movable despite the atomics.
+  struct Counters {
+    std::atomic<std::uint64_t> cross_component{0};
+    std::atomic<std::uint64_t> routed{0};
+  };
+
+  Status CheckIds(VertexId s, VertexId t) const;
+
+  std::vector<std::uint32_t> component_;
+  std::vector<VertexId> local_id_;
+  std::vector<std::uint32_t> part_of_component_;
+  std::vector<PartEntry> parts_;
+  std::uint32_t num_components_ = 0;
+  bool vias_enabled_ = true;
+  std::unique_ptr<Counters> counters_ = std::make_unique<Counters>();
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_CATALOG_PARTITIONED_INDEX_H_

@@ -1,11 +1,15 @@
 // Graph serialization: a human-readable edge-list text format (SNAP
-// compatible: '#' comments, "u v [w]" lines) and a compact binary format
-// with a magic/version header.
+// compatible: '#' comments, "u v [w]" lines), the DIMACS shortest-path
+// challenge format the paper's road networks ship in (".gr" arcs and
+// ".co" coordinates), and a compact binary format with a magic/version
+// header.
 
 #ifndef ISLABEL_GRAPH_GRAPH_IO_H_
 #define ISLABEL_GRAPH_GRAPH_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "graph/edge_list.h"
 #include "graph/graph.h"
@@ -19,8 +23,37 @@ Status WriteEdgeListText(const Graph& g, const std::string& path);
 
 /// Reads a text edge list. Lines starting with '#' or '%' are comments.
 /// Each data line is "u v" (weight 1) or "u v w". Duplicate edges merge to
-/// the minimum weight; self-loops are dropped.
+/// the minimum weight; self-loops are dropped. CR-LF line endings are
+/// accepted; errors name the offending 1-based line number.
 Result<EdgeList> ReadEdgeListText(const std::string& path);
+
+// ---- DIMACS shortest-path challenge format (road networks, §7) ----
+
+/// Reads a DIMACS ".gr" graph: "c" comment lines, one "p sp N M" header,
+/// then "a U V W" arc lines with 1-based vertex ids. Road-network files
+/// list each undirected edge as two arcs; duplicates merge to the minimum
+/// weight (EdgeList normalization), matching the undirected model of §2.
+/// Errors name the offending 1-based line number.
+Result<EdgeList> ReadDimacsGraph(const std::string& path);
+
+/// Writes `g` in DIMACS ".gr" form: a "p sp N M" header (M counts arcs,
+/// i.e. 2|E|) and both orientations of every undirected edge, 1-based.
+Status WriteDimacsGraph(const Graph& g, const std::string& path);
+
+/// Vertex coordinates from a DIMACS ".co" file; x/y are indexed by the
+/// 0-based vertex id.
+struct DimacsCoordinates {
+  std::vector<std::int64_t> x;
+  std::vector<std::int64_t> y;
+};
+
+/// Reads a DIMACS ".co" coordinate file: "c" comments, one
+/// "p aux sp co N" header, then "v ID X Y" lines with 1-based ids.
+Result<DimacsCoordinates> ReadDimacsCoordinates(const std::string& path);
+
+/// Writes a DIMACS ".co" coordinate file (1-based ids).
+Status WriteDimacsCoordinates(const DimacsCoordinates& coords,
+                              const std::string& path);
 
 /// Binary graph format: magic, version, |V|, |E|, CSR arrays. Fast and
 /// exact round-trip, including via arrays.

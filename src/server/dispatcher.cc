@@ -1,27 +1,37 @@
 #include "server/dispatcher.h"
 
+#include <utility>
 #include <vector>
+
+#include "server/query_cache.h"
 
 namespace islabel {
 namespace server {
 
-std::string RequestDispatcher::Execute(const Request& req) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+namespace {
+
+/// The verb→API mapping, written once and instantiated for both
+/// backends: ISLabelIndex (single-index mode) and Catalog::Handle
+/// (catalog mode) expose the same query surface.
+template <typename Backend>
+std::string ExecuteQueryVerb(Backend&& backend, const Request& req,
+                             bool* error) {
+  *error = false;
   switch (req.kind) {
     case RequestKind::kDistance: {
       Distance d = 0;
-      Status st = index_->Query(req.s, req.t, &d);
+      Status st = backend.Query(req.s, req.t, &d);
       if (!st.ok()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        *error = true;
         return FormatError(st);
       }
       return FormatDistance(d);
     }
     case RequestKind::kOneToMany: {
       std::vector<Distance> dists;
-      Status st = index_->QueryOneToMany(req.s, req.targets, &dists);
+      Status st = backend.QueryOneToMany(req.s, req.targets, &dists);
       if (!st.ok()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        *error = true;
         return FormatError(st);
       }
       return FormatDistances(dists);
@@ -29,12 +39,79 @@ std::string RequestDispatcher::Execute(const Request& req) {
     case RequestKind::kPath: {
       std::vector<VertexId> path;
       Distance d = 0;
-      Status st = index_->ShortestPath(req.s, req.t, &path, &d);
+      Status st = backend.ShortestPath(req.s, req.t, &path, &d);
+      if (!st.ok()) {
+        *error = true;
+        return FormatError(st);
+      }
+      return FormatPath(d, path);
+    }
+    default:
+      break;
+  }
+  *error = true;
+  return "error: internal: request kind not dispatchable";
+}
+
+}  // namespace
+
+std::string RequestDispatcher::ExecuteOnHandle(const Request& req,
+                                               Session* session) {
+  // Resolve (and cache) the handle once per session, not per query —
+  // Catalog::Get takes the catalog-wide lock and scans names.
+  if (!session->handle) {
+    const std::string& name =
+        session->dataset.empty() ? default_dataset_ : session->dataset;
+    session->handle = catalog_->Get(name);
+    if (!session->handle) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return "error: NotFound: unknown dataset " + name;
+    }
+  }
+  bool error = false;
+  std::string response = ExecuteQueryVerb(session->handle, req, &error);
+  if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::string RequestDispatcher::Execute(const Request& req, Session* session) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (req.kind) {
+    case RequestKind::kDistance:
+    case RequestKind::kOneToMany:
+    case RequestKind::kPath: {
+      if (catalog_ != nullptr) return ExecuteOnHandle(req, session);
+      bool error = false;
+      std::string response = ExecuteQueryVerb(*index_, req, &error);
+      if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+      return response;
+    }
+    case RequestKind::kUse: {
+      if (catalog_ == nullptr) break;
+      Catalog::Handle handle = catalog_->Get(req.name);
+      if (!handle) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return "error: NotFound: unknown dataset " + req.name;
+      }
+      // Switching to a loading/failed dataset is allowed deliberately:
+      // the per-query error reports the state, and a dataset that
+      // finishes loading starts answering without a second `use`.
+      session->dataset = req.name;
+      session->handle = std::move(handle);
+      return "ok: using " + req.name;
+    }
+    case RequestKind::kDatasets: {
+      if (catalog_ == nullptr) break;
+      return FormatDatasets(DatasetCountersSnapshot());
+    }
+    case RequestKind::kReload: {
+      if (catalog_ == nullptr) break;
+      Status st = catalog_->Reload(req.name);
       if (!st.ok()) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return FormatError(st);
       }
-      return FormatPath(d, path);
+      return "ok: reloaded " + req.name;
     }
     case RequestKind::kInvalid:
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -42,10 +119,50 @@ std::string RequestDispatcher::Execute(const Request& req) {
     case RequestKind::kNone:
     case RequestKind::kStats:
     case RequestKind::kQuit:
-      break;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return "error: internal: request kind not dispatchable";
   }
+  // A catalog verb reached a single-index server.
   errors_.fetch_add(1, std::memory_order_relaxed);
-  return "error: internal: request kind not dispatchable";
+  return "error: NotSupported: no catalog (single-dataset server)";
+}
+
+void RequestDispatcher::FillServeStats(ServeStats* stats) const {
+  stats->requests = requests();
+  stats->errors = errors();
+  if (catalog_ == nullptr) return;
+  stats->datasets = DatasetCountersSnapshot();
+  for (const DatasetCounters& d : stats->datasets) {
+    stats->cache_hits += d.cache_hits;
+    stats->cache_misses += d.cache_misses;
+    stats->cache_entries += d.cache_entries;
+  }
+}
+
+std::vector<DatasetCounters> RequestDispatcher::DatasetCountersSnapshot()
+    const {
+  std::vector<DatasetCounters> out;
+  if (catalog_ == nullptr) return out;
+  for (const DatasetInfo& info : catalog_->List()) {
+    DatasetCounters c;
+    c.name = info.name;
+    c.state = DatasetStateName(info.state);
+    c.requests = info.requests;
+    c.errors = info.errors;
+    c.reloads = info.reloads;
+    c.parts = info.parts;
+    c.vertices = info.vertices;
+    // The catalog only knows the DistanceCache seam; counters exist on
+    // the serving layer's concrete QueryCache.
+    if (auto* cache = dynamic_cast<QueryCache*>(info.cache.get())) {
+      const QueryCacheStats cs = cache->GetStats();
+      c.cache_hits = cs.hits;
+      c.cache_misses = cs.misses;
+      c.cache_entries = cs.entries;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
 }
 
 }  // namespace server

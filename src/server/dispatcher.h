@@ -1,10 +1,21 @@
-// RequestDispatcher: executes parsed protocol requests against an index.
+// RequestDispatcher: executes parsed protocol requests against an index
+// or a multi-dataset catalog.
 //
 // Shared by the stdin serve loop and the TCP server's worker threads so
 // request semantics (which API each verb maps to, error formatting,
-// request/error counting) are defined exactly once. Thread-safe: the
-// index entry points lease engines internally and the counters are
-// atomic, so any number of workers may call Execute concurrently.
+// request/error counting) are defined exactly once. Two modes:
+//
+//   * single-index: constructed over one ISLabelIndex; the catalog verbs
+//     (use / datasets / reload) answer an error.
+//   * catalog: constructed over a Catalog plus a default dataset name;
+//     each connection carries a Session whose selected dataset routes
+//     its query verbs, `use` switches it, and `reload` hot-swaps a
+//     dataset in place (executed on the calling worker, so the event
+//     loop never blocks on a load).
+//
+// Thread-safe: the index/handle entry points lease engines internally,
+// the counters are atomic, and a Session is only ever touched by the one
+// worker currently processing its connection.
 //
 // kNone, kQuit and kStats are front-end concerns (no response / session
 // close / front-end counters) and are not handled here.
@@ -15,7 +26,9 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "catalog/catalog.h"
 #include "core/index.h"
 #include "server/protocol.h"
 
@@ -24,12 +37,34 @@ namespace server {
 
 class RequestDispatcher {
  public:
+  /// Single-index mode.
   explicit RequestDispatcher(ISLabelIndex* index) : index_(index) {}
 
+  /// Catalog mode: query verbs route to `default_dataset` until a
+  /// connection switches with `use`.
+  RequestDispatcher(Catalog* catalog, std::string default_dataset)
+      : catalog_(catalog), default_dataset_(std::move(default_dataset)) {}
+
+  /// Per-connection dispatcher state. Owned by the front end, one per
+  /// connection/session. The resolved handle is cached so the query hot
+  /// path never takes the catalog-wide lookup lock: a Handle stays
+  /// valid across reloads (it tracks the dataset record, not an index
+  /// version), so it is resolved once at `use` time / first query.
+  struct Session {
+    std::string dataset;      // empty = the dispatcher's default
+    Catalog::Handle handle;   // cached resolution of `dataset`
+  };
+
   /// Returns the response line (no trailing '\n') for a kDistance,
-  /// kOneToMany, kPath or kInvalid request, bumping the request/error
-  /// counters as a side effect.
-  std::string Execute(const Request& req);
+  /// kOneToMany, kPath, kUse, kDatasets, kReload or kInvalid request,
+  /// bumping the request/error counters as a side effect.
+  std::string Execute(const Request& req, Session* session);
+
+  /// Session-less convenience for single-index callers.
+  std::string Execute(const Request& req) {
+    Session session;
+    return Execute(req, &session);
+  }
 
   std::uint64_t requests() const {
     return requests_.load(std::memory_order_relaxed);
@@ -42,10 +77,28 @@ class RequestDispatcher {
   /// the stats response).
   void CountStatsRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
 
+  bool has_catalog() const { return catalog_ != nullptr; }
+  Catalog* catalog() const { return catalog_; }
   ISLabelIndex* index() const { return index_; }
+  const std::string& default_dataset() const { return default_dataset_; }
+
+  /// Per-dataset counters for `stats` / `datasets` responses (catalog
+  /// mode; empty otherwise). Cache counters are read through the
+  /// dataset's DistanceCache when it is a QueryCache.
+  std::vector<DatasetCounters> DatasetCountersSnapshot() const;
+
+  /// Fills the dispatcher-owned fields of a `stats` response: request /
+  /// error totals, the per-dataset split, and the catalog-mode cache
+  /// aggregates (added onto whatever cache fields are already set). The
+  /// front end fills connection counters and single-index cache fields.
+  void FillServeStats(ServeStats* stats) const;
 
  private:
-  ISLabelIndex* index_;
+  std::string ExecuteOnHandle(const Request& req, Session* session);
+
+  ISLabelIndex* index_ = nullptr;
+  Catalog* catalog_ = nullptr;
+  std::string default_dataset_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};
 };

@@ -12,6 +12,8 @@ namespace {
 constexpr std::string_view kUsageDistance = "error: usage: S T";
 constexpr std::string_view kUsageOne = "error: usage: one S T1 [T2 ...]";
 constexpr std::string_view kUsagePath = "error: usage: path S T";
+constexpr std::string_view kUsageUse = "error: usage: use NAME";
+constexpr std::string_view kUsageReload = "error: usage: reload NAME";
 
 /// Splits on runs of spaces/tabs (the only separators the grammar allows).
 std::vector<std::string_view> Tokenize(std::string_view line) {
@@ -44,12 +46,26 @@ Request Invalid(std::string_view usage) {
 }
 
 void AppendU64(std::string* out, const char* key, std::uint64_t v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key, v);
-  *out += buf;
+  *out += ' ';
+  *out += key;
+  *out += '=';
+  *out += std::to_string(v);
 }
 
 }  // namespace
+
+// [A-Za-z0-9._-] keeps every response line free of spaces/colons inside
+// names.
+bool IsValidDatasetName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
 
 Request ParseRequest(std::string_view line) {
   // Strip a trailing '\r' so CRLF clients (telnet, netcat -C) work.
@@ -68,6 +84,27 @@ Request ParseRequest(std::string_view line) {
   if (head == "stats") {
     if (tokens.size() != 1) return Invalid("error: usage: stats");
     r.kind = RequestKind::kStats;
+    return r;
+  }
+  if (head == "datasets") {
+    if (tokens.size() != 1) return Invalid("error: usage: datasets");
+    r.kind = RequestKind::kDatasets;
+    return r;
+  }
+  if (head == "use") {
+    if (tokens.size() != 2 || !IsValidDatasetName(tokens[1])) {
+      return Invalid(kUsageUse);
+    }
+    r.kind = RequestKind::kUse;
+    r.name = std::string(tokens[1]);
+    return r;
+  }
+  if (head == "reload") {
+    if (tokens.size() != 2 || !IsValidDatasetName(tokens[1])) {
+      return Invalid(kUsageReload);
+    }
+    r.kind = RequestKind::kReload;
+    r.name = std::string(tokens[1]);
     return r;
   }
   if (head == "one") {
@@ -151,6 +188,30 @@ std::string FormatStats(const ServeStats& s) {
   AppendU64(&out, "cache_misses", s.cache_misses);
   AppendU64(&out, "cache_entries", s.cache_entries);
   AppendU64(&out, "cache_generation", s.cache_generation);
+  for (const DatasetCounters& d : s.datasets) {
+    const std::string prefix = d.name + ".";
+    out += ' ';
+    out += prefix + "state=" + d.state;
+    AppendU64(&out, (prefix + "requests").c_str(), d.requests);
+    AppendU64(&out, (prefix + "errors").c_str(), d.errors);
+    AppendU64(&out, (prefix + "reloads").c_str(), d.reloads);
+    AppendU64(&out, (prefix + "cache_hits").c_str(), d.cache_hits);
+    AppendU64(&out, (prefix + "cache_misses").c_str(), d.cache_misses);
+    AppendU64(&out, (prefix + "cache_entries").c_str(), d.cache_entries);
+  }
+  return out;
+}
+
+std::string FormatDatasets(const std::vector<DatasetCounters>& datasets) {
+  std::string out = "datasets:";
+  for (const DatasetCounters& d : datasets) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ":%s:%u:%" PRIu64, d.state.c_str(),
+                  d.parts, d.vertices);
+    out += ' ';
+    out += d.name;
+    out += buf;
+  }
   return out;
 }
 

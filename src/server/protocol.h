@@ -7,8 +7,16 @@
 //   one S T1 [T2...] one-to-many            → one value per target, spaces
 //   path S T         shortest path          → "D: v0 v1 ... vk"
 //   stats            serving counters       → "stats: k=v k=v ..."
+//   use NAME         select catalog dataset → "ok: using NAME"
+//   datasets         list catalog datasets  → "datasets: name:state:..."
+//   reload NAME      hot-swap reload        → "ok: reloaded NAME"
 //   quit | exit      close the session      → (no response)
 //   # comment / blank line                  → (no response)
+//
+// The catalog verbs (use / datasets / reload) are only served by
+// catalog-mode servers (multi-dataset hosting); a single-index server
+// answers them with an error. Dataset names are restricted to
+// [A-Za-z0-9._-] so responses stay single-line and unambiguous.
 //
 // Errors are a single line starting with "error: ". Parsing is strict:
 // ids must be pure decimal uint32 tokens and a request must carry exactly
@@ -38,6 +46,9 @@ enum class RequestKind : std::uint8_t {
   kOneToMany,   // "one S T1 [T2 ...]"
   kPath,        // "path S T"
   kStats,       // "stats"
+  kUse,         // "use NAME" (catalog mode)
+  kDatasets,    // "datasets" (catalog mode)
+  kReload,      // "reload NAME" (catalog mode)
   kQuit,        // "quit" / "exit"
   kInvalid,     // malformed; `error` holds the full response line
 };
@@ -48,6 +59,7 @@ struct Request {
   VertexId s = 0;
   VertexId t = 0;
   std::vector<VertexId> targets;  // kOneToMany only
+  std::string name;               // kUse / kReload only: dataset name
   std::string error;              // kInvalid only: "error: ..." line
 };
 
@@ -55,8 +67,30 @@ struct Request {
 /// input yields kInvalid with the error response prefilled.
 Request ParseRequest(std::string_view line);
 
+/// True iff `name` is a legal dataset name on the wire: non-empty,
+/// [A-Za-z0-9._-] only. The CLI validates --dataset flags against the
+/// same grammar so every hosted dataset is addressable by `use`.
+bool IsValidDatasetName(std::string_view name);
+
+/// Per-dataset counters appended to catalog-mode `stats` responses and
+/// listed by the `datasets` verb.
+struct DatasetCounters {
+  std::string name;
+  std::string state;  // "loading" | "ready" | "failed"
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint32_t parts = 0;
+  std::uint64_t vertices = 0;
+};
+
 /// Serving counters reported by the `stats` request. The stdin loop
-/// reports connections == 0; the TCP server fills all fields.
+/// reports connections == 0; the TCP server fills all fields. In catalog
+/// mode the cache_* fields aggregate over every dataset and `datasets`
+/// carries the per-dataset split (empty in single-index mode).
 struct ServeStats {
   std::uint64_t connections_open = 0;
   std::uint64_t connections_accepted = 0;
@@ -66,6 +100,7 @@ struct ServeStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_generation = 0;
+  std::vector<DatasetCounters> datasets;
 };
 
 // ---- Response formatting (no trailing '\n') ----
@@ -75,6 +110,8 @@ std::string FormatDistances(const std::vector<Distance>& dists);
 std::string FormatPath(Distance d, const std::vector<VertexId>& path);
 std::string FormatError(const Status& st);
 std::string FormatStats(const ServeStats& stats);
+/// "datasets: name:state:parts:vertices ..." (one token per dataset).
+std::string FormatDatasets(const std::vector<DatasetCounters>& datasets);
 
 }  // namespace server
 }  // namespace islabel

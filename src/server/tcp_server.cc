@@ -45,11 +45,18 @@ struct TcpServer::Connection {
   std::deque<Request> pending;  // parsed requests awaiting execution
   bool scheduled = false;       // queued for / held by a worker
   bool want_close = false;      // close once out drained and !scheduled
+  // Selected catalog dataset. Guarded by mu like the rest, but only the
+  // (single) worker holding the connection ever reads or writes it.
+  RequestDispatcher::Session session;
 };
 
 TcpServer::TcpServer(ISLabelIndex* index, QueryCache* cache,
                      const TcpServerOptions& options)
     : index_(index), cache_(cache), options_(options), dispatcher_(index) {}
+
+TcpServer::TcpServer(Catalog* catalog, const std::string& default_dataset,
+                     const TcpServerOptions& options)
+    : options_(options), dispatcher_(catalog, default_dataset) {}
 
 TcpServer::~TcpServer() {
   Stop();
@@ -424,6 +431,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
   // request order.
   for (;;) {
     std::deque<Request> batch;
+    RequestDispatcher::Session session;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->pending.empty()) {
@@ -431,6 +439,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
         break;
       }
       batch.swap(conn->pending);
+      session = conn->session;
     }
     std::string responses;
     bool quit = false;
@@ -446,7 +455,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
           responses += '\n';
           break;
         default:
-          responses += dispatcher_.Execute(req);
+          responses += dispatcher_.Execute(req, &session);
           responses += '\n';
           break;
       }
@@ -454,6 +463,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->out += responses;
+      conn->session = std::move(session);
       if (quit) {
         conn->want_close = true;
         conn->pending.clear();
@@ -489,8 +499,6 @@ ServeStats TcpServer::ServeStatsSnapshot() const {
   ServeStats s;
   s.connections_open = open_.load(std::memory_order_relaxed);
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  s.requests = dispatcher_.requests();
-  s.errors = dispatcher_.errors();
   if (cache_ != nullptr) {
     const QueryCacheStats cs = cache_->GetStats();
     s.cache_hits = cs.hits;
@@ -498,6 +506,9 @@ ServeStats TcpServer::ServeStatsSnapshot() const {
     s.cache_entries = cs.entries;
     s.cache_generation = cs.generation;
   }
+  // Request/error totals, the per-dataset split, and the catalog cache
+  // aggregates (added onto the single-index fields above).
+  dispatcher_.FillServeStats(&s);
   return s;
 }
 

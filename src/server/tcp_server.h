@@ -78,11 +78,21 @@ struct TcpServerStats {
 
 class TcpServer {
  public:
-  /// `index` must outlive the server. `cache` (nullable) is only used to
-  /// fill the cache fields of `stats` responses — install it on the index
-  /// with set_distance_cache to actually cache answers.
+  /// Single-index server. `index` must outlive the server. `cache`
+  /// (nullable) is only used to fill the cache fields of `stats`
+  /// responses — install it on the index with set_distance_cache to
+  /// actually cache answers.
   TcpServer(ISLabelIndex* index, QueryCache* cache,
             const TcpServerOptions& options);
+
+  /// Catalog server: hosts every dataset in `catalog` (which must
+  /// outlive the server). Connections start on `default_dataset` and
+  /// switch with the `use` verb; `reload NAME` hot-swaps a dataset while
+  /// the other workers keep serving. `stats` responses carry per-dataset
+  /// counters and aggregate the per-dataset caches.
+  TcpServer(Catalog* catalog, const std::string& default_dataset,
+            const TcpServerOptions& options);
+
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -121,8 +131,8 @@ class TcpServer {
   void NotifyFlush(std::shared_ptr<Connection> conn);
   void UpdateEpollOut(const std::shared_ptr<Connection>& conn, bool want);
 
-  ISLabelIndex* index_;
-  QueryCache* cache_;
+  ISLabelIndex* index_ = nullptr;  // single-index mode only
+  QueryCache* cache_ = nullptr;    // single-index mode only
   TcpServerOptions options_;
   RequestDispatcher dispatcher_;
 

@@ -337,6 +337,68 @@ TEST(Components, ExtractLargestRemapsDensely) {
   EXPECT_EQ(lcc.old_to_new[5], kInvalidVertex);
 }
 
+// The partitioner of src/catalog/ routes every query through the
+// components scan, so its degenerate shapes are load-bearing.
+
+TEST(Components, EmptyGraph) {
+  Graph g;
+  ComponentsResult r = FindComponents(g);
+  EXPECT_EQ(r.num_components, 0u);
+  EXPECT_EQ(r.largest_size, 0u);
+  EXPECT_TRUE(r.component.empty());
+  LargestComponent lcc = ExtractLargestComponent(g);
+  EXPECT_EQ(lcc.graph.NumVertices(), 0u);
+  EXPECT_TRUE(lcc.old_to_new.empty());
+  EXPECT_TRUE(lcc.new_to_old.empty());
+}
+
+TEST(Components, AllIsolatedVertices) {
+  EdgeList el;
+  el.EnsureVertices(7);
+  Graph g = Graph::FromEdgeList(el);
+  ComponentsResult r = FindComponents(g);
+  EXPECT_EQ(r.num_components, 7u);
+  EXPECT_EQ(r.largest_size, 1u);
+  // Every vertex is its own component, numbered in id order.
+  for (VertexId v = 0; v < 7u; ++v) {
+    EXPECT_EQ(r.component[v], v);
+  }
+  LargestComponent lcc = ExtractLargestComponent(g);
+  EXPECT_EQ(lcc.graph.NumVertices(), 1u);
+  EXPECT_EQ(lcc.new_to_old[0], 0u);  // ties break toward component 0
+}
+
+TEST(Components, SelfLoopsDoNotConnect) {
+  // Self-loops are dropped by CSR normalization, so a vertex with only a
+  // self-loop is still isolated.
+  EdgeList el(4);
+  el.Add(0, 0, 5);
+  el.Add(1, 2, 1);
+  el.Add(3, 3, 2);
+  Graph g = Graph::FromEdgeList(el);
+  ComponentsResult r = FindComponents(g);
+  EXPECT_EQ(r.num_components, 3u);  // {0}, {1,2}, {3}
+  EXPECT_EQ(r.largest_size, 2u);
+  EXPECT_EQ(r.component[1], r.component[2]);
+  EXPECT_NE(r.component[0], r.component[3]);
+}
+
+TEST(Components, SingleGiantComponent) {
+  Graph g = MakeTestGraph(Family::kBarabasiAlbert, 500, /*weighted=*/true, 3);
+  ComponentsResult r = FindComponents(g);
+  ASSERT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.largest, 0u);
+  EXPECT_EQ(r.largest_size, g.NumVertices());
+  // Extraction of the only component is the identity mapping.
+  LargestComponent lcc = ExtractLargestComponent(g);
+  ASSERT_EQ(lcc.graph.NumVertices(), g.NumVertices());
+  EXPECT_EQ(lcc.graph.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(lcc.old_to_new[v], v);
+    EXPECT_EQ(lcc.new_to_old[v], v);
+  }
+}
+
 TEST(Components, LargestComponentPreservesWeights) {
   EdgeList el(6);
   el.Add(0, 1, 9);

@@ -366,6 +366,129 @@ TEST_F(StorageTest, GraphTextRejectsMalformed) {
   EXPECT_FALSE(ReadEdgeListText(Path("g.txt")).ok());
 }
 
+TEST_F(StorageTest, GraphTextErrorsNameTheLine) {
+  {
+    std::FILE* f = std::fopen(Path("g.txt").c_str(), "w");
+    std::fputs("# header\n0 1 4\nbroken line\n", f);
+    std::fclose(f);
+  }
+  auto el = ReadEdgeListText(Path("g.txt"));
+  ASSERT_FALSE(el.ok());
+  EXPECT_NE(el.status().message().find("line 3"), std::string::npos)
+      << el.status().ToString();
+}
+
+TEST_F(StorageTest, GraphTextAcceptsCrLf) {
+  {
+    std::FILE* f = std::fopen(Path("g.txt").c_str(), "wb");
+    std::fputs("# comment\r\n\r\n0 1 4\r\n1 2\r\n", f);
+    std::fclose(f);
+  }
+  auto el = ReadEdgeListText(Path("g.txt"));
+  ASSERT_TRUE(el.ok()) << el.status().ToString();
+  Graph g = Graph::FromEdgeList(std::move(el).value());
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 4u);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 1u);  // implicit weight survives the \r
+}
+
+// ---------- DIMACS (.gr / .co) ----------
+
+TEST_F(StorageTest, DimacsGraphRoundTrip) {
+  Rng rng(13);
+  EdgeList el = GenerateErdosRenyi(60, 150, &rng);
+  AssignUniformWeights(&el, 1, 9, &rng);
+  Graph g = Graph::FromEdgeList(el);
+  ASSERT_TRUE(WriteDimacsGraph(g, Path("g.gr")).ok());
+  auto back = ReadDimacsGraph(Path("g.gr"));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // The writer emits both arc orientations; normalization merges them
+  // back into exactly the original undirected edge set.
+  Graph g2 = Graph::FromEdgeList(std::move(back).value());
+  ASSERT_EQ(g2.NumVertices(), g.NumVertices());
+  ASSERT_EQ(g2.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto a = g.Neighbors(v), b = g2.Neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]);
+      EXPECT_EQ(g.NeighborWeights(v)[i], g2.NeighborWeights(v)[i]);
+    }
+  }
+}
+
+TEST_F(StorageTest, DimacsGraphParsesHandWrittenFile) {
+  {
+    std::FILE* f = std::fopen(Path("g.gr").c_str(), "w");
+    const std::string long_comment = "c " + std::string(500, 'x') + "\n";
+    std::fputs(long_comment.c_str(), f);  // longer than the parse buffer
+    std::fputs(
+        "c DIMACS shortest-path example\n"
+        "c ids are 1-based\n"
+        "p sp 4 4\n"
+        "a 1 2 7\n"
+        "a 2 1 7\n"
+        "a 3 4 2\n"
+        "\n"
+        "a 4 3 2\n",
+        f);
+    std::fclose(f);
+  }
+  auto el = ReadDimacsGraph(Path("g.gr"));
+  ASSERT_TRUE(el.ok()) << el.status().ToString();
+  Graph g = Graph::FromEdgeList(std::move(el).value());
+  EXPECT_EQ(g.NumVertices(), 4u);  // header pins N even with gaps
+  EXPECT_EQ(g.NumEdges(), 2u);     // reverse arcs merged
+  EXPECT_EQ(g.EdgeWeight(0, 1), 7u);
+  EXPECT_EQ(g.EdgeWeight(2, 3), 2u);
+}
+
+TEST_F(StorageTest, DimacsGraphRejectsMalformed) {
+  struct Case {
+    const char* content;
+    const char* needle;  // expected in the error message
+  };
+  const Case cases[] = {
+      {"a 1 2 3\n", "before 'p sp' header"},
+      {"p sp x y\n", "line 1"},
+      {"p sp 4 1\na 1 5 2\n", "out of [1, N]"},
+      {"p sp 4 1\na 0 2 2\n", "out of [1, N]"},
+      {"p sp 4 1\na 1 2 0\n", "weight out of range"},
+      {"p sp 4 2\na 1 2 3\n", "promises 2 arcs"},
+      {"p sp 4 1\np sp 4 1\n", "duplicate 'p' header"},
+      {"q nonsense\n", "unrecognized DIMACS line 1"},
+  };
+  for (const Case& c : cases) {
+    std::FILE* f = std::fopen(Path("g.gr").c_str(), "w");
+    std::fputs(c.content, f);
+    std::fclose(f);
+    auto el = ReadDimacsGraph(Path("g.gr"));
+    ASSERT_FALSE(el.ok()) << c.content;
+    EXPECT_NE(el.status().message().find(c.needle), std::string::npos)
+        << c.content << " -> " << el.status().ToString();
+  }
+}
+
+TEST_F(StorageTest, DimacsCoordinatesRoundTrip) {
+  DimacsCoordinates coords;
+  coords.x = {10, -20, 30};
+  coords.y = {-1, 2, 2147483648LL};  // beyond 32 bits
+  ASSERT_TRUE(WriteDimacsCoordinates(coords, Path("g.co")).ok());
+  auto back = ReadDimacsCoordinates(Path("g.co"));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->x, coords.x);
+  EXPECT_EQ(back->y, coords.y);
+  // Malformed: id outside [1, N].
+  {
+    std::FILE* f = std::fopen(Path("g.co").c_str(), "w");
+    std::fputs("p aux sp co 2\nv 3 1 1\n", f);
+    std::fclose(f);
+  }
+  auto bad = ReadDimacsCoordinates(Path("g.co"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
 TEST_F(StorageTest, GraphBinaryRoundTripWithVias) {
   EdgeList el(6);
   el.Add(0, 1, 3, 5);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/partitioned_index.h"
 #include "core/index.h"
 #include "graph/graph_io.h"
 #include "tests/test_common.h"
@@ -187,6 +188,93 @@ TEST_F(ToolTest, BatchAnswersPairsFile) {
   EXPECT_EQ(lines[2], "5 6 " + DistStr(5, 6));
 }
 
+TEST_F(ToolTest, PartitionBuildAndCatalogServe) {
+  // A disconnected graph (two ER halves + isolated vertices) through
+  // partition-build, then served as two named datasets with the catalog
+  // verbs over stdin pipes.
+  const Graph dg =
+      MakeTestGraph(Family::kDisconnected, 120, /*weighted=*/true, 31);
+  const std::string dg_path = dir_ + "/dg.txt";
+  ASSERT_TRUE(WriteEdgeListText(dg, dg_path).ok());
+  const std::string cat_dir = dir_ + "/cat";
+  std::string out;
+  ASSERT_EQ(RunCommand(tool_ + " partition-build --graph " + dg_path +
+                           " --catalog " + cat_dir,
+                       &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("saved catalog to"), std::string::npos) << out;
+  EXPECT_NE(out.find("components"), std::string::npos) << out;
+
+  // Ground truth through the library over the same catalog directory.
+  auto loaded = PartitionedIndex::Load(cat_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto dist = [&](VertexId s, VertexId t) {
+    Distance d = 0;
+    EXPECT_TRUE(loaded->Query(s, t, &d).ok());
+    return d == kInfDistance ? std::string("unreachable") : std::to_string(d);
+  };
+  // One same-component, one cross-component pair.
+  const VertexId cross = dg.NumVertices() / 2 + 1;
+  ASSERT_NE(loaded->ComponentOf(0), loaded->ComponentOf(cross));
+
+  const std::string script =
+      "printf '0 1\\n0 " + std::to_string(cross) +
+      "\\nuse beta\\n0 1\\nreload alpha\\nuse nope\\ndatasets\\nstats\\n"
+      "quit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --dataset alpha=" +
+                           cat_dir + " --dataset beta=" + cat_dir +
+                           " --cache-mb 4",
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 8u) << out;
+  EXPECT_EQ(lines[0], dist(0, 1));
+  EXPECT_EQ(lines[1], "unreachable");
+  EXPECT_EQ(lines[2], "ok: using beta");
+  EXPECT_EQ(lines[3], dist(0, 1));  // same dirs → same answers
+  EXPECT_EQ(lines[4], "ok: reloaded alpha");
+  EXPECT_EQ(lines[5], "error: NotFound: unknown dataset nope");
+  EXPECT_EQ(lines[6].rfind("datasets:", 0), 0u) << lines[6];
+  EXPECT_NE(lines[6].find("alpha:ready:"), std::string::npos) << lines[6];
+  EXPECT_NE(lines[6].find("beta:ready:"), std::string::npos) << lines[6];
+  EXPECT_EQ(lines[7].rfind("stats:", 0), 0u) << lines[7];
+  EXPECT_NE(lines[7].find("alpha.requests=2"), std::string::npos) << lines[7];
+  EXPECT_NE(lines[7].find("beta.requests=1"), std::string::npos) << lines[7];
+  EXPECT_NE(lines[7].find("alpha.reloads=1"), std::string::npos) << lines[7];
+}
+
+TEST_F(ToolTest, ServeSingleIndexRejectsCatalogVerbs) {
+  std::string out;
+  const std::string script = "printf 'use other\\n1 2\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --index " +
+                           index_dir_,
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_EQ(lines.size(), 2u) << out;
+  EXPECT_EQ(lines[0], "error: NotSupported: no catalog (single-dataset server)");
+  EXPECT_EQ(lines[1], DistStr(1, 2));
+}
+
+TEST_F(ToolTest, BuildAcceptsDimacsGraphs) {
+  const std::string gr_path = dir_ + "/g.gr";
+  ASSERT_TRUE(WriteDimacsGraph(graph_, gr_path).ok());
+  const std::string gr_index = dir_ + "/gr_idx";
+  std::string out;
+  ASSERT_EQ(RunCommand(tool_ + " build --graph " + gr_path + " --index " +
+                           gr_index,
+                       &out),
+            0)
+      << out;
+  auto loaded = ISLabelIndex::Load(gr_index);
+  ASSERT_TRUE(loaded.ok());
+  // The DIMACS round trip indexes the same graph: answers match.
+  Distance d = 0;
+  ASSERT_TRUE(loaded->Query(1, 2, &d).ok());
+  EXPECT_EQ(d, Dist(1, 2));
+}
+
 TEST_F(ToolTest, GenStatsRoundTrip) {
   const std::string gen_path = dir_ + "/gen.txt";
   std::string out;
@@ -195,6 +283,14 @@ TEST_F(ToolTest, GenStatsRoundTrip) {
             0);
   EXPECT_NE(out.find("wrote"), std::string::npos) << out;
   ASSERT_EQ(RunCommand(tool_ + " stats --graph " + gen_path, &out), 0);
+  EXPECT_NE(out.find("vertices:"), std::string::npos) << out;
+
+  // A .gr output writes DIMACS, so the tool round-trips its own file.
+  const std::string gr_path = dir_ + "/gen.gr";
+  ASSERT_EQ(RunCommand(tool_ + " gen --type grid --n 100 --out " + gr_path,
+                       &out),
+            0);
+  ASSERT_EQ(RunCommand(tool_ + " stats --graph " + gr_path, &out), 0);
   EXPECT_NE(out.find("vertices:"), std::string::npos) << out;
 }
 

@@ -3,18 +3,22 @@
 //   islabel gen    --type <ba|er|rmat|grid|clique-community> --n N ...
 //   islabel stats  --graph FILE
 //   islabel build  --graph FILE --index DIR [--sigma S | --k K] [...]
+//   islabel partition-build --graph FILE --catalog DIR [--threads N] [...]
 //   islabel query  --index DIR [--disk] [--path] S T [S T ...]
 //   islabel batch  --index DIR [--disk] [--threads T] [--in FILE]
-//   islabel serve  --index DIR [--disk] [--listen HOST:PORT]
-//                  [--threads N] [--cache-mb M]
+//   islabel serve  --index DIR | --dataset NAME=DIR [--dataset NAME=DIR...]
+//                  [--disk] [--listen HOST:PORT] [--threads N] [--cache-mb M]
 //   islabel bench  --index DIR [--queries N] [--disk]
 //
 // Graphs are text edge lists ("u v [w]" per line, '#' comments — SNAP
-// compatible). Indexes are the three-file directories of ISLabelIndex.
-// `batch` answers a file/stdin of "s t" pairs in parallel over the engine
-// pool; `serve` speaks the line-oriented wire protocol of
-// server/protocol.h on stdin/stdout, or over TCP with --listen (see
-// CmdServe).
+// compatible) or DIMACS ".gr" files (autodetected by extension). Indexes
+// are the three-file directories of ISLabelIndex; `partition-build`
+// writes a catalog directory (partition map + one sub-index per
+// connected component). `batch` answers a file/stdin of "s t" pairs in
+// parallel over the engine pool; `serve` speaks the line-oriented wire
+// protocol of server/protocol.h on stdin/stdout, or over TCP with
+// --listen (see CmdServe). Repeated --dataset flags host several indexes
+// in one process behind the `use`/`datasets`/`reload` verbs.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +32,8 @@
 #include <vector>
 
 #include "baseline/dijkstra.h"
+#include "catalog/catalog.h"
+#include "catalog/partitioned_index.h"
 #include "core/index.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
@@ -46,12 +52,22 @@ namespace {
 
 struct Args {
   std::map<std::string, std::string> options;
+  /// Every --key value occurrence in order, for repeatable flags
+  /// (--dataset); `options` keeps only the last occurrence.
+  std::vector<std::pair<std::string, std::string>> ordered;
   std::vector<std::string> positional;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& dflt) const {
     auto it = options.find(key);
     return it == options.end() ? dflt : it->second;
+  }
+  std::vector<std::string> GetAll(const std::string& key) const {
+    std::vector<std::string> values;
+    for (const auto& [k, v] : ordered) {
+      if (k == key) values.push_back(v);
+    }
+    return values;
   }
   long GetInt(const std::string& key, long dflt) const {
     auto it = options.find(key);
@@ -76,6 +92,7 @@ Args Parse(int argc, char** argv, int from) {
       if (!IsBooleanFlag(key) && i + 1 < argc &&
           std::strncmp(argv[i + 1], "--", 2) != 0) {
         args.options[key] = argv[++i];
+        args.ordered.emplace_back(key, argv[i]);
       } else {
         // A named string sidesteps GCC 12's spurious -Wrestrict on
         // short-literal assignment at -O2 (GCC PR105329).
@@ -99,12 +116,21 @@ int Usage() {
       "  islabel stats --graph FILE\n"
       "  islabel build --graph FILE --index DIR [--sigma S] [--k K]\n"
       "                [--no-vias] [--external-mb MB] [--tmp DIR]\n"
+      "  islabel partition-build --graph FILE --catalog DIR [--sigma S]\n"
+      "                [--k K] [--no-vias] [--threads N]\n"
       "  islabel query --index DIR [--disk] [--path] S T [S T ...]\n"
       "  islabel batch --index DIR [--disk] [--threads T] [--in FILE]\n"
-      "  islabel serve --index DIR [--disk] [--listen HOST:PORT]\n"
-      "                [--threads N] [--cache-mb M]\n"
+      "  islabel serve --index DIR | --dataset NAME=DIR [--dataset ...]\n"
+      "                [--disk] [--listen HOST:PORT] [--threads N]\n"
+      "                [--cache-mb M]\n"
       "  islabel bench --index DIR [--queries N] [--disk] [--verify]\n");
   return 2;
+}
+
+/// DIMACS road-network files are detected by extension, for both the
+/// reader (LoadGraph) and the writer (CmdGen) — one rule, two sides.
+bool HasGrExtension(const std::string& path) {
+  return path.size() >= 3 && path.compare(path.size() - 3, 3, ".gr") == 0;
 }
 
 int CmdGen(const Args& args) {
@@ -150,7 +176,10 @@ int CmdGen(const Args& args) {
     std::fprintf(stderr, "--out is required\n");
     return 2;
   }
-  Status st = WriteEdgeListText(g, out);
+  // Honor the same extension convention LoadGraph reads by, so a
+  // generated .gr file round-trips through build/stats/partition-build.
+  Status st =
+      HasGrExtension(out) ? WriteDimacsGraph(g, out) : WriteEdgeListText(g, out);
   if (!st.ok()) {
     std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
     return 1;
@@ -163,7 +192,8 @@ int CmdGen(const Args& args) {
 Result<Graph> LoadGraph(const Args& args) {
   const std::string path = args.Get("graph", "");
   if (path.empty()) return Status::InvalidArgument("--graph is required");
-  auto edges = ReadEdgeListText(path);
+  auto edges =
+      HasGrExtension(path) ? ReadDimacsGraph(path) : ReadEdgeListText(path);
   if (!edges.ok()) return edges.status();
   return Graph::FromEdgeList(std::move(edges).value());
 }
@@ -224,6 +254,53 @@ int CmdBuild(const Args& args) {
     return 1;
   }
   std::printf("saved to %s\n", dir.c_str());
+  return 0;
+}
+
+// partition-build: splits the graph into connected components, builds one
+// sub-index per multi-vertex component (components in parallel), and
+// saves the partition map + per-part index dirs as one catalog directory
+// servable via `islabel serve --dataset NAME=DIR`.
+int CmdPartitionBuild(const Args& args) {
+  auto g = LoadGraph(args);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = args.Get("catalog", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "--catalog is required\n");
+    return 2;
+  }
+  PartitionOptions opts;
+  opts.index.sigma = args.GetDouble("sigma", 0.95);
+  opts.index.forced_k = static_cast<std::uint32_t>(args.GetInt("k", 0));
+  opts.index.keep_vias = !args.Has("no-vias");
+  opts.num_threads = static_cast<std::uint32_t>(args.GetInt("threads", 0));
+
+  WallTimer t;
+  auto built = PartitionedIndex::Build(*g, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "partition-build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("partitioned %u vertices into %u components (%u indexed "
+              "parts) in %.2fs\n",
+              built->NumVertices(), built->num_components(),
+              built->num_parts(), t.ElapsedSeconds());
+  for (std::uint32_t p = 0; p < built->num_parts(); ++p) {
+    const BuildStats& bs = built->part(p).build_stats();
+    std::printf("  part %u: %u vertices, k=%u, %s label entries\n", p,
+                built->part(p).NumVertices(), bs.k,
+                HumanCount(bs.label_entries).c_str());
+  }
+  Status st = built->Save(dir);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved catalog to %s\n", dir.c_str());
   return 0;
 }
 
@@ -363,7 +440,162 @@ int CmdBatch(const Args& args) {
 // of the engine (default 64 MB in TCP mode, off in stdin mode); cache
 // entries are invalidated by generation on every index update, so cached
 // answers are always identical to freshly computed ones.
+/// Parses --listen HOST:PORT into `sopts`. Returns 0, or 2 on bad input.
+int ParseListenOption(const Args& args, server::TcpServerOptions* sopts) {
+  const std::string listen = args.Get("listen", "");
+  const std::size_t colon = listen.rfind(':');
+  const std::string port_str =
+      colon == std::string::npos ? "" : listen.substr(colon + 1);
+  char* port_end = nullptr;
+  const unsigned long port =
+      port_str.empty() ? 65536ul
+                       : std::strtoul(port_str.c_str(), &port_end, 10);
+  if (colon == std::string::npos || colon == 0 || port > 65535 ||
+      port_end == nullptr || *port_end != '\0') {
+    std::fprintf(stderr,
+                 "--listen expects HOST:PORT (port 0-65535, 0 = "
+                 "ephemeral)\n");
+    return 2;
+  }
+  sopts->host = listen.substr(0, colon);
+  sopts->port = static_cast<std::uint16_t>(port);
+  sopts->num_workers = static_cast<std::uint32_t>(args.GetInt("threads", 0));
+  sopts->install_signal_handlers = true;
+  return 0;
+}
+
+/// Waits out a started TCP server and reports its counters.
+int RunTcpServer(server::TcpServer* tcp_server) {
+  tcp_server->Wait();
+  const server::TcpServerStats stats = tcp_server->stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors) over %llu connections\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.errors),
+               static_cast<unsigned long long>(stats.connections_accepted));
+  return 0;
+}
+
+/// The stdin/stdout front end, shared by both serve modes: one response
+/// line per request, `stats` assembled here (the dispatcher owns the
+/// per-dataset split in catalog mode).
+int ServeStdin(server::RequestDispatcher* dispatcher,
+               server::QueryCache* cache) {
+  server::RequestDispatcher::Session session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const server::Request req = server::ParseRequest(line);
+    if (req.kind == server::RequestKind::kNone) continue;
+    if (req.kind == server::RequestKind::kQuit) break;
+    std::string response;
+    if (req.kind == server::RequestKind::kStats) {
+      dispatcher->CountStatsRequest();
+      server::ServeStats stats;
+      if (cache != nullptr) {
+        const server::QueryCacheStats cs = cache->GetStats();
+        stats.cache_hits = cs.hits;
+        stats.cache_misses = cs.misses;
+        stats.cache_entries = cs.entries;
+        stats.cache_generation = cs.generation;
+      }
+      dispatcher->FillServeStats(&stats);
+      response = server::FormatStats(stats);
+    } else {
+      response = dispatcher->Execute(req, &session);
+    }
+    std::printf("%s\n", response.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+/// Catalog serve: every --dataset NAME=DIR is loaded on its own
+/// background thread; once all are ready the front end (stdin or TCP)
+/// serves them behind the `use` / `datasets` / `reload` verbs, one
+/// generation-invalidated result cache per dataset.
+int ServeCatalog(const Args& args,
+                 const std::vector<std::string>& dataset_specs) {
+  Catalog catalog;
+  std::vector<std::string> names;
+  for (const std::string& spec : dataset_specs) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      std::fprintf(stderr, "--dataset expects NAME=DIR, got '%s'\n",
+                   spec.c_str());
+      return 2;
+    }
+    const std::string name = spec.substr(0, eq);
+    // The wire grammar must be able to address every hosted dataset.
+    if (!server::IsValidDatasetName(name)) {
+      std::fprintf(stderr,
+                   "--dataset name '%s' is not addressable by `use` "
+                   "(allowed: [A-Za-z0-9._-])\n",
+                   name.c_str());
+      return 2;
+    }
+    Status st = catalog.Add(name, spec.substr(eq + 1),
+                            /*labels_in_memory=*/!args.Has("disk"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    names.push_back(name);
+  }
+  Status ready = catalog.WaitReady();
+  if (!ready.ok()) {
+    std::fprintf(stderr, "dataset load failed: %s\n",
+                 ready.ToString().c_str());
+    return 1;
+  }
+
+  const bool tcp = args.Has("listen");
+  const long cache_mb = args.GetInt("cache-mb", tcp ? 64 : 0);
+  if (cache_mb > 0) {
+    for (const std::string& name : names) {
+      server::QueryCacheOptions copts;
+      copts.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
+      catalog.SetDistanceCache(name,
+                               std::make_shared<server::QueryCache>(copts));
+    }
+  }
+  for (const islabel::DatasetInfo& info : catalog.List()) {
+    std::fprintf(stderr, "dataset %s: %llu vertices, %u parts\n",
+                 info.name.c_str(),
+                 static_cast<unsigned long long>(info.vertices), info.parts);
+  }
+
+  if (tcp) {
+    server::TcpServerOptions sopts;
+    const int rc = ParseListenOption(args, &sopts);
+    if (rc != 0) return rc;
+    server::TcpServer tcp_server(&catalog, names.front(), sopts);
+    Status st = tcp_server.Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving %zu datasets (default %s, cache %ld MB/dataset) "
+                 "on %s:%u; SIGINT/SIGTERM to stop\n",
+                 names.size(), names.front().c_str(),
+                 cache_mb > 0 ? cache_mb : 0, sopts.host.c_str(),
+                 tcp_server.port());
+    return RunTcpServer(&tcp_server);
+  }
+  std::fprintf(stderr,
+               "serving %zu datasets (default %s); 'S T', 'one S T...', "
+               "'path S T', 'use NAME', 'datasets', 'reload NAME', "
+               "'stats', 'quit'\n",
+               names.size(), names.front().c_str());
+  server::RequestDispatcher dispatcher(&catalog, names.front());
+  return ServeStdin(&dispatcher, nullptr);
+}
+
 int CmdServe(const Args& args) {
+  const std::vector<std::string> dataset_specs = args.GetAll("dataset");
+  if (!dataset_specs.empty()) return ServeCatalog(args, dataset_specs);
+
   auto loaded = LoadIndexArg(args);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -383,26 +615,9 @@ int CmdServe(const Args& args) {
   }
 
   if (tcp) {
-    const std::string listen = args.Get("listen", "");
-    const std::size_t colon = listen.rfind(':');
-    const std::string port_str =
-        colon == std::string::npos ? "" : listen.substr(colon + 1);
-    char* port_end = nullptr;
-    const unsigned long port =
-        port_str.empty() ? 65536ul
-                         : std::strtoul(port_str.c_str(), &port_end, 10);
-    if (colon == std::string::npos || colon == 0 || port > 65535 ||
-        port_end == nullptr || *port_end != '\0') {
-      std::fprintf(stderr,
-                   "--listen expects HOST:PORT (port 0-65535, 0 = "
-                   "ephemeral)\n");
-      return 2;
-    }
     server::TcpServerOptions sopts;
-    sopts.host = listen.substr(0, colon);
-    sopts.port = static_cast<std::uint16_t>(port);
-    sopts.num_workers = static_cast<std::uint32_t>(args.GetInt("threads", 0));
-    sopts.install_signal_handlers = true;
+    const int rc = ParseListenOption(args, &sopts);
+    if (rc != 0) return rc;
     server::TcpServer tcp_server(&index, cache.get(), sopts);
     Status st = tcp_server.Start();
     if (!st.ok()) {
@@ -416,14 +631,7 @@ int CmdServe(const Args& args) {
                  index.NumVertices(), args.Has("disk") ? "disk" : "in-memory",
                  cache_mb > 0 ? cache_mb : 0, sopts.host.c_str(),
                  tcp_server.port());
-    tcp_server.Wait();
-    const server::TcpServerStats stats = tcp_server.stats();
-    std::fprintf(stderr,
-                 "served %llu requests (%llu errors) over %llu connections\n",
-                 static_cast<unsigned long long>(stats.requests),
-                 static_cast<unsigned long long>(stats.errors),
-                 static_cast<unsigned long long>(stats.connections_accepted));
-    return 0;
+    return RunTcpServer(&tcp_server);
   }
 
   std::fprintf(stderr,
@@ -431,32 +639,7 @@ int CmdServe(const Args& args) {
                "'path S T', 'stats', 'quit'\n",
                index.NumVertices(), args.Has("disk") ? "disk" : "in-memory");
   server::RequestDispatcher dispatcher(&index);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    const server::Request req = server::ParseRequest(line);
-    if (req.kind == server::RequestKind::kNone) continue;
-    if (req.kind == server::RequestKind::kQuit) break;
-    std::string response;
-    if (req.kind == server::RequestKind::kStats) {
-      dispatcher.CountStatsRequest();
-      server::ServeStats stats;
-      stats.requests = dispatcher.requests();
-      stats.errors = dispatcher.errors();
-      if (cache != nullptr) {
-        const server::QueryCacheStats cs = cache->GetStats();
-        stats.cache_hits = cs.hits;
-        stats.cache_misses = cs.misses;
-        stats.cache_entries = cs.entries;
-        stats.cache_generation = cs.generation;
-      }
-      response = server::FormatStats(stats);
-    } else {
-      response = dispatcher.Execute(req);
-    }
-    std::printf("%s\n", response.c_str());
-    std::fflush(stdout);
-  }
-  return 0;
+  return ServeStdin(&dispatcher, cache.get());
 }
 
 int CmdBench(const Args& args) {
@@ -501,6 +684,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "build") return CmdBuild(args);
+  if (cmd == "partition-build") return CmdPartitionBuild(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "batch") return CmdBatch(args);
   if (cmd == "serve") return CmdServe(args);
