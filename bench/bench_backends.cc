@@ -1,0 +1,235 @@
+// Backend A/B/C: IS-LABEL vs CH vs --backend auto, per generator dataset.
+//
+// For each dataset (a road-like grid, a small-world ring, a scale-free
+// BA graph) the bench builds a PartitionedIndex three times — backend
+// islabel, ch, and auto — and measures build time, index size
+// (entries/bytes from DistanceIndexInfo), and query latency (QPS,
+// p50/p99 microseconds) over the same uniform workload. Every measured
+// run is spot-verified against Dijkstra; any mismatch exits 2, so a
+// "fast" backend that went wrong can never post a number.
+//
+// The point of the auto column: on the grid it must match the ch column
+// (the heuristic picks CH), on the BA graph the islabel column — the
+// reader sees what the heuristic costs (nothing) and what picking the
+// wrong family costs (the off-diagonal cells).
+//
+// Results go to BENCH_backends.json (override: ISLABEL_BENCH_JSON).
+// ISLABEL_SCALE / ISLABEL_QUERIES as usual.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baseline/dijkstra.h"
+#include "bench/bench_common.h"
+#include "catalog/partitioned_index.h"
+#include "core/distance_index.h"
+#include "graph/generators.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace islabel;
+using bench::MakeQueries;
+using bench::PrintHeader;
+using bench::QueriesFromEnv;
+using bench::ScaleFromEnv;
+
+namespace {
+
+struct BenchDataset {
+  std::string name;
+  std::string kind;  // "road-like" | "small-world" | "scale-free"
+  Graph graph;
+};
+
+std::vector<BenchDataset> MakeDatasets(double scale) {
+  std::vector<BenchDataset> out;
+  Rng rng(4242);
+  {
+    std::uint32_t side = static_cast<std::uint32_t>(70.0 * scale);
+    if (side < 10) side = 10;
+    EdgeList edges = GenerateGrid2D(side, side);
+    AssignUniformWeights(&edges, 1, 32, &rng);
+    out.push_back({"grid2d", "road-like", Graph::FromEdgeList(std::move(edges))});
+  }
+  {
+    VertexId n = static_cast<VertexId>(3000.0 * scale);
+    if (n < 100) n = 100;
+    EdgeList edges = GenerateWattsStrogatz(n, 3, 0.05, &rng);
+    AssignUniformWeights(&edges, 1, 32, &rng);
+    out.push_back(
+        {"smallworld", "small-world", Graph::FromEdgeList(std::move(edges))});
+  }
+  {
+    // Deliberately the smallest dataset: the ch cell here is the
+    // worst case the auto heuristic exists to avoid (witness-capped
+    // contraction degrades on hubs), and its build time dominates the
+    // whole bench. Keep it big enough to show the off-diagonal cost,
+    // small enough that the bench stays a smoke test.
+    VertexId n = static_cast<VertexId>(400.0 * scale);
+    if (n < 100) n = 100;
+    EdgeList edges = GenerateBarabasiAlbert(n, 4, &rng);
+    AssignUniformWeights(&edges, 1, 32, &rng);
+    out.push_back(
+        {"scalefree", "scale-free", Graph::FromEdgeList(std::move(edges))});
+  }
+  return out;
+}
+
+struct RunResult {
+  std::string backend_flag;    // "islabel" | "ch" | "auto"
+  std::string backend_chosen;  // Info().backend: may differ under auto
+  double build_seconds = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double Percentile(std::vector<double>* us, double p) {
+  if (us->empty()) return 0;
+  std::sort(us->begin(), us->end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(us->size() - 1) + 0.5);
+  return (*us)[i];
+}
+
+/// Builds + measures one (dataset, backend) cell. Returns false on a
+/// build error or a Dijkstra mismatch (already reported to stderr).
+bool RunCell(const BenchDataset& d,
+             const std::vector<std::pair<VertexId, VertexId>>& queries,
+             BackendKind kind, RunResult* out) {
+  out->backend_flag = BackendKindName(kind);
+  PartitionOptions opts;
+  opts.backend = kind;
+  WallTimer build_timer;
+  auto built = PartitionedIndex::Build(d.graph, opts);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s/%s build failed: %s\n", d.name.c_str(),
+                 out->backend_flag.c_str(),
+                 built.status().ToString().c_str());
+    return false;
+  }
+  out->build_seconds = build_timer.ElapsedSeconds();
+  const DistanceIndexInfo info = built->Info();
+  out->backend_chosen = info.backend;
+  out->entries = info.entries;
+  out->bytes = info.bytes;
+
+  // Verify before timing: a sample of the workload pinned to Dijkstra.
+  const std::size_t step = queries.size() > 64 ? queries.size() / 64 : 1;
+  for (std::size_t i = 0; i < queries.size(); i += step) {
+    Distance got = 0;
+    const auto [s, t] = queries[i];
+    if (!built->Query(s, t, &got).ok() || got != DijkstraP2P(d.graph, s, t)) {
+      std::fprintf(stderr, "%s/%s MISMATCH vs Dijkstra on (%u, %u)\n",
+                   d.name.c_str(), out->backend_flag.c_str(), s, t);
+      return false;
+    }
+  }
+
+  std::vector<double> micros;
+  micros.reserve(queries.size());
+  WallTimer total;
+  for (const auto& [s, t] : queries) {
+    Distance got = 0;
+    WallTimer q;
+    (void)built->Query(s, t, &got);
+    micros.push_back(q.ElapsedSeconds() * 1e6);
+  }
+  const double seconds = total.ElapsedSeconds();
+  out->qps = seconds > 0
+                 ? static_cast<double>(queries.size()) / seconds
+                 : 0;
+  out->p50_us = Percentile(&micros, 0.50);
+  out->p99_us = Percentile(&micros, 0.99);
+  return true;
+}
+
+void AppendRunJson(std::string* json, const RunResult& r, bool last) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "      {\"backend\": \"%s\", \"chosen\": \"%s\", "
+      "\"build_seconds\": %.4f, \"entries\": %llu, \"bytes\": %llu, "
+      "\"qps\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f}%s\n",
+      r.backend_flag.c_str(), r.backend_chosen.c_str(), r.build_seconds,
+      static_cast<unsigned long long>(r.entries),
+      static_cast<unsigned long long>(r.bytes), r.qps, r.p50_us, r.p99_us,
+      last ? "" : ",");
+  *json += buf;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = ScaleFromEnv();
+  const std::size_t num_queries = QueriesFromEnv();
+  const char* json_env = std::getenv("ISLABEL_BENCH_JSON");
+  const std::string json_path =
+      json_env != nullptr ? json_env : "BENCH_backends.json";
+
+  PrintHeader("Backend A/B: IS-LABEL vs CH vs auto",
+              "per-dataset build / size / latency, all runs "
+              "Dijkstra-verified");
+  std::printf("%-12s %-8s %-8s %9s %10s %10s %9s %9s %9s\n", "dataset",
+              "backend", "chosen", "build(s)", "entries", "bytes", "QPS",
+              "p50(us)", "p99(us)");
+
+  std::string json = "{\n  \"bench\": \"backends\",\n";
+  {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"scale\": %.3f,\n  \"queries\": %zu,\n"
+                  "  \"datasets\": [\n",
+                  scale, num_queries);
+    json += buf;
+  }
+
+  bool ok = true;
+  const std::vector<BenchDataset> datasets = MakeDatasets(scale);
+  const BackendKind kinds[3] = {BackendKind::kISLabel, BackendKind::kCH,
+                                BackendKind::kAuto};
+  for (std::size_t di = 0; di < datasets.size(); ++di) {
+    const BenchDataset& d = datasets[di];
+    const auto queries = MakeQueries(d.graph, num_queries, 1234 + di);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"kind\": \"%s\", "
+                  "\"vertices\": %u, \"edges\": %llu, \"runs\": [\n",
+                  d.name.c_str(), d.kind.c_str(), d.graph.NumVertices(),
+                  static_cast<unsigned long long>(d.graph.NumEdges()));
+    json += buf;
+    for (int ki = 0; ki < 3; ++ki) {
+      RunResult r;
+      if (!RunCell(d, queries, kinds[ki], &r)) {
+        ok = false;
+        continue;
+      }
+      std::printf("%-12s %-8s %-8s %9.3f %10llu %10llu %9.0f %9.3f %9.3f\n",
+                  d.name.c_str(), r.backend_flag.c_str(),
+                  r.backend_chosen.c_str(), r.build_seconds,
+                  static_cast<unsigned long long>(r.entries),
+                  static_cast<unsigned long long>(r.bytes), r.qps, r.p50_us,
+                  r.p99_us);
+      AppendRunJson(&json, r, ki == 2);
+    }
+    json += "    ]}";
+    json += di + 1 < datasets.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 2;
+}

@@ -205,7 +205,9 @@ class FreshPartEngines {
   explicit FreshPartEngines(PartitionedIndex* index) : index_(index) {
     engines_.reserve(index->num_parts());
     for (std::uint32_t p = 0; p < index->num_parts(); ++p) {
-      ISLabelIndex* part = index->mutable_part(p);
+      // The bench builds its catalogs with the default (IS-LABEL)
+      // backend, so the downcast is structural, not speculative.
+      auto* part = dynamic_cast<ISLabelIndex*>(index->mutable_part(p));
       engines_.push_back(std::make_unique<QueryEngine>(
           &part->hierarchy(), LabelProvider(&part->labels())));
     }

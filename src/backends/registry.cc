@@ -1,0 +1,72 @@
+#include "backends/registry.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "backends/ch_index.h"
+#include "core/index.h"
+#include "graph/stats.h"
+
+namespace islabel {
+
+BackendKind ChooseBackendAuto(const Graph& g) {
+  return LooksRoadLike(ComputeStats(g)) ? BackendKind::kCH
+                                        : BackendKind::kISLabel;
+}
+
+Result<std::unique_ptr<DistanceIndex>> BuildBackend(
+    BackendKind kind, const Graph& g, const IndexOptions& options) {
+  if (kind == BackendKind::kAuto) kind = ChooseBackendAuto(g);
+  switch (kind) {
+    case BackendKind::kISLabel: {
+      auto built = ISLabelIndex::Build(g, options);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<DistanceIndex>(
+          std::make_unique<ISLabelIndex>(std::move(built).value()));
+    }
+    case BackendKind::kCH: {
+      auto built = CHIndex::Build(g);
+      if (!built.ok()) return built.status();
+      return std::unique_ptr<DistanceIndex>(
+          std::make_unique<CHIndex>(std::move(built).value()));
+    }
+    case BackendKind::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved backend kind");
+}
+
+Result<std::unique_ptr<DistanceIndex>> LoadBackend(BackendKind kind,
+                                                   const std::string& dir,
+                                                   bool labels_in_memory) {
+  switch (kind) {
+    case BackendKind::kISLabel: {
+      auto loaded = ISLabelIndex::Load(dir, labels_in_memory);
+      if (!loaded.ok()) return loaded.status();
+      return std::unique_ptr<DistanceIndex>(
+          std::make_unique<ISLabelIndex>(std::move(loaded).value()));
+    }
+    case BackendKind::kCH: {
+      auto loaded = CHIndex::Load(dir);
+      if (!loaded.ok()) return loaded.status();
+      return std::unique_ptr<DistanceIndex>(
+          std::make_unique<CHIndex>(std::move(loaded).value()));
+    }
+    case BackendKind::kAuto:
+      break;
+  }
+  return Status::InvalidArgument("cannot load backend 'auto' from " + dir);
+}
+
+Result<BackendKind> SniffBackendDir(const std::string& dir) {
+  std::error_code ec;
+  if (std::filesystem::exists(dir + "/meta.islm", ec)) {
+    return BackendKind::kISLabel;
+  }
+  if (std::filesystem::exists(dir + "/ch.islc", ec)) {
+    return BackendKind::kCH;
+  }
+  return Status::NotFound("no recognizable index files in " + dir);
+}
+
+}  // namespace islabel

@@ -1,0 +1,48 @@
+// Backend registry: the one place that knows every concrete
+// DistanceIndex family — how to build one from a graph, how to recognize
+// and load a saved index directory, and how `--backend auto` picks a
+// family per graph.
+//
+// The catalog (partitioned_index.cc) and the CLI route all backend
+// construction through these functions, so adding a backend means
+// touching this file and nothing above it.
+
+#ifndef ISLABEL_BACKENDS_REGISTRY_H_
+#define ISLABEL_BACKENDS_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/distance_index.h"
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/result.h"
+
+namespace islabel {
+
+/// Resolves kAuto to a concrete family for `g` using the degree-skew
+/// heuristic (graph/stats.h LooksRoadLike): road-like graphs contract
+/// well → kCH; skewed/scale-free graphs → kISLabel. Never returns kAuto.
+BackendKind ChooseBackendAuto(const Graph& g);
+
+/// Builds an index of the given family over `g`. kAuto resolves via
+/// ChooseBackendAuto first. `options` configures IS-LABEL builds (σ,
+/// forced k, vias, threads); CH ignores it (contraction has no
+/// equivalent knobs and always records path vias).
+Result<std::unique_ptr<DistanceIndex>> BuildBackend(
+    BackendKind kind, const Graph& g, const IndexOptions& options = {});
+
+/// Loads the index saved in `dir` as the given concrete family (kAuto is
+/// not loadable). labels_in_memory selects IS-LABEL's IM vs disk-resident
+/// mode and is ignored by CH (always memory-resident).
+Result<std::unique_ptr<DistanceIndex>> LoadBackend(
+    BackendKind kind, const std::string& dir, bool labels_in_memory = true);
+
+/// Identifies which backend family saved `dir` from its self-identifying
+/// files (meta.islm → kISLabel, ch.islc → kCH). NotFound when neither
+/// marker exists.
+Result<BackendKind> SniffBackendDir(const std::string& dir);
+
+}  // namespace islabel
+
+#endif  // ISLABEL_BACKENDS_REGISTRY_H_

@@ -18,27 +18,37 @@ inline Distance SatAdd(Distance a, Distance b) {
   return a + b;
 }
 
-// Mutable overlay graph during contraction: sorted adjacency with min-merge.
+// Mutable overlay graph during contraction: sorted adjacency with
+// min-merge. Entries carry the shortcut's middle vertex (kInvalidVertex
+// for original edges) so the final up lists can unpack paths.
 struct Overlay {
-  std::vector<std::vector<std::pair<VertexId, Weight>>> adj;
+  struct Entry {
+    VertexId to;
+    Weight w;
+    VertexId via;
+  };
+  std::vector<std::vector<Entry>> adj;
 
-  void AddOrMin(VertexId u, VertexId v, Weight w) {
+  void AddOrMin(VertexId u, VertexId v, Weight w, VertexId via) {
     auto& list = adj[u];
     auto it = std::lower_bound(
         list.begin(), list.end(), v,
-        [](const auto& e, VertexId x) { return e.first < x; });
-    if (it != list.end() && it->first == v) {
-      it->second = std::min(it->second, w);
+        [](const Entry& e, VertexId x) { return e.to < x; });
+    if (it != list.end() && it->to == v) {
+      if (w < it->w) {
+        it->w = w;
+        it->via = via;  // the via must always describe the stored weight
+      }
     } else {
-      list.insert(it, {v, w});
+      list.insert(it, Entry{v, w, via});
     }
   }
   void Remove(VertexId u, VertexId v) {
     auto& list = adj[u];
     auto it = std::lower_bound(
         list.begin(), list.end(), v,
-        [](const auto& e, VertexId x) { return e.first < x; });
-    if (it != list.end() && it->first == v) list.erase(it);
+        [](const Entry& e, VertexId x) { return e.to < x; });
+    if (it != list.end() && it->to == v) list.erase(it);
   }
 };
 
@@ -59,13 +69,13 @@ bool HasWitness(const Overlay& g, VertexId source, VertexId target,
     if (v == target) return d <= limit;
     if (d > limit) return false;
     ++settled;
-    for (const auto& [u, w] : g.adj[v]) {
-      if (u == skip) continue;
-      const Distance nd = d + w;
-      auto it = dist.find(u);
+    for (const auto& e : g.adj[v]) {
+      if (e.to == skip) continue;
+      const Distance nd = d + e.w;
+      auto it = dist.find(e.to);
       if (it == dist.end() || nd < it->second) {
-        dist[u] = nd;
-        pq.push({nd, u});
+        dist[e.to] = nd;
+        pq.push({nd, e.to});
       }
     }
   }
@@ -87,9 +97,8 @@ int EdgeDifference(const Overlay& g, VertexId v, std::size_t witness_budget) {
   int shortcuts = 0;
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = i + 1; j < d; ++j) {
-      const Distance through =
-          static_cast<Distance>(nbrs[i].second) + nbrs[j].second;
-      if (!HasWitness(g, nbrs[i].first, nbrs[j].first, v, through,
+      const Distance through = static_cast<Distance>(nbrs[i].w) + nbrs[j].w;
+      if (!HasWitness(g, nbrs[i].to, nbrs[j].to, v, through,
                       witness_budget)) {
         ++shortcuts;
       }
@@ -113,7 +122,7 @@ Result<ContractionHierarchy> ContractionHierarchy::Build(const Graph& g) {
     auto ws = g.NeighborWeights(v);
     overlay.adj[v].reserve(nbrs.size());
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      overlay.adj[v].emplace_back(nbrs[i], ws[i]);
+      overlay.adj[v].push_back(Overlay::Entry{nbrs[i], ws[i], kInvalidVertex});
     }
   }
 
@@ -158,27 +167,27 @@ Result<ContractionHierarchy> ContractionHierarchy::Build(const Graph& g) {
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
       for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
         const std::uint64_t wide =
-            static_cast<std::uint64_t>(nbrs[i].second) + nbrs[j].second;
+            static_cast<std::uint64_t>(nbrs[i].w) + nbrs[j].w;
         if (wide > std::numeric_limits<Weight>::max()) {
           return Status::OutOfRange("shortcut weight overflows Weight");
         }
         const Distance through = static_cast<Distance>(wide);
         if (!probe ||
-            !HasWitness(overlay, nbrs[i].first, nbrs[j].first, v, through,
+            !HasWitness(overlay, nbrs[i].to, nbrs[j].to, v, through,
                         witness_budget)) {
-          overlay.AddOrMin(nbrs[i].first, nbrs[j].first,
-                           static_cast<Weight>(wide));
-          overlay.AddOrMin(nbrs[j].first, nbrs[i].first,
-                           static_cast<Weight>(wide));
+          overlay.AddOrMin(nbrs[i].to, nbrs[j].to,
+                           static_cast<Weight>(wide), v);
+          overlay.AddOrMin(nbrs[j].to, nbrs[i].to,
+                           static_cast<Weight>(wide), v);
           ++ch.num_shortcuts_;
         }
       }
     }
     // Record v's upward edges and remove v from the overlay.
-    for (const auto& [u, w] : nbrs) {
-      ch.up_[v].push_back(UpEdge{u, w});
-      overlay.Remove(u, v);
-      dirty[u] = true;
+    for (const auto& e : nbrs) {
+      ch.up_[v].push_back(UpEdge{e.to, e.w, e.via});
+      overlay.Remove(e.to, v);
+      dirty[e.to] = true;
     }
     overlay.adj[v].clear();
     overlay.adj[v].shrink_to_fit();
@@ -186,45 +195,90 @@ Result<ContractionHierarchy> ContractionHierarchy::Build(const Graph& g) {
 
   // up_[v] currently holds *all* edges at contraction time; every endpoint
   // has a higher rank by construction (they were still in the overlay), so
-  // the lists are already upward-only.
+  // the lists are already upward-only. They are also sorted by target
+  // (overlay adjacency is sorted), which FindUpEdge relies on.
   return ch;
+}
+
+ContractionHierarchy ContractionHierarchy::FromParts(
+    std::vector<std::uint32_t> order, std::vector<std::vector<UpEdge>> up,
+    std::uint64_t num_shortcuts) {
+  ContractionHierarchy ch;
+  ch.order_ = std::move(order);
+  ch.up_ = std::move(up);
+  ch.num_shortcuts_ = num_shortcuts;
+  return ch;
+}
+
+std::uint64_t ContractionHierarchy::NumUpEdges() const {
+  std::uint64_t total = 0;
+  for (const auto& l : up_) total += l.size();
+  return total;
 }
 
 double ContractionHierarchy::MeanUpDegree() const {
   if (up_.empty()) return 0.0;
-  std::uint64_t total = 0;
-  for (const auto& l : up_) total += l.size();
-  return static_cast<double>(total) / static_cast<double>(up_.size());
+  return static_cast<double>(NumUpEdges()) /
+         static_cast<double>(up_.size());
 }
 
 Distance ContractionHierarchy::Query(VertexId s, VertexId t,
                                      std::uint64_t* settled_out) {
-  const VertexId n = static_cast<VertexId>(order_.size());
+  return Query(s, t, &scratch_, settled_out);
+}
+
+Distance ContractionHierarchy::Query(VertexId s, VertexId t, Scratch* scratch,
+                                     std::uint64_t* settled_out) const {
+  const VertexId n = NumVertices();
   if (s >= n || t >= n) return kInfDistance;
-  if (s == t) return 0;
-  for (Side& side : sides_) {
+  if (s == t) {
+    if (settled_out != nullptr) *settled_out = 0;
+    return 0;
+  }
+  return Search(s, t, scratch, settled_out, nullptr);
+}
+
+Distance ContractionHierarchy::Search(VertexId s, VertexId t,
+                                      Scratch* scratch,
+                                      std::uint64_t* settled_out,
+                                      VertexId* meet_out) const {
+  const VertexId n = NumVertices();
+  for (Scratch::Side& side : scratch->sides) {
     if (side.dist.size() != n) {
       side.dist.assign(n, kInfDistance);
       side.stamp.assign(n, 0);
+      side.parent.assign(n, kInvalidVertex);
+      scratch->epoch = 0;
     }
   }
-  ++epoch_;
-  const std::uint32_t epoch = epoch_;
+  // Epoch wraparound would resurrect stale stamps; reset instead.
+  if (scratch->epoch == std::numeric_limits<std::uint32_t>::max()) {
+    for (Scratch::Side& side : scratch->sides) {
+      side.stamp.assign(n, 0);
+    }
+    scratch->epoch = 0;
+  }
+  ++scratch->epoch;
+  const std::uint32_t epoch = scratch->epoch;
   auto dist_of = [&](int side, VertexId v) -> Distance {
-    return sides_[side].stamp[v] == epoch ? sides_[side].dist[v]
-                                          : kInfDistance;
+    return scratch->sides[side].stamp[v] == epoch
+               ? scratch->sides[side].dist[v]
+               : kInfDistance;
   };
 
   using Entry = std::pair<Distance, VertexId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq[2];
-  sides_[0].dist[s] = 0;
-  sides_[0].stamp[s] = epoch;
+  scratch->sides[0].dist[s] = 0;
+  scratch->sides[0].stamp[s] = epoch;
+  scratch->sides[0].parent[s] = kInvalidVertex;
   pq[0].push({0, s});
-  sides_[1].dist[t] = 0;
-  sides_[1].stamp[t] = epoch;
+  scratch->sides[1].dist[t] = 0;
+  scratch->sides[1].stamp[t] = epoch;
+  scratch->sides[1].parent[t] = kInvalidVertex;
   pq[1].push({0, t});
 
   Distance best = kInfDistance;
+  VertexId meet = kInvalidVertex;
   std::uint64_t settled = 0;
   // Upward searches cannot prune with min_f + min_r (paths are not
   // monotone in distance along the up-down profile); the standard CH stop
@@ -241,19 +295,101 @@ Distance ContractionHierarchy::Query(VertexId s, VertexId t,
       pq[side].pop();
       if (d != dist_of(side, v)) continue;
       ++settled;
-      best = std::min(best, SatAdd(dist_of(0, v), dist_of(1, v)));
+      const Distance through = SatAdd(dist_of(0, v), dist_of(1, v));
+      if (through < best) {
+        best = through;
+        meet = v;
+      }
       for (const UpEdge& e : up_[v]) {
         const Distance nd = d + e.w;
         if (nd < dist_of(side, e.to)) {
-          sides_[side].dist[e.to] = nd;
-          sides_[side].stamp[e.to] = epoch;
+          scratch->sides[side].dist[e.to] = nd;
+          scratch->sides[side].stamp[e.to] = epoch;
+          scratch->sides[side].parent[e.to] = v;
           pq[side].push({nd, e.to});
         }
       }
     }
   }
   if (settled_out != nullptr) *settled_out = settled;
+  if (meet_out != nullptr) *meet_out = meet;
   return best;
+}
+
+const ContractionHierarchy::UpEdge* ContractionHierarchy::FindUpEdge(
+    VertexId a, VertexId b) const {
+  const VertexId lo = order_[a] < order_[b] ? a : b;
+  const VertexId hi = lo == a ? b : a;
+  const auto& list = up_[lo];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), hi,
+      [](const UpEdge& e, VertexId x) { return e.to < x; });
+  if (it != list.end() && it->to == hi) return &*it;
+  return nullptr;
+}
+
+bool ContractionHierarchy::AppendUnpacked(VertexId u, VertexId v,
+                                          std::vector<VertexId>* out) const {
+  // LIFO expansion, left segment pushed last so it pops first: the edges
+  // of (u, v)'s expansion land in path order.
+  std::vector<std::pair<VertexId, VertexId>> stack;
+  stack.emplace_back(u, v);
+  while (!stack.empty()) {
+    const auto [a, b] = stack.back();
+    stack.pop_back();
+    const UpEdge* e = FindUpEdge(a, b);
+    if (e == nullptr) return false;
+    if (e->via == kInvalidVertex) {
+      out->push_back(b);
+    } else {
+      stack.emplace_back(e->via, b);
+      stack.emplace_back(a, e->via);
+    }
+  }
+  return true;
+}
+
+Distance ContractionHierarchy::Path(VertexId s, VertexId t, Scratch* scratch,
+                                    std::vector<VertexId>* path) const {
+  path->clear();
+  const VertexId n = NumVertices();
+  if (s >= n || t >= n) return kInfDistance;
+  if (s == t) {
+    path->push_back(s);
+    return 0;
+  }
+  VertexId meet = kInvalidVertex;
+  const Distance d = Search(s, t, scratch, nullptr, &meet);
+  if (d == kInfDistance || meet == kInvalidVertex) return kInfDistance;
+
+  // Climb each side's parent chain from the meet, then unpack every
+  // packed up edge. Parents are only followed for vertices reached this
+  // epoch (the chain from the meet is, by construction).
+  std::vector<VertexId> fwd;  // s ... meet in the up graph
+  for (VertexId v = meet; v != kInvalidVertex;
+       v = scratch->sides[0].parent[v]) {
+    fwd.push_back(v);
+  }
+  std::reverse(fwd.begin(), fwd.end());
+  std::vector<VertexId> bwd;  // meet ... t in the up graph
+  for (VertexId v = meet; v != kInvalidVertex;
+       v = scratch->sides[1].parent[v]) {
+    bwd.push_back(v);
+  }
+
+  path->push_back(fwd[0]);
+  bool ok = true;
+  for (std::size_t i = 1; i < fwd.size() && ok; ++i) {
+    ok = AppendUnpacked(fwd[i - 1], fwd[i], path);
+  }
+  for (std::size_t i = 1; i < bwd.size() && ok; ++i) {
+    ok = AppendUnpacked(bwd[i - 1], bwd[i], path);
+  }
+  if (!ok) {
+    path->clear();
+    return kInfDistance;
+  }
+  return d;
 }
 
 }  // namespace islabel

@@ -78,8 +78,15 @@ Status Catalog::Handle::Ready(
   return Status::Internal("unknown dataset state");
 }
 
-Status Catalog::Handle::Query(VertexId s, VertexId t, Distance* out,
-                              QueryStats* stats) const {
+Status Catalog::Handle::CheckQueryable(VertexId, VertexId) const {
+  // Deliberately no range check here: the index snapshot in
+  // QueryUncached owns validation, so a still-loading dataset reports
+  // FailedPrecondition rather than OutOfRange-against-zero-vertices.
+  return Status::OK();
+}
+
+Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
+                                      QueryStats* stats) {
   dataset_->requests.fetch_add(1, std::memory_order_relaxed);
   // Generation FIRST, index snapshot second: if a reload lands between
   // the two, this query runs on the NEW index and its insert (under the
@@ -108,7 +115,7 @@ Status Catalog::Handle::Query(VertexId s, VertexId t, Distance* out,
 
 Status Catalog::Handle::ShortestPath(VertexId s, VertexId t,
                                      std::vector<VertexId>* path,
-                                     Distance* dist) const {
+                                     Distance* dist) {
   dataset_->requests.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<PartitionedIndex> index;
   Status st = Ready(&index);
@@ -120,13 +127,31 @@ Status Catalog::Handle::ShortestPath(VertexId s, VertexId t,
 Status Catalog::Handle::QueryOneToMany(VertexId s,
                                        const std::vector<VertexId>& targets,
                                        std::vector<Distance>* out,
-                                       QueryStats* stats) const {
+                                       QueryStats* stats) {
   dataset_->requests.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<PartitionedIndex> index;
   Status st = Ready(&index);
   if (st.ok()) st = index->QueryOneToMany(s, targets, out, stats);
   if (!st.ok()) dataset_->errors.fetch_add(1, std::memory_order_relaxed);
   return st;
+}
+
+VertexId Catalog::Handle::NumVertices() const {
+  std::shared_ptr<PartitionedIndex> snapshot = index();
+  return snapshot == nullptr ? 0 : snapshot->NumVertices();
+}
+
+bool Catalog::Handle::has_vias() const {
+  std::shared_ptr<PartitionedIndex> snapshot = index();
+  return snapshot != nullptr && snapshot->has_vias();
+}
+
+DistanceIndexInfo Catalog::Handle::Info() const {
+  std::shared_ptr<PartitionedIndex> snapshot = index();
+  if (snapshot != nullptr) return snapshot->Info();
+  DistanceIndexInfo info;
+  info.detail = DatasetStateName(state());
+  return info;
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +325,10 @@ std::vector<DatasetInfo> Catalog::List() const {
       if (ds->index != nullptr) {
         info.parts = ds->index->num_parts();
         info.vertices = ds->index->NumVertices();
+        info.backends = ds->index->BackendSummary();
+        const DistanceIndexInfo index_info = ds->index->Info();
+        info.index_entries = index_info.entries;
+        info.index_bytes = index_info.bytes;
       }
     }
     infos.push_back(std::move(info));

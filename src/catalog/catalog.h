@@ -64,6 +64,13 @@ struct DatasetInfo {
   std::uint64_t reloads = 0;
   std::uint32_t parts = 0;
   std::uint64_t vertices = 0;
+  /// Per-part backend summary (PartitionedIndex::BackendSummary), empty
+  /// until the index is loaded.
+  std::string backends;
+  /// Aggregate index size across parts (label entries / up-edges and
+  /// their bytes), from DistanceIndex::Info.
+  std::uint64_t index_entries = 0;
+  std::uint64_t index_bytes = 0;
   /// The dataset's distance cache (null if none installed) — surfaced
   /// here so stats assembly needs no per-dataset catalog lookups.
   std::shared_ptr<DistanceCache> cache;
@@ -79,12 +86,24 @@ class Catalog {
 
   struct Dataset;
 
-  /// Ref-counted dataset handle. Copyable and cheap; keeps the dataset
-  /// record (not any particular index version) alive. Query calls
-  /// snapshot the current index, so they are safe across Reload.
-  class Handle {
+  /// Ref-counted dataset handle — itself a DistanceIndex, so the serving
+  /// layer programs against one query surface whether it holds a raw
+  /// backend, a partitioned index, or a hot-swappable catalog dataset.
+  /// Copyable and cheap; keeps the dataset record (not any particular
+  /// index version) alive. Query calls snapshot the current index, so
+  /// they are safe across Reload.
+  ///
+  /// Caching: the dataset's DistanceCache (SetDistanceCache) is consulted
+  /// inside QueryUncached with the generation-before-snapshot ordering
+  /// described above — NOT via DistanceIndex::set_distance_cache, whose
+  /// per-instance cache would not survive Handle copies.
+  class Handle : public DistanceIndex {
    public:
     Handle() = default;
+    Handle(const Handle&) = default;
+    Handle(Handle&&) = default;
+    Handle& operator=(const Handle&) = default;
+    Handle& operator=(Handle&&) = default;
 
     explicit operator bool() const { return dataset_ != nullptr; }
     const std::string& name() const;
@@ -99,16 +118,33 @@ class Catalog {
     /// The dataset's distance cache, if the serving layer installed one.
     DistanceCache* cache() const;
 
-    // -- Query surface: routes to the current index snapshot, consults
-    // the dataset cache (stats-free Query only), and bumps the
+    // -- DistanceIndex surface: routes to the current index snapshot,
+    // consults the dataset cache (stats-free Query only), and bumps the
     // per-dataset request/error counters. All thread-safe. --
-    Status Query(VertexId s, VertexId t, Distance* out,
-                 QueryStats* stats = nullptr) const;
     Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
-                        Distance* dist) const;
+                        Distance* dist) override;
     Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
                           std::vector<Distance>* out,
-                          QueryStats* stats = nullptr) const;
+                          QueryStats* stats = nullptr) override;
+
+    /// 0 until the dataset finishes loading (queries before then fail in
+    /// QueryUncached with FailedPrecondition, not OutOfRange — see
+    /// CheckQueryable).
+    VertexId NumVertices() const override;
+    bool has_vias() const override;
+    /// The current index's Info, or state()-only info while not ready.
+    DistanceIndexInfo Info() const override;
+
+   protected:
+    /// Counters + dataset cache + index snapshot + route; the full
+    /// uncached query path for one validated pair.
+    Status QueryUncached(VertexId s, VertexId t, Distance* out,
+                         QueryStats* stats) override;
+    /// Always OK: range validation belongs to the index snapshot taken
+    /// inside QueryUncached. The base range check against NumVertices()
+    /// would misreport a still-loading dataset (0 vertices) as
+    /// OutOfRange instead of FailedPrecondition.
+    Status CheckQueryable(VertexId s, VertexId t) const override;
 
    private:
     friend class Catalog;

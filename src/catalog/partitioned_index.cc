@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <numeric>
 
+#include "backends/registry.h"
 #include "graph/components.h"
 #include "storage/block_file.h"
 #include "util/parallel.h"
@@ -15,7 +16,10 @@ namespace islabel {
 namespace {
 
 constexpr std::uint32_t kPartitionMagic = 0x49534C50;  // "ISLP"
-constexpr std::uint32_t kPartitionVersion = 1;
+// Version 2 added the per-part backend name; version 1 directories (all
+// parts IS-LABEL) are still readable.
+constexpr std::uint32_t kPartitionVersion = 2;
+constexpr std::uint32_t kPartitionVersionV1 = 1;
 
 std::string PartitionPath(const std::string& dir) {
   return dir + "/partition.islp";
@@ -95,16 +99,20 @@ Result<PartitionedIndex> PartitionedIndex::Build(
   index.local_id_ = std::move(partition.local_id);
   index.part_of_component_ = std::move(partition.part_of_component);
   index.num_components_ = partition.num_components;
-  index.vias_enabled_ = options.index.keep_vias;
 
   const std::size_t num_parts = partition.parts.size();
   index.parts_.resize(num_parts);
   std::vector<Status> part_status(num_parts, Status::OK());
   // One sub-index build per component, components in parallel. Builds are
   // independent (each writes only its own slot), so results are identical
-  // for every thread count.
+  // for every thread count. kAuto resolves per component, so a dataset
+  // may legally mix backends across parts.
   ParallelFor(num_parts, options.num_threads, [&](std::size_t p) {
-    auto built = ISLabelIndex::Build(partition.parts[p].graph, options.index);
+    BackendKind kind = options.backend;
+    if (kind == BackendKind::kAuto) {
+      kind = ChooseBackendAuto(partition.parts[p].graph);
+    }
+    auto built = BuildBackend(kind, partition.parts[p].graph, options.index);
     if (!built.ok()) {
       part_status[p] = built.status();
       return;
@@ -112,20 +120,36 @@ Result<PartitionedIndex> PartitionedIndex::Build(
     index.parts_[p].component = partition.parts[p].component;
     index.parts_[p].global_ids = std::move(partition.parts[p].global_ids);
     index.parts_[p].index = std::move(built).value();
+    index.parts_[p].backend = kind;
   });
   for (std::size_t p = 0; p < num_parts; ++p) {
     if (!part_status[p].ok()) return part_status[p];
+  }
+  // Path availability is the intersection over parts (a CH part always
+  // has vias; an IS-LABEL part only when built with keep_vias).
+  index.vias_enabled_ = options.index.keep_vias;
+  if (num_parts > 0) {
+    index.vias_enabled_ = true;
+    for (const PartEntry& part : index.parts_) {
+      index.vias_enabled_ = index.vias_enabled_ && part.index->has_vias();
+    }
   }
   return index;
 }
 
 PartitionedIndex PartitionedIndex::FromMonolithic(ISLabelIndex index) {
+  return FromBackend(std::make_unique<ISLabelIndex>(std::move(index)),
+                     BackendKind::kISLabel);
+}
+
+PartitionedIndex PartitionedIndex::FromBackend(
+    std::unique_ptr<DistanceIndex> index, BackendKind backend) {
   PartitionedIndex out;
-  const VertexId n = index.NumVertices();
+  const VertexId n = index->NumVertices();
   out.component_.assign(n, 0);
   out.local_id_.resize(n);
   std::iota(out.local_id_.begin(), out.local_id_.end(), VertexId{0});
-  out.vias_enabled_ = index.has_vias();
+  out.vias_enabled_ = index->has_vias();
   if (n == 0) return out;
   out.num_components_ = 1;
   out.part_of_component_.assign(1, 0);
@@ -133,22 +157,22 @@ PartitionedIndex PartitionedIndex::FromMonolithic(ISLabelIndex index) {
   out.parts_[0].component = 0;
   out.parts_[0].global_ids = out.local_id_;
   out.parts_[0].index = std::move(index);
+  out.parts_[0].backend = backend;
   return out;
 }
 
-Status PartitionedIndex::CheckIds(VertexId s, VertexId t) const {
+Status PartitionedIndex::CheckQueryable(VertexId s, VertexId t) const {
   const VertexId n = NumVertices();
   if (s >= n || t >= n) return Status::OutOfRange("vertex id out of range");
   return Status::OK();
 }
 
-Status PartitionedIndex::Query(VertexId s, VertexId t, Distance* out,
-                               QueryStats* stats) {
-  ISLABEL_RETURN_IF_ERROR(CheckIds(s, t));
+Status PartitionedIndex::QueryUncached(VertexId s, VertexId t, Distance* out,
+                                       QueryStats* stats) {
   const std::uint32_t cs = component_[s];
   if (cs != component_[t]) {
     // The partition map IS the reachability oracle: answer straight from
-    // it, no engine lease, no label fetch.
+    // it, no backend call, no label fetch.
     *out = kInfDistance;
     if (stats != nullptr) *stats = QueryStats{};
     counters_->cross_component.fetch_add(1, std::memory_order_relaxed);
@@ -161,13 +185,13 @@ Status PartitionedIndex::Query(VertexId s, VertexId t, Distance* out,
     return Status::OK();
   }
   counters_->routed.fetch_add(1, std::memory_order_relaxed);
-  return parts_[p].index.Query(local_id_[s], local_id_[t], out, stats);
+  return parts_[p].index->Query(local_id_[s], local_id_[t], out, stats);
 }
 
 Status PartitionedIndex::ShortestPath(VertexId s, VertexId t,
                                       std::vector<VertexId>* path,
                                       Distance* dist) {
-  ISLABEL_RETURN_IF_ERROR(CheckIds(s, t));
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
   if (!vias_enabled_) {
     return Status::FailedPrecondition(
         "index was built without vias (IndexOptions::keep_vias)");
@@ -187,42 +211,8 @@ Status PartitionedIndex::ShortestPath(VertexId s, VertexId t,
   }
   counters_->routed.fetch_add(1, std::memory_order_relaxed);
   ISLABEL_RETURN_IF_ERROR(
-      parts_[p].index.ShortestPath(local_id_[s], local_id_[t], path, dist));
+      parts_[p].index->ShortestPath(local_id_[s], local_id_[t], path, dist));
   for (VertexId& v : *path) v = parts_[p].global_ids[v];
-  return Status::OK();
-}
-
-Status PartitionedIndex::QueryBatch(
-    const std::vector<std::pair<VertexId, VertexId>>& pairs,
-    std::vector<Distance>* out, std::uint32_t num_threads,
-    std::vector<Status>* statuses) {
-  out->assign(pairs.size(), kInfDistance);
-  if (statuses != nullptr) statuses->assign(pairs.size(), Status::OK());
-  if (pairs.empty()) return Status::OK();
-
-  const std::size_t workers =
-      std::min<std::size_t>(EffectiveThreads(num_threads), pairs.size());
-  std::vector<Status> first_error(workers, Status::OK());
-  ParallelForChunks(
-      pairs.size(), workers,
-      [&](std::size_t w, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          Status st = Query(pairs[i].first, pairs[i].second, &(*out)[i]);
-          if (!st.ok()) {
-            (*out)[i] = kInfDistance;
-            if (statuses != nullptr) {
-              (*statuses)[i] = std::move(st);
-            } else if (first_error[w].ok()) {
-              first_error[w] = std::move(st);
-            }
-          }
-        }
-      });
-  if (statuses == nullptr) {
-    for (Status& st : first_error) {
-      if (!st.ok()) return std::move(st);
-    }
-  }
   return Status::OK();
 }
 
@@ -230,9 +220,9 @@ Status PartitionedIndex::QueryOneToMany(VertexId s,
                                         const std::vector<VertexId>& targets,
                                         std::vector<Distance>* out,
                                         QueryStats* stats) {
-  ISLABEL_RETURN_IF_ERROR(CheckIds(s, s));
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, s));
   for (VertexId t : targets) {
-    ISLABEL_RETURN_IF_ERROR(CheckIds(s, t));
+    ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
   }
   out->assign(targets.size(), kInfDistance);
   if (stats != nullptr) *stats = QueryStats{};
@@ -257,12 +247,50 @@ Status PartitionedIndex::QueryOneToMany(VertexId s,
   if (positions.empty()) return Status::OK();
   counters_->routed.fetch_add(1, std::memory_order_relaxed);
   std::vector<Distance> local_out;
-  ISLABEL_RETURN_IF_ERROR(parts_[p].index.QueryOneToMany(
+  ISLABEL_RETURN_IF_ERROR(parts_[p].index->QueryOneToMany(
       local_id_[s], local_targets, &local_out, stats));
   for (std::size_t i = 0; i < positions.size(); ++i) {
     (*out)[positions[i]] = local_out[i];
   }
   return Status::OK();
+}
+
+DistanceIndexInfo PartitionedIndex::Info() const {
+  DistanceIndexInfo info;
+  info.vertices = NumVertices();
+  bool mixed = false;
+  for (const PartEntry& part : parts_) {
+    const DistanceIndexInfo part_info = part.index->Info();
+    info.entries += part_info.entries;
+    info.bytes += part_info.bytes;
+    if (info.backend.empty()) {
+      info.backend = part_info.backend;
+    } else if (info.backend != part_info.backend) {
+      mixed = true;
+    }
+  }
+  if (mixed) info.backend = "mixed";
+  if (info.backend.empty()) {
+    info.backend = BackendKindName(BackendKind::kISLabel);
+  }
+  info.detail = BackendSummary();
+  return info;
+}
+
+std::string PartitionedIndex::BackendSummary() const {
+  if (parts_.empty()) return "none";
+  constexpr std::size_t kMaxListed = 8;
+  std::string out;
+  for (std::size_t p = 0; p < parts_.size() && p < kMaxListed; ++p) {
+    if (p != 0) out += ',';
+    const DistanceIndexInfo info = parts_[p].index->Info();
+    out += 'p' + std::to_string(p) + '=' + info.backend + '/' +
+           std::to_string(info.entries);
+  }
+  if (parts_.size() > kMaxListed) {
+    out += ",+" + std::to_string(parts_.size() - kMaxListed);
+  }
+  return out;
 }
 
 Status PartitionedIndex::Save(const std::string& dir) const {
@@ -286,13 +314,18 @@ Status PartitionedIndex::Save(const std::string& dir) const {
   for (const PartEntry& part : parts_) {
     PutFixed32(&meta, part.component);
     PutVarint64(&meta, part.global_ids.size());
+    // v2: the part's backend, by name — the tag that keeps a CH part
+    // from ever being misparsed as an IS-LABEL one.
+    const std::string name = BackendKindName(part.backend);
+    PutVarint64(&meta, name.size());
+    meta.append(name);
   }
   BlockFile mf;
   ISLABEL_RETURN_IF_ERROR(mf.Open(PartitionPath(dir), /*truncate=*/true));
   ISLABEL_RETURN_IF_ERROR(mf.Append(meta.data(), meta.size(), nullptr));
   ISLABEL_RETURN_IF_ERROR(mf.Flush());
   for (std::uint32_t p = 0; p < num_parts(); ++p) {
-    ISLABEL_RETURN_IF_ERROR(parts_[p].index.Save(PartDir(dir, p)));
+    ISLABEL_RETURN_IF_ERROR(parts_[p].index->Save(PartDir(dir, p)));
   }
   return Status::OK();
 }
@@ -301,10 +334,15 @@ Result<PartitionedIndex> PartitionedIndex::Load(const std::string& dir,
                                                 bool labels_in_memory) {
   std::error_code ec;
   if (!std::filesystem::exists(PartitionPath(dir), ec)) {
-    // A plain ISLabelIndex directory: serve it as one part.
-    auto mono = ISLabelIndex::Load(dir, labels_in_memory);
+    // A plain single-index directory: sniff its family and serve it as
+    // one part. Unrecognized directories fall through to the IS-LABEL
+    // loader so the error message names the expected layout.
+    auto kind = SniffBackendDir(dir);
+    const BackendKind mono_kind =
+        kind.ok() ? kind.value() : BackendKind::kISLabel;
+    auto mono = LoadBackend(mono_kind, dir, labels_in_memory);
     if (!mono.ok()) return mono.status();
-    return FromMonolithic(std::move(mono).value());
+    return FromBackend(std::move(mono).value(), mono_kind);
   }
 
   BlockFile mf;
@@ -316,7 +354,8 @@ Result<PartitionedIndex> PartitionedIndex::Load(const std::string& dir,
   if (!dec.GetFixed32(&magic) || magic != kPartitionMagic) {
     return Status::Corruption("bad partition map magic in " + dir);
   }
-  if (!dec.GetFixed32(&version) || version != kPartitionVersion) {
+  if (!dec.GetFixed32(&version) ||
+      (version != kPartitionVersion && version != kPartitionVersionV1)) {
     return Status::Corruption("unsupported partition map version in " + dir);
   }
   if (!dec.GetFixed32(&n) || !dec.GetFixed32(&num_components) ||
@@ -359,8 +398,25 @@ Result<PartitionedIndex> PartitionedIndex::Load(const std::string& dir,
     if (comp >= num_components || size > n) {
       return Status::Corruption("part table entry out of range in " + dir);
     }
+    BackendKind backend = BackendKind::kISLabel;  // all v1 parts
+    if (version >= kPartitionVersion) {
+      std::uint64_t name_len;
+      if (!dec.GetVarint64(&name_len) || name_len > dec.Remaining()) {
+        return Status::Corruption("truncated part backend name in " + dir);
+      }
+      std::string name(name_len, '\0');
+      if (!dec.GetBytes(name.data(), name.size())) {
+        return Status::Corruption("truncated part backend name in " + dir);
+      }
+      if (!ParseBackendKind(name, &backend) ||
+          backend == BackendKind::kAuto) {
+        return Status::Corruption("unknown backend '" + name + "' for part " +
+                                  std::to_string(p) + " in " + dir);
+      }
+    }
     index.parts_[p].component = comp;
     index.parts_[p].global_ids.assign(size, kInvalidVertex);
+    index.parts_[p].backend = backend;
     index.part_of_component_[comp] = p;
   }
 
@@ -386,9 +442,10 @@ Result<PartitionedIndex> PartitionedIndex::Load(const std::string& dir,
   }
 
   for (std::uint32_t p = 0; p < num_parts; ++p) {
-    auto part = ISLabelIndex::Load(PartDir(dir, p), labels_in_memory);
+    auto part = LoadBackend(index.parts_[p].backend, PartDir(dir, p),
+                            labels_in_memory);
     if (!part.ok()) return part.status();
-    if (part->NumVertices() != index.parts_[p].global_ids.size()) {
+    if (part.value()->NumVertices() != index.parts_[p].global_ids.size()) {
       return Status::Corruption("part " + std::to_string(p) +
                                 " vertex count mismatch in " + dir);
     }

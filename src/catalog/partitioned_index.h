@@ -1,17 +1,24 @@
 // PartitionedIndex: per-connected-component sub-indexes behind the
-// ISLabelIndex query surface.
+// DistanceIndex query surface — with a pluggable backend per component.
 //
 // The paper's large instances (BTC, web-uk, the DIMACS road networks)
 // are disconnected in the raw data, yet a monolithic index burns a full
 // bidirectional search to conclude "unreachable" for every
-// cross-component pair. This layer decomposes the input before labeling:
+// cross-component pair. This layer decomposes the input before indexing:
 // ComponentPartitioner splits the graph into connected components with
-// densely renumbered per-part vertex ids, Build() labels each component
+// densely renumbered per-part vertex ids, Build() indexes each component
 // independently (in parallel across components), and queries route
 // through the vertex→component map — same-component pairs are translated
 // into the owning sub-index (answers and paths are mapped back to
 // original ids), cross-component pairs answer kInfDistance in O(1)
-// without ever leasing a query engine.
+// without ever touching a backend.
+//
+// Each component picks its own backend (PartitionOptions::backend):
+// IS-LABEL, CH, or auto — where the registry's road-likeness heuristic
+// decides per component, so one dataset can host a road-like component
+// on CH next to a scale-free one on IS-LABEL. The manifest records each
+// part's backend by name; loading a manifest naming an unknown backend
+// fails with Corruption (never a misparse).
 //
 // Invariants that make routed answers bit-identical to a monolithic
 // index on the same graph:
@@ -21,11 +28,12 @@
 //     GlobalId(PartOf(v), LocalId(v)) == v for every vertex;
 //   * singleton components build no sub-index at all — the only
 //     same-component query they can receive is s == t, answered 0
-//     directly (and `{s}` for paths), exactly as the engine would.
+//     directly (and `{s}` for paths), exactly as a backend would.
 //
-// Thread-safety matches ISLabelIndex: the routing arrays are immutable
-// after Build/Load and every sub-index entry point leases engines
-// internally, so all query entry points may be called concurrently.
+// Thread-safety follows the DistanceIndex contract: the routing arrays
+// are immutable after Build/Load and every sub-index entry point leases
+// engines/scratch internally, so all query entry points may be called
+// concurrently.
 
 #ifndef ISLABEL_CATALOG_PARTITIONED_INDEX_H_
 #define ISLABEL_CATALOG_PARTITIONED_INDEX_H_
@@ -37,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/distance_index.h"
 #include "core/index.h"
 #include "graph/graph.h"
 #include "util/result.h"
@@ -81,17 +90,21 @@ class ComponentPartitioner {
 
 /// Options for PartitionedIndex::Build.
 struct PartitionOptions {
-  /// Per-component build options (σ, forced k, vias, labeling threads...).
+  /// Per-component build options for IS-LABEL parts (σ, forced k, vias,
+  /// labeling threads...). CH parts ignore it.
   IndexOptions index;
   /// Worker threads ACROSS components (0 = hardware concurrency). Within
   /// a component, labeling uses index.num_threads as usual.
   std::uint32_t num_threads = 0;
+  /// Index family per component; kAuto picks per component via the
+  /// registry's road-likeness heuristic, so components may mix.
+  BackendKind backend = BackendKind::kISLabel;
 };
 
-/// An ISLabelIndex-shaped index composed of one sub-index per connected
-/// component. Movable, not copyable. All query entry points are
-/// thread-safe; the index is immutable after Build/Load.
-class PartitionedIndex {
+/// A DistanceIndex composed of one sub-index per connected component,
+/// each on its own backend. Movable, not copyable. All query entry
+/// points are thread-safe; the index is immutable after Build/Load.
+class PartitionedIndex : public DistanceIndex {
  public:
   PartitionedIndex() = default;
   PartitionedIndex(PartitionedIndex&&) = default;
@@ -107,49 +120,45 @@ class PartitionedIndex {
   /// how plain `islabel build` directories enter the catalog.
   static PartitionedIndex FromMonolithic(ISLabelIndex index);
 
-  // ---- Query surface (mirrors ISLabelIndex; original-graph ids) ----
+  /// Same, for any backend instance.
+  static PartitionedIndex FromBackend(std::unique_ptr<DistanceIndex> index,
+                                      BackendKind backend);
 
-  /// Exact distance; kInfDistance for cross-component pairs, answered in
-  /// O(1) from the partition map without leasing an engine. Thread-safe.
-  Status Query(VertexId s, VertexId t, Distance* out,
-               QueryStats* stats = nullptr);
+  // ---- Query surface (original-graph ids). Query/QueryBatch/
+  // QueryManyToMany come from DistanceIndex; cross-component pairs are
+  // answered kInfDistance in O(1) from the partition map. ----
 
   /// Exact shortest path in original-graph ids (empty + kInfDistance when
   /// disconnected, including the O(1) cross-component case). Thread-safe.
   Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
-                      Distance* dist);
-
-  /// Answers every pair; same per-pair error semantics as
-  /// ISLabelIndex::QueryBatch. Cross-component pairs cost O(1) each.
-  /// Thread-safe.
-  Status QueryBatch(const std::vector<std::pair<VertexId, VertexId>>& pairs,
-                    std::vector<Distance>* out, std::uint32_t num_threads = 0,
-                    std::vector<Status>* statuses = nullptr);
+                      Distance* dist) override;
 
   /// Distances from s to every target. Targets in s's component share one
-  /// forward ball in the owning sub-index; targets elsewhere are answered
-  /// unreachable without touching it. All endpoints validated up front,
-  /// any invalid endpoint fails the whole call (ISLabelIndex semantics).
-  /// Thread-safe.
+  /// backend call; targets elsewhere are answered unreachable without
+  /// touching it. All endpoints validated up front, any invalid endpoint
+  /// fails the whole call. Thread-safe.
   Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
                         std::vector<Distance>* out,
-                        QueryStats* stats = nullptr);
+                        QueryStats* stats = nullptr) override;
 
   // ---- Persistence ----
 
-  /// Writes `<dir>/partition.islp` (the vertex→component/local-id map)
-  /// plus one ISLabelIndex directory per part under `<dir>/partNNNNN`.
-  Status Save(const std::string& dir) const;
+  /// Writes `<dir>/partition.islp` (the vertex→component/local-id map
+  /// plus each part's backend name) and one backend directory per part
+  /// under `<dir>/partNNNNN`.
+  Status Save(const std::string& dir) const override;
 
-  /// Loads a saved catalog directory. Falls back to a monolithic
-  /// ISLabelIndex directory (wrapped via FromMonolithic) when
+  /// Loads a saved catalog directory. Falls back to a monolithic backend
+  /// directory (sniffed by the registry, wrapped via FromBackend) when
   /// `<dir>/partition.islp` is absent, so both layouts are servable.
+  /// A manifest naming an unknown backend yields Corruption with the
+  /// offending name.
   static Result<PartitionedIndex> Load(const std::string& dir,
                                        bool labels_in_memory = true);
 
   // ---- Introspection ----
 
-  VertexId NumVertices() const {
+  VertexId NumVertices() const override {
     return static_cast<VertexId>(component_.size());
   }
   std::uint32_t num_components() const { return num_components_; }
@@ -165,12 +174,28 @@ class PartitionedIndex {
   VertexId GlobalId(std::uint32_t part, VertexId local) const {
     return parts_[part].global_ids[local];
   }
-  const ISLabelIndex& part(std::uint32_t p) const { return parts_[p].index; }
-  ISLabelIndex* mutable_part(std::uint32_t p) { return &parts_[p].index; }
+  const DistanceIndex& part(std::uint32_t p) const {
+    return *parts_[p].index;
+  }
+  DistanceIndex* mutable_part(std::uint32_t p) {
+    return parts_[p].index.get();
+  }
+  BackendKind part_backend(std::uint32_t p) const {
+    return parts_[p].backend;
+  }
   const std::vector<VertexId>& part_global_ids(std::uint32_t p) const {
     return parts_[p].global_ids;
   }
-  bool has_vias() const { return vias_enabled_; }
+  bool has_vias() const override { return vias_enabled_; }
+
+  /// Aggregated across parts: entries/bytes summed, backend naming the
+  /// single family or "mixed", detail = BackendSummary().
+  DistanceIndexInfo Info() const override;
+
+  /// Per-part "p<idx>=<backend>/<entries>" summary (comma-joined, first
+  /// 8 parts, "+N" for the rest) for the `stats` verb — colon- and
+  /// space-free so it stays one wire token.
+  std::string BackendSummary() const;
 
   /// Queries answered unreachable straight from the partition map (no
   /// engine lease) / routed into a sub-index, since construction.
@@ -181,19 +206,25 @@ class PartitionedIndex {
     return counters_->routed.load(std::memory_order_relaxed);
   }
 
+ protected:
+  /// Routes one validated pair: O(1) for cross-component/singleton,
+  /// otherwise the owning part's backend.
+  Status QueryUncached(VertexId s, VertexId t, Distance* out,
+                       QueryStats* stats) override;
+  Status CheckQueryable(VertexId s, VertexId t) const override;
+
  private:
   struct PartEntry {
     std::uint32_t component = 0;
     std::vector<VertexId> global_ids;
-    ISLabelIndex index;
+    std::unique_ptr<DistanceIndex> index;
+    BackendKind backend = BackendKind::kISLabel;
   };
   /// Heap-allocated so the index stays movable despite the atomics.
   struct Counters {
     std::atomic<std::uint64_t> cross_component{0};
     std::atomic<std::uint64_t> routed{0};
   };
-
-  Status CheckIds(VertexId s, VertexId t) const;
 
   std::vector<std::uint32_t> component_;
   std::vector<VertexId> local_id_;

@@ -1,0 +1,159 @@
+#include "core/distance_index.h"
+
+#include <algorithm>
+
+#include "core/query.h"
+#include "util/parallel.h"
+
+namespace islabel {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kISLabel: return "islabel";
+    case BackendKind::kCH: return "ch";
+    case BackendKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+bool ParseBackendKind(std::string_view name, BackendKind* out) {
+  if (name == "islabel") {
+    *out = BackendKind::kISLabel;
+    return true;
+  }
+  if (name == "ch") {
+    *out = BackendKind::kCH;
+    return true;
+  }
+  if (name == "auto") {
+    *out = BackendKind::kAuto;
+    return true;
+  }
+  return false;
+}
+
+DistanceIndex::~DistanceIndex() = default;
+
+Status DistanceIndex::CheckQueryable(VertexId s, VertexId t) const {
+  const VertexId n = NumVertices();
+  if (s >= n || t >= n) return Status::OutOfRange("vertex id out of range");
+  return Status::OK();
+}
+
+Status DistanceIndex::Query(VertexId s, VertexId t, Distance* out,
+                            QueryStats* stats) {
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  // Generation BEFORE compute: if a mutation lands mid-query, Insert sees
+  // a moved generation and drops the answer instead of stamping a stale
+  // distance as current. Stats-carrying calls bypass the cache so they
+  // always measure the real backend.
+  const bool use_cache = distance_cache_ != nullptr && stats == nullptr;
+  std::uint64_t cache_gen = 0;
+  if (use_cache) {
+    cache_gen = distance_cache_->generation();
+    if (distance_cache_->Lookup(s, t, out)) return Status::OK();
+  }
+  Status st = QueryUncached(s, t, out, stats);
+  if (st.ok() && use_cache) distance_cache_->Insert(s, t, *out, cache_gen);
+  return st;
+}
+
+Status DistanceIndex::QueryBatch(
+    const std::vector<std::pair<VertexId, VertexId>>& pairs,
+    std::vector<Distance>* out, std::uint32_t num_threads,
+    std::vector<Status>* statuses) {
+  out->assign(pairs.size(), kInfDistance);
+  if (statuses != nullptr) statuses->assign(pairs.size(), Status::OK());
+  if (pairs.empty()) return Status::OK();
+
+  const std::size_t workers =
+      std::min<std::size_t>(EffectiveThreads(num_threads), pairs.size());
+  std::vector<Status> first_error(workers, Status::OK());
+  ParallelForChunks(
+      pairs.size(), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Status st = Query(pairs[i].first, pairs[i].second, &(*out)[i]);
+          if (!st.ok()) {
+            (*out)[i] = kInfDistance;
+            if (statuses != nullptr) {
+              (*statuses)[i] = std::move(st);
+            } else if (first_error[w].ok()) {
+              first_error[w] = std::move(st);
+            }
+          }
+        }
+      });
+  if (statuses == nullptr) {
+    for (Status& st : first_error) {
+      if (!st.ok()) return std::move(st);
+    }
+  }
+  return Status::OK();
+}
+
+Status DistanceIndex::QueryOneToMany(VertexId s,
+                                     const std::vector<VertexId>& targets,
+                                     std::vector<Distance>* out,
+                                     QueryStats* stats) {
+  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, s));
+  for (VertexId t : targets) {
+    ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
+  }
+  out->assign(targets.size(), kInfDistance);
+  if (stats != nullptr) *stats = QueryStats{};
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    QueryStats one;
+    ISLABEL_RETURN_IF_ERROR(QueryUncached(s, targets[i], &(*out)[i],
+                                          stats != nullptr ? &one : nullptr));
+    if (stats != nullptr) {
+      stats->label_fetch_seconds += one.label_fetch_seconds;
+      stats->search_seconds += one.search_seconds;
+      stats->label_ios += one.label_ios;
+      stats->used_search = stats->used_search || one.used_search;
+      stats->settled += one.settled;
+      stats->relaxed += one.relaxed;
+    }
+  }
+  return Status::OK();
+}
+
+Status DistanceIndex::QueryManyToMany(const std::vector<VertexId>& sources,
+                                      const std::vector<VertexId>& targets,
+                                      std::vector<Distance>* out,
+                                      std::uint32_t num_threads) {
+  for (VertexId s : sources) ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, s));
+  for (VertexId t : targets) ISLABEL_RETURN_IF_ERROR(CheckQueryable(t, t));
+  out->assign(sources.size() * targets.size(), kInfDistance);
+  if (sources.empty() || targets.empty()) return Status::OK();
+
+  const std::size_t workers =
+      std::min<std::size_t>(EffectiveThreads(num_threads), sources.size());
+  std::vector<Status> first_error(workers, Status::OK());
+  ParallelForChunks(
+      sources.size(), workers,
+      [&](std::size_t w, std::size_t begin, std::size_t end) {
+        std::vector<Distance> row;
+        for (std::size_t i = begin; i < end; ++i) {
+          Status st = QueryOneToMany(sources[i], targets, &row);
+          if (!st.ok()) {
+            if (first_error[w].ok()) first_error[w] = std::move(st);
+            continue;
+          }
+          std::copy(row.begin(), row.end(),
+                    out->begin() + static_cast<std::ptrdiff_t>(
+                                       i * targets.size()));
+        }
+      });
+  for (Status& st : first_error) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+Status DistanceIndex::Save(const std::string& dir) const {
+  (void)dir;
+  return Status::NotSupported("this backend does not support Save");
+}
+
+}  // namespace islabel

@@ -70,7 +70,7 @@ void ISLabelIndex::ResetPool() {
   pool_ = std::make_unique<QueryEnginePool>(hierarchy_.get(), provider);
   // Every pool reset marks a potential answer change (InsertVertex,
   // DeleteVertex, reload): invalidate all cached distances.
-  if (distance_cache_ != nullptr) distance_cache_->BumpGeneration();
+  BumpCacheGeneration();
 }
 
 Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
@@ -85,24 +85,13 @@ Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {
   return Status::OK();
 }
 
-Status ISLabelIndex::Query(VertexId s, VertexId t, Distance* out,
-                           QueryStats* stats) {
-  ISLABEL_RETURN_IF_ERROR(CheckQueryable(s, t));
-  // The deleted-endpoint check above runs before the cache, so a cached
-  // pair naming a since-deleted endpoint still fails with NotFound. The
-  // generation is snapshotted before the engine runs: if an update lands
-  // mid-compute, Insert sees a moved generation and drops the answer
-  // instead of stamping a pre-update distance as current.
-  const bool use_cache = distance_cache_ != nullptr && stats == nullptr;
-  std::uint64_t cache_gen = 0;
-  if (use_cache) {
-    cache_gen = distance_cache_->generation();
-    if (distance_cache_->Lookup(s, t, out)) return Status::OK();
-  }
+Status ISLabelIndex::QueryUncached(VertexId s, VertexId t, Distance* out,
+                                   QueryStats* stats) {
+  // The base class ran CheckQueryable (deleted-endpoint check included,
+  // before the cache) and snapshotted the cache generation; all that is
+  // left is the real engine query.
   QueryEnginePool::Lease lease = pool_->Acquire();
-  Status st = lease->Query(s, t, out, stats);
-  if (st.ok() && use_cache) distance_cache_->Insert(s, t, *out, cache_gen);
-  return st;
+  return lease->Query(s, t, out, stats);
 }
 
 Status ISLabelIndex::QueryBatch(
@@ -192,6 +181,24 @@ Status ISLabelIndex::QueryManyToMany(const std::vector<VertexId>& sources,
     if (!st.ok()) return std::move(st);
   }
   return Status::OK();
+}
+
+DistanceIndexInfo ISLabelIndex::Info() const {
+  DistanceIndexInfo info;
+  info.backend = BackendKindName(BackendKind::kISLabel);
+  if (hierarchy_ == nullptr) return info;
+  info.vertices = hierarchy_->NumVertices();
+  // Sizes come from the arena/store, not build_stats_, so Load()ed
+  // indexes report real numbers too.
+  if (store_ != nullptr) {
+    info.entries = store_->TotalEntries();
+    info.bytes = store_->LabelBytes();
+  } else {
+    info.entries = labels_->TotalEntries();
+    info.bytes = labels_->SlabBytes();
+  }
+  info.detail = "k=" + std::to_string(hierarchy_->k);
+  return info;
 }
 
 void ISLabelIndex::RebuildCore(EdgeList edges) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/distance_cache.h"
+#include "core/distance_index.h"
 #include "core/engine_pool.h"
 #include "core/hierarchy.h"
 #include "core/label_arena.h"
@@ -53,7 +54,11 @@ struct BuildStats {
 /// Exact point-to-point distance index (undirected). Movable, not copyable.
 /// All query entry points are thread-safe (engines come from an internal
 /// pool); updates and persistence must not overlap with queries.
-class ISLabelIndex {
+///
+/// The DistanceIndex base provides Query() (with the cache template
+/// method) and carries the optional distance cache; ResetPool() bumps its
+/// generation on every update/reload so stale entries are never served.
+class ISLabelIndex : public DistanceIndex {
  public:
   ISLabelIndex() = default;
   ISLabelIndex(ISLabelIndex&&) = default;
@@ -64,17 +69,12 @@ class ISLabelIndex {
   static Result<ISLabelIndex> Build(const Graph& g,
                                     const IndexOptions& options = {});
 
-  /// Exact distance from s to t; kInfDistance if disconnected.
-  /// Thread-safe.
-  Status Query(VertexId s, VertexId t, Distance* out,
-               QueryStats* stats = nullptr);
-
   /// Exact shortest path (sequence of original-graph vertices, s first,
   /// t last). Requires the index to have been built with keep_vias.
   /// Outputs an empty path and kInfDistance when disconnected.
   /// Thread-safe.
   Status ShortestPath(VertexId s, VertexId t, std::vector<VertexId>* path,
-                      Distance* dist);
+                      Distance* dist) override;
 
   // ---- Batched queries ----
 
@@ -86,7 +86,7 @@ class ISLabelIndex {
   /// value (the batch still completes). Thread-safe.
   Status QueryBatch(const std::vector<std::pair<VertexId, VertexId>>& pairs,
                     std::vector<Distance>* out, std::uint32_t num_threads = 0,
-                    std::vector<Status>* statuses = nullptr);
+                    std::vector<Status>* statuses = nullptr) override;
 
   /// Distances from s to every target on one engine, fetching label(s) and
   /// seeding its forward search once for the whole batch (the shared
@@ -95,7 +95,7 @@ class ISLabelIndex {
   /// call. Thread-safe.
   Status QueryOneToMany(VertexId s, const std::vector<VertexId>& targets,
                         std::vector<Distance>* out,
-                        QueryStats* stats = nullptr);
+                        QueryStats* stats = nullptr) override;
 
   /// The kNN-style rectangle: out is row-major |sources| x |targets|,
   /// (*out)[i * targets.size() + j] = d(sources[i], targets[j]). Rows run
@@ -105,7 +105,7 @@ class ISLabelIndex {
   Status QueryManyToMany(const std::vector<VertexId>& sources,
                          const std::vector<VertexId>& targets,
                          std::vector<Distance>* out,
-                         std::uint32_t num_threads = 0);
+                         std::uint32_t num_threads = 0) override;
 
   // ---- Update maintenance (§8.3; implemented in updates.cc) ----
 
@@ -129,7 +129,7 @@ class ISLabelIndex {
   // ---- Persistence ----
 
   /// Writes `<dir>/labels.isl`, `<dir>/core.islg`, `<dir>/meta.islm`.
-  Status Save(const std::string& dir) const;
+  Status Save(const std::string& dir) const override;
 
   /// Loads a saved index. labels_in_memory = true materializes all labels
   /// (IM-ISL); false keeps them disk-resident, one read per query label.
@@ -138,7 +138,7 @@ class ISLabelIndex {
 
   // ---- Introspection ----
 
-  VertexId NumVertices() const { return hierarchy_->NumVertices(); }
+  VertexId NumVertices() const override { return hierarchy_->NumVertices(); }
   std::uint32_t k() const { return hierarchy_->k; }
   std::uint32_t LevelOf(VertexId v) const { return hierarchy_->level[v]; }
   bool InCore(VertexId v) const { return hierarchy_->InCore(v); }
@@ -151,22 +151,21 @@ class ISLabelIndex {
   const BuildStats& build_stats() const { return build_stats_; }
   /// True iff the index carries intermediate vertices for path queries
   /// (IndexOptions::keep_vias at build time; persisted across Save/Load).
-  bool has_vias() const { return vias_enabled_; }
+  bool has_vias() const override { return vias_enabled_; }
+  /// Backend name + label counts/bytes (valid after Build and Load alike,
+  /// unlike build_stats(), which Load leaves mostly empty).
+  DistanceIndexInfo Info() const override;
   /// The engine pool behind the query entry points — for callers that want
   /// to hold a lease across many queries (serve loops, benches).
   QueryEnginePool* engine_pool() { return pool_.get(); }
 
-  // ---- Optional query-result cache ----
-
-  /// Installs a distance cache consulted by Query() before leasing an
-  /// engine (pass nullptr to remove). Only stats-free Query calls hit the
-  /// cache, so instrumented queries always measure the real engine. The
-  /// index bumps the cache generation on every pool reset (updates,
-  /// reloads), so stale entries are never served — see DistanceCache.
-  void set_distance_cache(std::shared_ptr<DistanceCache> cache) {
-    distance_cache_ = std::move(cache);
-  }
-  DistanceCache* distance_cache() const { return distance_cache_.get(); }
+ protected:
+  /// Leases an engine and runs the real query; the base class has already
+  /// validated endpoints and missed the cache.
+  Status QueryUncached(VertexId s, VertexId t, Distance* out,
+                       QueryStats* stats) override;
+  /// Adds the built/deleted-endpoint checks to the base range check.
+  Status CheckQueryable(VertexId s, VertexId t) const override;
 
  private:
   friend class PathReconstructor;
@@ -174,8 +173,9 @@ class ISLabelIndex {
   /// (Re)creates the engine pool over the current hierarchy/labels; called
   /// eagerly at Build/Load and after every update, so the query entry
   /// points never construct shared state lazily (and thus never race).
+  /// Bumps the cache generation: every reset marks a potential answer
+  /// change.
   void ResetPool();
-  Status CheckQueryable(VertexId s, VertexId t) const;
 
   // Rebuilds the G_k CSR from an edge list after an update (updates.cc).
   void RebuildCore(EdgeList edges);
@@ -184,7 +184,6 @@ class ISLabelIndex {
   std::unique_ptr<LabelArena> labels_ = std::make_unique<LabelArena>();
   std::unique_ptr<LabelStore> store_;
   std::unique_ptr<QueryEnginePool> pool_;
-  std::shared_ptr<DistanceCache> distance_cache_;
   BuildStats build_stats_;
   BitVector deleted_;
   bool vias_enabled_ = true;

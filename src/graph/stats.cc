@@ -21,6 +21,18 @@ GraphStats ComputeStats(const Graph& g) {
   return s;
 }
 
+bool LooksRoadLike(const GraphStats& stats) {
+  if (stats.num_vertices == 0) return true;
+  // Hubs are what kill contraction: a vertex of degree d can force
+  // d*(d-1)/2 shortcuts when contracted. "Road-like" therefore means the
+  // worst vertex is small both absolutely (<= 64 — road junctions and
+  // grid cells are single digits) and relative to the mean (<= 8x — a
+  // scale-free tail puts hubs orders of magnitude above the average).
+  const double avg = std::max(stats.avg_degree, 1.0);
+  return stats.max_degree <= 64 &&
+         static_cast<double>(stats.max_degree) <= 8.0 * avg;
+}
+
 std::string HumanCount(std::uint64_t n) {
   char buf[32];
   if (n >= 1000000000ULL) {

@@ -22,6 +22,15 @@ struct GraphStats {
 /// Scans the graph once and fills a GraphStats.
 GraphStats ComputeStats(const Graph& g);
 
+/// Degree-skew classifier behind `--backend auto`: true for bounded-degree,
+/// hub-free graphs (road networks, grids, meshes) where contraction
+/// hierarchies stay sparse; false for skewed/scale-free degree profiles
+/// (social/web graphs) where contraction fills in around hubs and
+/// IS-LABEL's independent-set hierarchy wins. The rule is deliberately
+/// simple and cheap — max degree small in absolute terms AND small
+/// relative to the average (no hubs).
+bool LooksRoadLike(const GraphStats& stats);
+
 /// "164.7M" / "22.2K"-style compact count, matching the paper's table style.
 std::string HumanCount(std::uint64_t n);
 

@@ -10,11 +10,10 @@ namespace server {
 
 namespace {
 
-/// The verb→API mapping, written once and instantiated for both
-/// backends: ISLabelIndex (single-index mode) and Catalog::Handle
-/// (catalog mode) expose the same query surface.
-template <typename Backend>
-std::string ExecuteQueryVerb(Backend&& backend, const Request& req,
+/// The verb→API mapping, written once against the DistanceIndex
+/// interface: single-index mode passes the raw backend, catalog mode
+/// passes the session's Catalog::Handle (itself a DistanceIndex).
+std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
                              bool* error) {
   *error = false;
   switch (req.kind) {
@@ -152,6 +151,9 @@ std::vector<DatasetCounters> RequestDispatcher::DatasetCountersSnapshot()
     c.reloads = info.reloads;
     c.parts = info.parts;
     c.vertices = info.vertices;
+    c.backends = info.backends;
+    c.index_entries = info.index_entries;
+    c.index_bytes = info.index_bytes;
     // The catalog only knows the DistanceCache seam; counters exist on
     // the serving layer's concrete QueryCache.
     if (auto* cache = dynamic_cast<QueryCache*>(info.cache.get())) {

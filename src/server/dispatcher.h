@@ -3,10 +3,13 @@
 //
 // Shared by the stdin serve loop and the TCP server's worker threads so
 // request semantics (which API each verb maps to, error formatting,
-// request/error counting) are defined exactly once. Two modes:
+// request/error counting) are defined exactly once. Both modes execute
+// query verbs through the one DistanceIndex virtual surface —
+// Catalog::Handle IS-A DistanceIndex, so there is exactly one
+// verb→API mapping, not one per backend type. Two modes:
 //
-//   * single-index: constructed over one ISLabelIndex; the catalog verbs
-//     (use / datasets / reload) answer an error.
+//   * single-index: constructed over any DistanceIndex; the catalog
+//     verbs (use / datasets / reload) answer an error.
 //   * catalog: constructed over a Catalog plus a default dataset name;
 //     each connection carries a Session whose selected dataset routes
 //     its query verbs, `use` switches it, and `reload` hot-swaps a
@@ -29,7 +32,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
-#include "core/index.h"
+#include "core/distance_index.h"
 #include "server/protocol.h"
 
 namespace islabel {
@@ -37,8 +40,8 @@ namespace server {
 
 class RequestDispatcher {
  public:
-  /// Single-index mode.
-  explicit RequestDispatcher(ISLabelIndex* index) : index_(index) {}
+  /// Single-index mode, over any DistanceIndex backend.
+  explicit RequestDispatcher(DistanceIndex* index) : index_(index) {}
 
   /// Catalog mode: query verbs route to `default_dataset` until a
   /// connection switches with `use`.
@@ -79,7 +82,7 @@ class RequestDispatcher {
 
   bool has_catalog() const { return catalog_ != nullptr; }
   Catalog* catalog() const { return catalog_; }
-  ISLabelIndex* index() const { return index_; }
+  DistanceIndex* index() const { return index_; }
   const std::string& default_dataset() const { return default_dataset_; }
 
   /// Per-dataset counters for `stats` / `datasets` responses (catalog
@@ -96,7 +99,7 @@ class RequestDispatcher {
  private:
   std::string ExecuteOnHandle(const Request& req, Session* session);
 
-  ISLabelIndex* index_ = nullptr;
+  DistanceIndex* index_ = nullptr;
   Catalog* catalog_ = nullptr;
   std::string default_dataset_;
   std::atomic<std::uint64_t> requests_{0};

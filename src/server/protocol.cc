@@ -198,6 +198,10 @@ std::string FormatStats(const ServeStats& s) {
     AppendU64(&out, (prefix + "cache_hits").c_str(), d.cache_hits);
     AppendU64(&out, (prefix + "cache_misses").c_str(), d.cache_misses);
     AppendU64(&out, (prefix + "cache_entries").c_str(), d.cache_entries);
+    out += ' ';
+    out += prefix + "backends=" + (d.backends.empty() ? "-" : d.backends);
+    AppendU64(&out, (prefix + "index_entries").c_str(), d.index_entries);
+    AppendU64(&out, (prefix + "index_bytes").c_str(), d.index_bytes);
   }
   return out;
 }
@@ -211,6 +215,8 @@ std::string FormatDatasets(const std::vector<DatasetCounters>& datasets) {
     out += ' ';
     out += d.name;
     out += buf;
+    out += ':';
+    out += d.backends.empty() ? "-" : d.backends;
   }
   return out;
 }

@@ -85,6 +85,14 @@ struct DatasetCounters {
   std::uint64_t cache_entries = 0;
   std::uint32_t parts = 0;
   std::uint64_t vertices = 0;
+  /// Per-part backend summary ("p0=islabel/123,p1=ch/45,..."), colon- and
+  /// space-free by construction so it stays one wire token. Empty until
+  /// the dataset finishes loading.
+  std::string backends;
+  /// Aggregate index size across parts: label entries (IS-LABEL) or
+  /// up-edges (CH), and the bytes they occupy.
+  std::uint64_t index_entries = 0;
+  std::uint64_t index_bytes = 0;
 };
 
 /// Serving counters reported by the `stats` request. The stdin loop
@@ -110,7 +118,9 @@ std::string FormatDistances(const std::vector<Distance>& dists);
 std::string FormatPath(Distance d, const std::vector<VertexId>& path);
 std::string FormatError(const Status& st);
 std::string FormatStats(const ServeStats& stats);
-/// "datasets: name:state:parts:vertices ..." (one token per dataset).
+/// "datasets: name:state:parts:vertices:backends ..." (one token per
+/// dataset; `backends` is the comma-joined per-part summary, "-" until
+/// the dataset is loaded).
 std::string FormatDatasets(const std::vector<DatasetCounters>& datasets);
 
 }  // namespace server

@@ -90,6 +90,8 @@ class LabelStore {
 
   /// Average entries per label (diagnostics).
   double MeanEntries() const;
+  /// Total label entries across all vertices (the Info() size report).
+  std::uint64_t TotalEntries() const { return total_entries_; }
 
   const IoStats& stats() const { return file_.stats(); }
   void ResetStats() { file_.ResetStats(); }

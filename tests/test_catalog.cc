@@ -323,8 +323,7 @@ TEST(PartitionedIndexEdge, ParallelBuildIsDeterministic) {
   ASSERT_TRUE(b.ok());
   ASSERT_EQ(a->num_parts(), b->num_parts());
   for (std::uint32_t p = 0; p < a->num_parts(); ++p) {
-    EXPECT_EQ(a->part(p).build_stats().label_entries,
-              b->part(p).build_stats().label_entries);
+    EXPECT_EQ(a->part(p).Info().entries, b->part(p).Info().entries);
     EXPECT_EQ(a->part_global_ids(p), b->part_global_ids(p));
   }
   for (const auto& [s, t] : SampleQueryPairs(g, 100, 59)) {

@@ -244,6 +244,60 @@ TEST_F(ToolTest, PartitionBuildAndCatalogServe) {
   EXPECT_NE(lines[7].find("alpha.reloads=1"), std::string::npos) << lines[7];
 }
 
+TEST_F(ToolTest, PartitionBuildChAndAutoBackendsServeUnchangedProtocol) {
+  // A road-like grid through `partition-build --backend ch`, then
+  // `--backend auto` (which must also pick CH here) — both catalogs are
+  // served through the unchanged wire protocol and answer exactly like
+  // the library.
+  const Graph grid = MakeTestGraph(Family::kGrid, 140, /*weighted=*/true, 37);
+  const std::string grid_path = dir_ + "/grid.txt";
+  ASSERT_TRUE(WriteEdgeListText(grid, grid_path).ok());
+
+  for (const std::string backend : {"ch", "auto"}) {
+    SCOPED_TRACE(backend);
+    const std::string cat_dir = dir_ + "/cat_" + backend;
+    std::string out;
+    ASSERT_EQ(RunCommand(tool_ + " partition-build --graph " + grid_path +
+                             " --catalog " + cat_dir + " --backend " +
+                             backend,
+                         &out),
+              0)
+        << out;
+    // The per-part summary names the chosen backend.
+    EXPECT_NE(out.find("backend=ch"), std::string::npos) << out;
+
+    auto loaded = PartitionedIndex::Load(cat_dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_GE(loaded->num_parts(), 1u);
+    EXPECT_EQ(loaded->part_backend(0), BackendKind::kCH);
+    auto dist = [&](VertexId s, VertexId t) {
+      Distance d = 0;
+      EXPECT_TRUE(loaded->Query(s, t, &d).ok());
+      return d == kInfDistance ? std::string("unreachable")
+                               : std::to_string(d);
+    };
+
+    const std::string script = "printf '0 1\\n2 9\\npath 0 5\\nquit\\n'";
+    ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --dataset g=" +
+                             cat_dir,
+                         &out),
+              0);
+    const std::vector<std::string> lines = SplitLines(out);
+    ASSERT_EQ(lines.size(), 3u) << out;
+    EXPECT_EQ(lines[0], dist(0, 1));
+    EXPECT_EQ(lines[1], dist(2, 9));
+    EXPECT_EQ(lines[2].rfind(dist(0, 5) + ":", 0), 0u) << lines[2];
+  }
+}
+
+TEST_F(ToolTest, PartitionBuildRejectsUnknownBackend) {
+  std::string out;
+  EXPECT_EQ(RunCommand(tool_ + " partition-build --graph " + graph_path_ +
+                           " --catalog " + dir_ + "/nope --backend bogus",
+                       &out),
+            2);
+}
+
 TEST_F(ToolTest, ServeSingleIndexRejectsCatalogVerbs) {
   std::string out;
   const std::string script = "printf 'use other\\n1 2\\nquit\\n'";

@@ -118,6 +118,7 @@ int Usage() {
       "                [--no-vias] [--external-mb MB] [--tmp DIR]\n"
       "  islabel partition-build --graph FILE --catalog DIR [--sigma S]\n"
       "                [--k K] [--no-vias] [--threads N]\n"
+      "                [--backend islabel|ch|auto]\n"
       "  islabel query --index DIR [--disk] [--path] S T [S T ...]\n"
       "  islabel batch --index DIR [--disk] [--threads T] [--in FILE]\n"
       "  islabel serve --index DIR | --dataset NAME=DIR [--dataset ...]\n"
@@ -277,6 +278,12 @@ int CmdPartitionBuild(const Args& args) {
   opts.index.forced_k = static_cast<std::uint32_t>(args.GetInt("k", 0));
   opts.index.keep_vias = !args.Has("no-vias");
   opts.num_threads = static_cast<std::uint32_t>(args.GetInt("threads", 0));
+  const std::string backend = args.Get("backend", "islabel");
+  if (!ParseBackendKind(backend, &opts.backend)) {
+    std::fprintf(stderr, "--backend expects islabel, ch or auto, got '%s'\n",
+                 backend.c_str());
+    return 2;
+  }
 
   WallTimer t;
   auto built = PartitionedIndex::Build(*g, opts);
@@ -290,10 +297,11 @@ int CmdPartitionBuild(const Args& args) {
               built->NumVertices(), built->num_components(),
               built->num_parts(), t.ElapsedSeconds());
   for (std::uint32_t p = 0; p < built->num_parts(); ++p) {
-    const BuildStats& bs = built->part(p).build_stats();
-    std::printf("  part %u: %u vertices, k=%u, %s label entries\n", p,
-                built->part(p).NumVertices(), bs.k,
-                HumanCount(bs.label_entries).c_str());
+    const DistanceIndexInfo info = built->part(p).Info();
+    std::printf("  part %u: backend=%s, %u vertices, %s entries (%s), %s\n",
+                p, info.backend.c_str(), built->part(p).NumVertices(),
+                HumanCount(info.entries).c_str(),
+                HumanBytes(info.bytes).c_str(), info.detail.c_str());
   }
   Status st = built->Save(dir);
   if (!st.ok()) {
