@@ -9,6 +9,7 @@ const char* DatasetStateName(DatasetState state) {
     case DatasetState::kLoading: return "loading";
     case DatasetState::kReady: return "ready";
     case DatasetState::kFailed: return "failed";
+    case DatasetState::kEmpty: return "empty";
   }
   return "?";
 }
@@ -33,6 +34,9 @@ struct Catalog::Dataset {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> errors{0};
   std::atomic<std::uint64_t> reloads{0};
+  /// Data version (see DatasetInfo::generation). Written under `mu`
+  /// together with the index swap; atomic so stats reads stay lock-free.
+  std::atomic<std::uint64_t> generation{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -74,6 +78,9 @@ Status Catalog::Handle::Ready(
       return Status::FailedPrecondition("dataset " + dataset_->name +
                                         " failed to load: " +
                                         dataset_->load_status.ToString());
+    case DatasetState::kEmpty:
+      return Status::FailedPrecondition("dataset " + dataset_->name +
+                                        " has no data yet");
   }
   return Status::Internal("unknown dataset state");
 }
@@ -194,16 +201,21 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
       }
     }
     datasets_.push_back(ds);
-    loaders_.emplace_back([ds] {
-      auto loaded = PartitionedIndex::Load(ds->dir, ds->labels_in_memory);
+    loaders_.emplace_back([ds, dir] {
+      auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
       std::lock_guard<std::mutex> dlock(ds->mu);
-      if (loaded.ok()) {
-        ds->index = std::make_shared<PartitionedIndex>(
-            std::move(loaded).value());
-        ds->state = DatasetState::kReady;
-      } else {
-        ds->load_status = loaded.status();
-        ds->state = DatasetState::kFailed;
+      // A ReloadFrom that raced the initial load and won owns the state
+      // now; a late initial load must not roll the generation back.
+      if (ds->state == DatasetState::kLoading) {
+        if (loaded.ok()) {
+          ds->index = std::make_shared<PartitionedIndex>(
+              std::move(loaded).value());
+          ds->state = DatasetState::kReady;
+          ds->generation.store(1, std::memory_order_release);
+        } else {
+          ds->load_status = loaded.status();
+          ds->state = DatasetState::kFailed;
+        }
       }
       ds->loaded_cv.notify_all();
     });
@@ -219,6 +231,23 @@ Status Catalog::AddIndex(const std::string& name, PartitionedIndex index,
   ds->dir = std::move(dir);
   ds->index = std::make_shared<PartitionedIndex>(std::move(index));
   ds->state = DatasetState::kReady;
+  ds->generation.store(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : datasets_) {
+    if (existing->name == name) {
+      return Status::InvalidArgument("dataset " + name +
+                                     " is already registered");
+    }
+  }
+  datasets_.push_back(std::move(ds));
+  return Status::OK();
+}
+
+Status Catalog::AddEmpty(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("dataset name is empty");
+  auto ds = std::make_shared<Dataset>();
+  ds->name = name;
+  ds->state = DatasetState::kEmpty;
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& existing : datasets_) {
     if (existing->name == name) {
@@ -281,11 +310,62 @@ Status Catalog::Reload(const std::string& name) {
     ds->index = std::move(fresh);  // old version lives on in query snapshots
     ds->state = DatasetState::kReady;
     ds->load_status = Status::OK();
+    ds->generation.fetch_add(1, std::memory_order_acq_rel);
   }
   // Publish-then-bump: see the ordering argument in Handle::Query.
   if (ds->cache != nullptr) ds->cache->BumpGeneration();
   ds->reloads.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
+                           std::uint64_t gen) {
+  std::shared_ptr<Dataset> ds = Find(name);
+  if (ds == nullptr) return Status::NotFound("unknown dataset " + name);
+  // Check ordering up front to skip a pointless load; re-checked under
+  // the lock before the swap in case installs race.
+  if (gen <= ds->generation.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "dataset " + name + " is already at generation " +
+        std::to_string(ds->generation.load(std::memory_order_acquire)) +
+        " >= " + std::to_string(gen));
+  }
+  // Load before touching any dataset state: a corrupt or truncated
+  // directory must leave the currently-serving version untouched.
+  auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
+  if (!loaded.ok()) return loaded.status();
+  auto fresh = std::make_shared<PartitionedIndex>(std::move(loaded).value());
+  {
+    std::lock_guard<std::mutex> lock(ds->mu);
+    if (gen <= ds->generation.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition(
+          "dataset " + name + " overtook generation " + std::to_string(gen) +
+          " during install");
+    }
+    ds->index = std::move(fresh);
+    ds->state = DatasetState::kReady;
+    ds->load_status = Status::OK();
+    ds->dir = dir;
+    ds->generation.store(gen, std::memory_order_release);
+    ds->loaded_cv.notify_all();  // an install also resolves WaitReady
+  }
+  // Publish-then-bump, exactly as Reload.
+  if (ds->cache != nullptr) ds->cache->BumpGeneration();
+  ds->reloads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::uint64_t Catalog::Generation(const std::string& name) const {
+  std::shared_ptr<Dataset> ds = Find(name);
+  return ds == nullptr ? 0
+                       : ds->generation.load(std::memory_order_acquire);
+}
+
+std::string Catalog::Dir(const std::string& name) const {
+  std::shared_ptr<Dataset> ds = Find(name);
+  if (ds == nullptr) return "";
+  std::lock_guard<std::mutex> lock(ds->mu);
+  return ds->dir;
 }
 
 Status Catalog::SetDistanceCache(const std::string& name,
@@ -318,6 +398,7 @@ std::vector<DatasetInfo> Catalog::List() const {
     info.requests = ds->requests.load(std::memory_order_relaxed);
     info.errors = ds->errors.load(std::memory_order_relaxed);
     info.reloads = ds->reloads.load(std::memory_order_relaxed);
+    info.generation = ds->generation.load(std::memory_order_acquire);
     info.cache = ds->cache;
     {
       std::lock_guard<std::mutex> dlock(ds->mu);

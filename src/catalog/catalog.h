@@ -49,9 +49,12 @@ enum class DatasetState : std::uint8_t {
   kLoading = 0,
   kReady = 1,
   kFailed = 2,
+  /// Registered but holding no data yet (a replica awaiting its first
+  /// snapshot). Queries answer FailedPrecondition until an install.
+  kEmpty = 3,
 };
 
-/// Returns "loading" / "ready" / "failed".
+/// Returns "loading" / "ready" / "failed" / "empty".
 const char* DatasetStateName(DatasetState state);
 
 /// Point-in-time counters for one dataset (the `stats` verb and the
@@ -62,6 +65,11 @@ struct DatasetInfo {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t reloads = 0;
+  /// Monotonic data version: 1 once the initial load completes, bumped by
+  /// every Reload, set explicitly by ReloadFrom (snapshot installs). 0
+  /// while no data has ever been served. The replication protocol ships
+  /// and compares exactly this number.
+  std::uint64_t generation = 0;
   std::uint32_t parts = 0;
   std::uint64_t vertices = 0;
   /// Per-part backend summary (PartitionedIndex::BackendSummary), empty
@@ -167,6 +175,11 @@ class Catalog {
   Status AddIndex(const std::string& name, PartitionedIndex index,
                   std::string dir = "");
 
+  /// Registers `name` with no data (state kEmpty) — how a replica creates
+  /// a dataset it has only heard of. Queries fail with FailedPrecondition
+  /// until the first ReloadFrom installs a snapshot.
+  Status AddEmpty(const std::string& name);
+
   /// Blocks until every registered dataset has finished loading; returns
   /// the first load error (all loads still run to completion).
   Status WaitReady();
@@ -179,6 +192,24 @@ class Catalog {
   /// cache generation is bumped after the swap so no cached answer
   /// outlives it. Blocking (call from a worker, not the event loop).
   Status Reload(const std::string& name);
+
+  /// Installs a fully-written index directory as generation `gen` of
+  /// `name`: loads it, atomically swaps it in through the same
+  /// publish-then-bump path as Reload, and repoints the dataset's backing
+  /// directory at `dir`. Rejects gen <= the current generation
+  /// (FailedPrecondition) so installs are strictly generation-ordered —
+  /// a stale or duplicated snapshot can never roll a replica back. The
+  /// load runs before any state changes: a corrupt directory leaves the
+  /// old version serving untouched.
+  Status ReloadFrom(const std::string& name, const std::string& dir,
+                    std::uint64_t gen);
+
+  /// The dataset's current generation (0 if unknown or never loaded).
+  std::uint64_t Generation(const std::string& name) const;
+
+  /// The dataset's current backing directory ("" if unknown or none) —
+  /// what a primary packs into a snapshot. Tracks ReloadFrom installs.
+  std::string Dir(const std::string& name) const;
 
   /// Installs a distance cache for `name` (consulted by Handle::Query).
   /// Not thread-safe against concurrent queries on the same dataset —

@@ -1,0 +1,66 @@
+// PrimaryHooks: the primary side of the replication protocol, installed
+// on a catalog-mode server via TcpServer::SetReplicationHooks.
+//
+// The primary is passive: replicas pull. Three verbs:
+//
+//   version            → "version: NAME:GEN ..." (every hosted dataset)
+//   heartbeat          → "pong"
+//   replicate NAME GEN → "uptodate NAME GEN" when the caller is current,
+//                        otherwise a framed snapshot stream:
+//
+//     snapshot NAME GEN NCHUNKS TOTALBYTES
+//     chunk 0 NBYTES CRC32(chunk)
+//     <NBYTES raw container bytes>
+//     ...
+//     end CRC32(container)
+//
+// The stream carries the snapshot container of repl/snapshot.h split
+// into fixed-size chunks, each with its own CRC so a receiver can abort
+// a damaged transfer early; the container self-validates again before
+// install. GEN is the catalog generation the container was packed from:
+// the primary re-reads the generation after packing and repacks if a
+// reload landed mid-pack, so a stream never mixes two versions.
+
+#ifndef ISLABEL_REPL_PRIMARY_H_
+#define ISLABEL_REPL_PRIMARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "server/dispatcher.h"
+
+namespace islabel {
+namespace repl {
+
+class PrimaryHooks : public server::ReplicationHooks {
+ public:
+  explicit PrimaryHooks(Catalog* catalog,
+                        std::size_t chunk_bytes = 256 * 1024)
+      : catalog_(catalog), chunk_bytes_(chunk_bytes) {}
+
+  std::string HandleVersion() override;
+  std::string HandleHeartbeat() override;
+  std::string HandleReplicate(const std::string& name,
+                              std::uint64_t have_gen) override;
+  void FillStats(server::ServeStats* stats) override;
+
+ private:
+  Catalog* catalog_;
+  std::size_t chunk_bytes_;
+  std::atomic<std::uint64_t> heartbeats_{0};
+  std::atomic<std::uint64_t> snapshots_sent_{0};
+  std::atomic<std::uint64_t> snapshot_bytes_sent_{0};
+  std::atomic<std::uint64_t> uptodate_replies_{0};
+};
+
+/// Formats "version: NAME:GEN ..." for `catalog` — shared by the primary
+/// and by replicas (which answer `version` about their own catalog so
+/// clients and peers can measure lag).
+std::string FormatVersionLine(const Catalog& catalog);
+
+}  // namespace repl
+}  // namespace islabel
+
+#endif  // ISLABEL_REPL_PRIMARY_H_

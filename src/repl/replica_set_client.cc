@@ -1,0 +1,139 @@
+#include "repl/replica_set_client.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace islabel {
+namespace repl {
+
+ReplicaSetClient::ReplicaSetClient(Transport* transport, Clock* clock,
+                                   Rng* rng, ReplicaSetOptions options)
+    : transport_(transport),
+      clock_(clock),
+      rng_(rng),
+      options_(std::move(options)) {
+  if (!options_.sleep_ms) {
+    options_.sleep_ms = [](std::uint64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+  for (const std::string& address : options_.endpoints) {
+    Endpoint ep;
+    ep.address = address;
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+Status ReplicaSetClient::ExchangeOn(std::size_t i, const std::string& line,
+                                    std::string* response) {
+  Endpoint& ep = endpoints_[i];
+  // One transparent reconnect: a persistent connection may have been
+  // closed by the peer (restart, idle timeout) since the last request.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (ep.channel == nullptr) {
+      Result<std::unique_ptr<Connection>> conn =
+          transport_->Connect(ep.address, options_.request_timeout_ms);
+      if (!conn.ok()) {
+        ep.healthy = false;
+        ++ep.failures;
+        return conn.status();
+      }
+      ep.channel = std::make_unique<Channel>(std::move(conn).value());
+    }
+    const Deadline deadline =
+        Deadline::After(options_.request_timeout_ms, clock_);
+    Status st = ep.channel->SendLine(line);
+    if (st.ok()) st = ep.channel->ReadLine(response, deadline);
+    if (st.ok()) {
+      ep.healthy = true;
+      ++ep.requests_ok;
+      return Status::OK();
+    }
+    ep.channel.reset();
+    if (attempt == 1 || !st.IsUnavailable()) {
+      ep.healthy = false;
+      ++ep.failures;
+      return st;
+    }
+  }
+  return Status::Unavailable("unreachable");  // not reached
+}
+
+Result<std::string> ReplicaSetClient::Query(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.empty()) {
+    return Status::InvalidArgument("replica set has no endpoints");
+  }
+  const Deadline deadline =
+      Deadline::After(options_.overall_timeout_ms, clock_);
+  Backoff backoff(options_.backoff, rng_);
+  Status last = Status::Unavailable("no endpoint tried");
+  bool first_choice = true;
+  for (;;) {
+    // One round: every endpoint once, healthy ones first. The cursor
+    // advances on success too, spreading load across the set.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+        const std::size_t i = (cursor_ + k) % endpoints_.size();
+        // Pass 0 tries healthy endpoints; pass 1 re-probes down ones
+        // (they may have recovered, and skipping everyone forever
+        // would wedge the client).
+        if ((pass == 0) != endpoints_[i].healthy) continue;
+        std::string response;
+        const Status st = ExchangeOn(i, line, &response);
+        if (st.ok()) {
+          if (!first_choice) ++failovers_;
+          cursor_ = (i + 1) % endpoints_.size();
+          return response;
+        }
+        last = st;
+        first_choice = false;
+      }
+    }
+    const std::uint64_t delay = backoff.NextDelayMs();
+    if (deadline.Expired() || delay >= deadline.RemainingMs()) break;
+    options_.sleep_ms(delay);
+  }
+  return Status::Unavailable("all endpoints failed: " + last.ToString());
+}
+
+std::size_t ReplicaSetClient::CheckHeartbeats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    std::string response;
+    const Status st = ExchangeOn(i, "heartbeat", &response);
+    if (st.ok() && response == "pong") {
+      ++healthy;
+    } else {
+      endpoints_[i].healthy = false;
+      endpoints_[i].channel.reset();
+    }
+  }
+  return healthy;
+}
+
+std::vector<ReplicaSetClient::EndpointStats>
+ReplicaSetClient::endpoint_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EndpointStats> out;
+  out.reserve(endpoints_.size());
+  for (const Endpoint& ep : endpoints_) {
+    EndpointStats s;
+    s.endpoint = ep.address;
+    s.healthy = ep.healthy;
+    s.failures = ep.failures;
+    s.requests_ok = ep.requests_ok;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t ReplicaSetClient::failovers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failovers_;
+}
+
+}  // namespace repl
+}  // namespace islabel

@@ -1,0 +1,107 @@
+// ReplicaSetClient: failover-aware query client over a set of serving
+// endpoints (a primary and its replicas).
+//
+// Queries spread round-robin across healthy endpoints. An endpoint
+// that fails a request or misses a heartbeat is marked down and
+// skipped; the request fails over to the next endpoint immediately.
+// When a whole round of endpoints fails, the client backs off with
+// capped jittered delays (util/retry.h) and retries until the
+// per-request deadline expires — so a replica set survives the primary
+// dying mid-flight with at most one failed round of latency. Down
+// endpoints are re-probed by the next round or by CheckHeartbeats(),
+// so a recovered peer rejoins rotation automatically.
+//
+// Deterministic by construction: time from an injected Clock, sockets
+// from an injected Transport, jitter from an injected Rng, and the
+// inter-round sleep through an injectable hook (tests advance a
+// ManualClock instead of sleeping).
+
+#ifndef ISLABEL_REPL_REPLICA_SET_CLIENT_H_
+#define ISLABEL_REPL_REPLICA_SET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "repl/transport.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/retry.h"
+
+namespace islabel {
+namespace repl {
+
+struct ReplicaSetOptions {
+  /// "host:port" per serving endpoint, primary included.
+  std::vector<std::string> endpoints;
+  /// Per network exchange (connect, one request/response round).
+  std::uint64_t request_timeout_ms = 5000;
+  /// Total budget for one Query() including failover and retries.
+  std::uint64_t overall_timeout_ms = 15'000;
+  /// Backoff between failed full rounds over the endpoint set.
+  BackoffPolicy backoff;
+  /// Inter-round sleep hook; defaults to a real sleep. Tests inject a
+  /// function that advances their ManualClock.
+  std::function<void(std::uint64_t)> sleep_ms;
+};
+
+class ReplicaSetClient {
+ public:
+  /// All pointees must outlive the client.
+  ReplicaSetClient(Transport* transport, Clock* clock, Rng* rng,
+                   ReplicaSetOptions options);
+
+  /// Sends one request line and returns the single response line.
+  /// Fails over across endpoints and retries with backoff until the
+  /// overall deadline; Unavailable when every endpoint stays down.
+  /// Thread-compatible (one Query at a time).
+  Result<std::string> Query(const std::string& line);
+
+  /// Probes every endpoint with `heartbeat`; endpoints that miss are
+  /// marked down (skipped by Query until they answer again). Returns
+  /// the number of healthy endpoints.
+  std::size_t CheckHeartbeats();
+
+  struct EndpointStats {
+    std::string endpoint;
+    bool healthy = true;   // optimistic until proven down
+    std::uint64_t failures = 0;
+    std::uint64_t requests_ok = 0;
+  };
+  std::vector<EndpointStats> endpoint_stats() const;
+  /// Requests that had to leave their first-choice endpoint.
+  std::uint64_t failovers() const;
+
+ private:
+  struct Endpoint {
+    std::string address;
+    std::unique_ptr<Channel> channel;  // persistent; reopened on demand
+    bool healthy = true;
+    std::uint64_t failures = 0;
+    std::uint64_t requests_ok = 0;
+  };
+
+  /// One request/response exchange against endpoint `i`, reconnecting
+  /// if needed. Marks health on the way out.
+  Status ExchangeOn(std::size_t i, const std::string& line,
+                    std::string* response);
+
+  Transport* transport_;
+  Clock* clock_;
+  Rng* rng_;
+  ReplicaSetOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<Endpoint> endpoints_;
+  std::size_t cursor_ = 0;
+  std::uint64_t failovers_ = 0;
+};
+
+}  // namespace repl
+}  // namespace islabel
+
+#endif  // ISLABEL_REPL_REPLICA_SET_CLIENT_H_

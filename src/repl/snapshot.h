@@ -1,0 +1,72 @@
+// Snapshot container: one catalog/index directory packed into a single
+// checksummed byte blob — the unit the replication protocol ships.
+//
+// A snapshot is a recursive pack of every regular file under a
+// directory (the partition manifest plus each part's index files), with
+// a CRC32 per file and a CRC32 over the whole container. Validation is
+// strict and allocation-bounded: sizes are checked against the blob
+// length before anything is allocated, paths must be relative with no
+// ".." components, and any truncation or bit flip answers
+// Status::Corruption naming the offending file — never a crash, hang or
+// bad_alloc. InstallSnapshot validates the entire blob before writing
+// the first byte, so a rejected snapshot leaves the destination
+// untouched; callers stage into a fresh directory and let
+// Catalog::ReloadFrom perform the atomic swap.
+//
+// Layout (all integers little-endian):
+//   fixed32 magic "PNSI"        fixed32 version (1)
+//   fixed32 file_count          fixed64 payload_bytes (sum of file sizes)
+//   file_count times:
+//     varint  path_len, path bytes (relative, '/'-separated)
+//     fixed64 size                fixed32 crc32(file bytes)
+//     size raw bytes
+//   fixed32 crc32 of everything above (the container checksum)
+// Nothing may follow the container checksum.
+
+#ifndef ISLABEL_REPL_SNAPSHOT_H_
+#define ISLABEL_REPL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace islabel {
+namespace repl {
+
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) of `data`, seeded so
+/// that Crc32(a + b) can be computed incrementally via Crc32Extend.
+std::uint32_t Crc32(std::string_view data);
+/// Extends a running CRC with more bytes (crc = Crc32Extend(crc, more)).
+std::uint32_t Crc32Extend(std::uint32_t crc, std::string_view data);
+
+/// Summary of a validated snapshot.
+struct SnapshotInfo {
+  std::uint32_t file_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::vector<std::string> paths;  // relative, in container order
+};
+
+/// Packs every regular file under `dir` (recursively, paths sorted for
+/// determinism) into `*out`. Fails with IOError if the directory cannot
+/// be read.
+Status BuildSnapshot(const std::string& dir, std::string* out);
+
+/// Fully validates `blob` (header plausibility, per-file CRCs, container
+/// CRC, exact length, path safety). On success fills `*info` (nullable).
+/// Any mutation of a valid snapshot yields Corruption naming the file
+/// (or the container when the damage precedes any file).
+Status ValidateSnapshot(std::string_view blob, SnapshotInfo* info);
+
+/// Validates `blob` and then writes its files under `dest_dir`
+/// (creating directories as needed). Validation failures leave
+/// `dest_dir` untouched. `dest_dir` should be a fresh staging directory;
+/// the atomic publish step belongs to the caller.
+Status InstallSnapshot(std::string_view blob, const std::string& dest_dir);
+
+}  // namespace repl
+}  // namespace islabel
+
+#endif  // ISLABEL_REPL_SNAPSHOT_H_

@@ -1,0 +1,209 @@
+#include "repl/transport.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+namespace islabel {
+namespace repl {
+
+namespace {
+
+/// Splits "host:port" (last ':' wins, so IPv6 literals with brackets are
+/// out of scope — the serving tier binds v4 loopback/interfaces).
+bool SplitEndpoint(const std::string& endpoint, std::string* host,
+                   std::string* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return false;
+  }
+  *host = endpoint.substr(0, colon);
+  *port = endpoint.substr(colon + 1);
+  return true;
+}
+
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection() override { Close(); }
+
+  Status Send(std::string_view data) override {
+    if (fd_ < 0) return Status::Unavailable("connection closed");
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EINTR)) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Blocking socket; EAGAIN means SO_SNDTIMEO fired.
+        return Status::DeadlineExceeded("send timed out");
+      }
+      return Status::Unavailable(std::string("send failed: ") +
+                                 std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Recv(char* buf, std::size_t cap, std::size_t* received,
+              const Deadline& deadline) override {
+    *received = 0;
+    if (fd_ < 0) return Status::Unavailable("connection closed");
+    for (;;) {
+      const std::uint64_t remaining = deadline.RemainingMs();
+      if (remaining == 0) return Status::DeadlineExceeded("recv timed out");
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::min<std::uint64_t>(remaining, 60'000));
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return Status::Unavailable(std::string("poll failed: ") +
+                                   std::strerror(errno));
+      }
+      if (pr == 0) continue;  // re-check the deadline
+      const ssize_t n = ::recv(fd_, buf, cap, 0);
+      if (n > 0) {
+        *received = static_cast<std::size_t>(n);
+        return Status::OK();
+      }
+      if (n == 0) return Status::Unavailable("connection closed by peer");
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(std::string("recv failed: ") +
+                                 std::strerror(errno));
+    }
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Connection>> TcpTransport::Connect(
+    const std::string& endpoint, std::uint64_t timeout_ms) {
+  std::string host, port;
+  if (!SplitEndpoint(endpoint, &host, &port)) {
+    return Status::InvalidArgument("bad endpoint '" + endpoint +
+                                   "' (want host:port)");
+  }
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::Unavailable("cannot resolve " + endpoint + ": " +
+                               gai_strerror(gai));
+  }
+  Status last = Status::Unavailable("no addresses for " + endpoint);
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_NONBLOCK,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      last = Status::Unavailable(std::string("socket failed: ") +
+                                 std::strerror(errno));
+      continue;
+    }
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(std::min<std::uint64_t>(
+                                        timeout_ms, 1u << 30)));
+      if (pr > 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        rc = err == 0 ? 0 : -1;
+        errno = err;
+      } else {
+        rc = -1;
+        errno = ETIMEDOUT;
+      }
+    }
+    if (rc != 0) {
+      last = Status::Unavailable("connect to " + endpoint + " failed: " +
+                                 std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    // Back to blocking for sends; reads stay deadline-driven via poll().
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(res);
+    return std::unique_ptr<Connection>(new TcpConnection(fd));
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Status Channel::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  return conn_->Send(framed);
+}
+
+Status Channel::ReadLine(std::string* out, const Deadline& deadline,
+                         std::size_t max_line_bytes) {
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buf_, 0, nl);
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      buf_.erase(0, nl + 1);
+      return Status::OK();
+    }
+    if (buf_.size() > max_line_bytes) {
+      return Status::Corruption("oversized protocol line (" +
+                                std::to_string(buf_.size()) + " bytes)");
+    }
+    char chunk[1 << 14];
+    std::size_t n = 0;
+    ISLABEL_RETURN_IF_ERROR(conn_->Recv(chunk, sizeof(chunk), &n, deadline));
+    buf_.append(chunk, n);
+  }
+}
+
+Status Channel::ReadExact(std::string* out, std::size_t n,
+                          const Deadline& deadline) {
+  // Drain the line buffer first — it may already hold payload bytes.
+  const std::size_t from_buf = std::min(n, buf_.size());
+  out->append(buf_, 0, from_buf);
+  buf_.erase(0, from_buf);
+  std::size_t need = n - from_buf;
+  char chunk[1 << 14];
+  while (need > 0) {
+    std::size_t got = 0;
+    ISLABEL_RETURN_IF_ERROR(
+        conn_->Recv(chunk, std::min(need, sizeof(chunk)), &got, deadline));
+    out->append(chunk, got);
+    need -= got;
+  }
+  return Status::OK();
+}
+
+}  // namespace repl
+}  // namespace islabel

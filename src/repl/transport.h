@@ -1,0 +1,96 @@
+// Transport: the injectable byte-stream seam of the replication layer.
+//
+// Every client-side network interaction in src/repl/ — the replica's
+// pull loop, ReplicaSetClient queries, heartbeats — opens connections
+// through this interface instead of calling socket() directly. That one
+// seam is what makes the whole tier testable: production wires in
+// TcpTransport (real sockets, poll-based deadlines); tests wrap any
+// transport in a FaultInjector (fault_injector.h) to drop, cut, corrupt
+// or duplicate traffic deterministically, with no real networks and no
+// sleeps.
+//
+// Deadlines: every read takes an explicit Deadline (util/retry.h) and
+// returns DeadlineExceeded when it expires, so a silent peer can never
+// hang a caller. Writes are complete-or-error.
+
+#ifndef ISLABEL_REPL_TRANSPORT_H_
+#define ISLABEL_REPL_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace islabel {
+namespace repl {
+
+/// One bidirectional byte stream. Not thread-safe; one owner at a time.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Sends all of `data` or fails (Unavailable once the peer is gone).
+  virtual Status Send(std::string_view data) = 0;
+
+  /// Receives at least 1 and at most `cap` bytes into `buf`. Returns
+  /// Unavailable on EOF/peer reset, DeadlineExceeded when the deadline
+  /// expires first.
+  virtual Status Recv(char* buf, std::size_t cap, std::size_t* received,
+                      const Deadline& deadline) = 0;
+
+  virtual void Close() = 0;
+};
+
+/// Connection factory. Thread-safe.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Opens a connection to `endpoint` ("host:port"). Unavailable if the
+  /// peer refuses or the timeout expires.
+  virtual Result<std::unique_ptr<Connection>> Connect(
+      const std::string& endpoint, std::uint64_t timeout_ms) = 0;
+};
+
+/// Real TCP sockets: nonblocking connect with timeout, poll()-based
+/// receive deadlines, TCP_NODELAY.
+class TcpTransport : public Transport {
+ public:
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& endpoint, std::uint64_t timeout_ms) override;
+};
+
+/// Buffered line/blob reader over a Connection — the protocol-side
+/// currency of the replication clients. Owns the connection.
+class Channel {
+ public:
+  explicit Channel(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Sends `line` plus the terminating '\n'.
+  Status SendLine(std::string_view line);
+
+  /// Next '\n'-terminated line, without the '\n' (a trailing '\r' is
+  /// stripped). `max_line_bytes` bounds buffering against a hostile peer.
+  Status ReadLine(std::string* out, const Deadline& deadline,
+                  std::size_t max_line_bytes = 1u << 20);
+
+  /// Exactly `n` raw bytes appended to `*out`.
+  Status ReadExact(std::string* out, std::size_t n, const Deadline& deadline);
+
+  Connection* connection() { return conn_.get(); }
+
+ private:
+  std::unique_ptr<Connection> conn_;
+  std::string buf_;
+};
+
+}  // namespace repl
+}  // namespace islabel
+
+#endif  // ISLABEL_REPL_TRANSPORT_H_

@@ -59,8 +59,21 @@ std::string RequestDispatcher::ExecuteOnHandle(const Request& req,
   // Resolve (and cache) the handle once per session, not per query —
   // Catalog::Get takes the catalog-wide lock and scans names.
   if (!session->handle) {
-    const std::string& name =
+    std::string name =
         session->dataset.empty() ? default_dataset_ : session->dataset;
+    if (name.empty()) {
+      // A server may start with no default (a replica before its first
+      // sync discovers dataset names at runtime). Once exactly one
+      // dataset is hosted the choice is unambiguous — serve it, so
+      // failover clients can send bare queries to any replica.
+      const std::vector<std::string> names = catalog_->Names();
+      if (names.size() == 1) name = names.front();
+    }
+    if (name.empty()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return "error: FailedPrecondition: no dataset selected (server has "
+             "no default; pick one with `use NAME`, list with `datasets`)";
+    }
     session->handle = catalog_->Get(name);
     if (!session->handle) {
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -112,6 +125,23 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
       }
       return "ok: reloaded " + req.name;
     }
+    case RequestKind::kVersion:
+    case RequestKind::kHeartbeat:
+    case RequestKind::kReplicate: {
+      if (repl_hooks_ == nullptr) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        return "error: NotSupported: replication not enabled";
+      }
+      std::string response =
+          req.kind == RequestKind::kVersion ? repl_hooks_->HandleVersion()
+          : req.kind == RequestKind::kHeartbeat
+              ? repl_hooks_->HandleHeartbeat()
+              : repl_hooks_->HandleReplicate(req.name, req.gen);
+      if (response.rfind("error: ", 0) == 0) {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return response;
+    }
     case RequestKind::kInvalid:
       errors_.fetch_add(1, std::memory_order_relaxed);
       return req.error;
@@ -129,6 +159,7 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
 void RequestDispatcher::FillServeStats(ServeStats* stats) const {
   stats->requests = requests();
   stats->errors = errors();
+  if (repl_hooks_ != nullptr) repl_hooks_->FillStats(stats);
   if (catalog_ == nullptr) return;
   stats->datasets = DatasetCountersSnapshot();
   for (const DatasetCounters& d : stats->datasets) {
@@ -149,6 +180,7 @@ std::vector<DatasetCounters> RequestDispatcher::DatasetCountersSnapshot()
     c.requests = info.requests;
     c.errors = info.errors;
     c.reloads = info.reloads;
+    c.generation = info.generation;
     c.parts = info.parts;
     c.vertices = info.vertices;
     c.backends = info.backends;

@@ -38,6 +38,36 @@
 namespace islabel {
 namespace server {
 
+/// Seam through which the replication layer (src/repl/) answers the
+/// replication verbs. The server library defines only this interface —
+/// a primary installs hooks that serve snapshots out of its catalog, a
+/// replica installs hooks that report its lag — so server/ never links
+/// against repl/ and a server without hooks cleanly reports
+/// NotSupported. Implementations must be thread-safe: hooks run on
+/// whichever worker thread carries the request.
+class ReplicationHooks {
+ public:
+  virtual ~ReplicationHooks() = default;
+
+  /// Response to `version`: "version: name:gen ..." over every hosted
+  /// dataset.
+  virtual std::string HandleVersion() = 0;
+
+  /// Response to `heartbeat` ("pong", possibly with detail).
+  virtual std::string HandleHeartbeat() = 0;
+
+  /// Response to `replicate NAME GEN` where GEN is the caller's current
+  /// generation: "uptodate NAME GEN", a framed multi-line snapshot
+  /// stream, or an "error: ..." line. May be large; the front end
+  /// treats it as one response blob.
+  virtual std::string HandleReplicate(const std::string& name,
+                                      std::uint64_t have_gen) = 0;
+
+  /// Appends replication counters (lag, pulls, heartbeats...) to a
+  /// `stats` response via `stats->extra`.
+  virtual void FillStats(ServeStats* stats) = 0;
+};
+
 class RequestDispatcher {
  public:
   /// Single-index mode, over any DistanceIndex backend.
@@ -85,6 +115,12 @@ class RequestDispatcher {
   DistanceIndex* index() const { return index_; }
   const std::string& default_dataset() const { return default_dataset_; }
 
+  /// Installs the replication verb handlers. Not thread-safe against
+  /// in-flight requests — install before serving starts. `hooks` must
+  /// outlive the dispatcher; nullptr uninstalls.
+  void set_replication_hooks(ReplicationHooks* hooks) { repl_hooks_ = hooks; }
+  ReplicationHooks* replication_hooks() const { return repl_hooks_; }
+
   /// Per-dataset counters for `stats` / `datasets` responses (catalog
   /// mode; empty otherwise). Cache counters are read through the
   /// dataset's DistanceCache when it is a QueryCache.
@@ -101,6 +137,7 @@ class RequestDispatcher {
 
   DistanceIndex* index_ = nullptr;
   Catalog* catalog_ = nullptr;
+  ReplicationHooks* repl_hooks_ = nullptr;
   std::string default_dataset_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> errors_{0};

@@ -14,6 +14,8 @@ constexpr std::string_view kUsageOne = "error: usage: one S T1 [T2 ...]";
 constexpr std::string_view kUsagePath = "error: usage: path S T";
 constexpr std::string_view kUsageUse = "error: usage: use NAME";
 constexpr std::string_view kUsageReload = "error: usage: reload NAME";
+constexpr std::string_view kUsageReplicate =
+    "error: usage: replicate NAME GEN";
 
 /// Splits on runs of spaces/tabs (the only separators the grammar allows).
 std::vector<std::string_view> Tokenize(std::string_view line) {
@@ -31,6 +33,16 @@ std::vector<std::string_view> Tokenize(std::string_view line) {
 /// Strict decimal uint32: the whole token must be digits and fit VertexId.
 bool ParseVertexId(std::string_view token, VertexId* out) {
   std::uint32_t value = 0;
+  const char* end = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(token.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+/// Strict decimal uint64 (replication generations).
+bool ParseU64(std::string_view token, std::uint64_t* out) {
+  std::uint64_t value = 0;
   const char* end = token.data() + token.size();
   auto [ptr, ec] = std::from_chars(token.data(), end, value, 10);
   if (ec != std::errc() || ptr != end) return false;
@@ -104,6 +116,25 @@ Request ParseRequest(std::string_view line) {
       return Invalid(kUsageReload);
     }
     r.kind = RequestKind::kReload;
+    r.name = std::string(tokens[1]);
+    return r;
+  }
+  if (head == "version") {
+    if (tokens.size() != 1) return Invalid("error: usage: version");
+    r.kind = RequestKind::kVersion;
+    return r;
+  }
+  if (head == "heartbeat") {
+    if (tokens.size() != 1) return Invalid("error: usage: heartbeat");
+    r.kind = RequestKind::kHeartbeat;
+    return r;
+  }
+  if (head == "replicate") {
+    if (tokens.size() != 3 || !IsValidDatasetName(tokens[1]) ||
+        !ParseU64(tokens[2], &r.gen)) {
+      return Invalid(kUsageReplicate);
+    }
+    r.kind = RequestKind::kReplicate;
     r.name = std::string(tokens[1]);
     return r;
   }
@@ -188,6 +219,8 @@ std::string FormatStats(const ServeStats& s) {
   AppendU64(&out, "cache_misses", s.cache_misses);
   AppendU64(&out, "cache_entries", s.cache_entries);
   AppendU64(&out, "cache_generation", s.cache_generation);
+  AppendU64(&out, "accept_shed", s.accept_shed);
+  AppendU64(&out, "idle_closed", s.idle_closed);
   for (const DatasetCounters& d : s.datasets) {
     const std::string prefix = d.name + ".";
     out += ' ';
@@ -195,6 +228,7 @@ std::string FormatStats(const ServeStats& s) {
     AppendU64(&out, (prefix + "requests").c_str(), d.requests);
     AppendU64(&out, (prefix + "errors").c_str(), d.errors);
     AppendU64(&out, (prefix + "reloads").c_str(), d.reloads);
+    AppendU64(&out, (prefix + "generation").c_str(), d.generation);
     AppendU64(&out, (prefix + "cache_hits").c_str(), d.cache_hits);
     AppendU64(&out, (prefix + "cache_misses").c_str(), d.cache_misses);
     AppendU64(&out, (prefix + "cache_entries").c_str(), d.cache_entries);
@@ -202,6 +236,9 @@ std::string FormatStats(const ServeStats& s) {
     out += prefix + "backends=" + (d.backends.empty() ? "-" : d.backends);
     AppendU64(&out, (prefix + "index_entries").c_str(), d.index_entries);
     AppendU64(&out, (prefix + "index_bytes").c_str(), d.index_bytes);
+  }
+  for (const auto& [key, value] : s.extra) {
+    AppendU64(&out, key.c_str(), value);
   }
   return out;
 }

@@ -10,6 +10,9 @@
 //   use NAME         select catalog dataset → "ok: using NAME"
 //   datasets         list catalog datasets  → "datasets: name:state:..."
 //   reload NAME      hot-swap reload        → "ok: reloaded NAME"
+//   version          dataset generations    → "version: name:gen ..."
+//   heartbeat        liveness probe         → "pong"
+//   replicate NAME GEN   snapshot pull      → framed snapshot stream
 //   quit | exit      close the session      → (no response)
 //   # comment / blank line                  → (no response)
 //
@@ -17,6 +20,12 @@
 // catalog-mode servers (multi-dataset hosting); a single-index server
 // answers them with an error. Dataset names are restricted to
 // [A-Za-z0-9._-] so responses stay single-line and unambiguous.
+//
+// The replication verbs (version / heartbeat / replicate) are answered
+// only when the server has replication hooks installed (see
+// server/dispatcher.h); everyone else reports NotSupported. `replicate`
+// is the one verb whose response spans multiple lines — a framed,
+// checksummed snapshot stream (see repl/primary.h for the framing).
 //
 // Errors are a single line starting with "error: ". Parsing is strict:
 // ids must be pure decimal uint32 tokens and a request must carry exactly
@@ -32,6 +41,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_defs.h"
@@ -49,6 +59,9 @@ enum class RequestKind : std::uint8_t {
   kUse,         // "use NAME" (catalog mode)
   kDatasets,    // "datasets" (catalog mode)
   kReload,      // "reload NAME" (catalog mode)
+  kVersion,     // "version" (replication)
+  kHeartbeat,   // "heartbeat" (replication)
+  kReplicate,   // "replicate NAME GEN" (replication)
   kQuit,        // "quit" / "exit"
   kInvalid,     // malformed; `error` holds the full response line
 };
@@ -59,7 +72,8 @@ struct Request {
   VertexId s = 0;
   VertexId t = 0;
   std::vector<VertexId> targets;  // kOneToMany only
-  std::string name;               // kUse / kReload only: dataset name
+  std::string name;               // kUse / kReload / kReplicate: dataset
+  std::uint64_t gen = 0;          // kReplicate only: caller's generation
   std::string error;              // kInvalid only: "error: ..." line
 };
 
@@ -80,6 +94,9 @@ struct DatasetCounters {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t reloads = 0;
+  /// Monotonic data version (Catalog generation); what `replicate`
+  /// compares. 0 while the dataset has never held data.
+  std::uint64_t generation = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;
@@ -108,7 +125,16 @@ struct ServeStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_entries = 0;
   std::uint64_t cache_generation = 0;
+  /// Connections shed because the process ran out of file descriptors
+  /// (EMFILE/ENFILE in the accept loop).
+  std::uint64_t accept_shed = 0;
+  /// Connections closed by the idle-timeout sweep (slowloris guard).
+  std::uint64_t idle_closed = 0;
   std::vector<DatasetCounters> datasets;
+  /// Free-form k=v pairs appended to the stats line — how the
+  /// replication layer reports lag/heartbeat counters without the
+  /// protocol knowing replication exists.
+  std::vector<std::pair<std::string, std::uint64_t>> extra;
 };
 
 // ---- Response formatting (no trailing '\n') ----

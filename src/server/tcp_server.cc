@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -39,6 +40,9 @@ struct TcpServer::Connection {
   int fd = -1;                  // loop-thread private; -1 once closed
   std::string in;               // loop-thread private: bytes before '\n'
   bool epollout_armed = false;  // loop-thread private
+  /// Last time the peer delivered bytes or a response was flushed.
+  /// Loop-thread private (read/written only by the event loop).
+  std::chrono::steady_clock::time_point last_activity;
 
   std::mutex mu;
   std::string out;              // response bytes awaiting write
@@ -69,6 +73,7 @@ TcpServer::~TcpServer() {
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
 }
 
 Status TcpServer::Start() {
@@ -118,6 +123,9 @@ Status TcpServer::Start() {
   if (epoll_fd_ < 0 || wake_fd_ < 0) {
     return Status::IOError("epoll_create1/eventfd failed");
   }
+  // Held in reserve for fd exhaustion (see ShedForAccept). Failure to
+  // open it is not fatal — the idle-eviction path still works.
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET;
   ev.data.fd = listen_fd_;
@@ -176,7 +184,13 @@ void TcpServer::EventLoop() {
   std::array<epoll_event, 64> events;
   std::chrono::steady_clock::time_point drain_deadline{};
   for (;;) {
-    const int timeout_ms = stopping_ ? 50 : -1;
+    int timeout_ms = stopping_ ? 50 : -1;
+    if (!stopping_ && options_.idle_timeout_ms > 0) {
+      // Wake often enough that an idle connection overstays by at most
+      // ~a quarter of the timeout.
+      timeout_ms = static_cast<int>(std::clamp<std::uint32_t>(
+          options_.idle_timeout_ms / 4, 10, 1000));
+    }
     const int n =
         ::epoll_wait(epoll_fd_, events.data(),
                      static_cast<int>(events.size()), timeout_ms);
@@ -205,6 +219,7 @@ void TcpServer::EventLoop() {
       if (ev.events & EPOLLOUT) Flush(conn);
       if (ev.events & (EPOLLHUP | EPOLLERR)) Flush(conn);
     }
+    if (!stopping_) SweepIdle();
     if (stop_requested_.load(std::memory_order_acquire) && !stopping_) {
       BeginShutdown();
       drain_deadline = std::chrono::steady_clock::now() +
@@ -258,7 +273,11 @@ void TcpServer::AcceptAll() {
       // The listen fd is edge-triggered: a transient failure must not
       // strand already-queued connections behind it.
       if (errno == ECONNABORTED || errno == EINTR) continue;
-      break;  // EAGAIN (drained) or a real error (EMFILE...): stop
+      // Out of fds: shed load (evict an idle connection or drop the
+      // newcomer via the reserve fd) rather than wedging the listen
+      // queue until some client goes away.
+      if ((errno == EMFILE || errno == ENFILE) && ShedForAccept()) continue;
+      break;  // EAGAIN (drained) or a real error: stop
     }
     if (stopping_) {
       ::close(fd);
@@ -268,6 +287,7 @@ void TcpServer::AcceptAll() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
     ev.data.fd = fd;
@@ -281,6 +301,83 @@ void TcpServer::AcceptAll() {
   }
 }
 
+bool TcpServer::ShedForAccept() {
+  // Prefer evicting the oldest idle connection: nothing pending, nothing
+  // buffered, no worker holding it — closing it loses no responses.
+  std::shared_ptr<Connection> victim;
+  for (auto& [fd, conn] : conns_) {
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      idle = !conn->scheduled && conn->pending.empty() && conn->out.empty();
+    }
+    if (!idle) continue;
+    if (victim == nullptr || conn->last_activity < victim->last_activity) {
+      victim = conn;
+    }
+  }
+  if (victim != nullptr) {
+    CloseConn(victim);
+    accept_shed_.fetch_add(1, std::memory_order_relaxed);
+    return true;  // a slot is free: retry the accept
+  }
+  // Every connection is busy: momentarily give back the reserve fd so
+  // the queued connection can be accepted, then drop it — the client
+  // sees a clean close instead of hanging in the backlog.
+  if (reserve_fd_ < 0) return false;
+  ::close(reserve_fd_);
+  reserve_fd_ = -1;
+  const int fd =
+      ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd >= 0) ::close(fd);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  accept_shed_.fetch_add(1, std::memory_order_relaxed);
+  return true;  // keep draining the backlog
+}
+
+void TcpServer::SweepIdle() {
+  if (options_.idle_timeout_ms == 0 || conns_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  auto snapshot = conns_;  // TimeoutConn may flush-close and erase
+  for (auto& [fd, conn] : snapshot) {
+    if (now - conn->last_activity < limit) continue;
+    conn->last_activity = now;  // one timeout per offender
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    TimeoutConn(conn);
+  }
+}
+
+void TcpServer::TimeoutConn(const std::shared_ptr<Connection>& conn) {
+  // Route the error through the pending pipeline (like the overlong-line
+  // path): an invalid sentinel then a quit, so it sequences correctly
+  // after any in-flight responses even if a worker holds the connection.
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->want_close) return;
+    Request err;
+    err.kind = RequestKind::kInvalid;
+    err.error = "error: timeout";
+    conn->pending.push_back(std::move(err));
+    Request quit;
+    quit.kind = RequestKind::kQuit;
+    conn->pending.push_back(std::move(quit));
+    if (!conn->scheduled) {
+      conn->scheduled = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      work_queue_.push_back(conn);
+    }
+    work_cv_.notify_one();
+  }
+}
+
 void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
   if (conn->fd < 0) return;
   bool peer_done = false;
@@ -291,6 +388,7 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
       bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                           std::memory_order_relaxed);
       conn->in.append(buf, static_cast<std::size_t>(n));
+      conn->last_activity = std::chrono::steady_clock::now();
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -320,14 +418,18 @@ void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
   }
   conn->in.erase(0, begin);
   const bool overlong = conn->in.size() > options_.max_line_bytes;
-  if (overlong) {
+  const bool overcap = !overlong && options_.max_buffered_bytes > 0 &&
+                       conn->in.size() > options_.max_buffered_bytes;
+  if (overlong || overcap) {
     // Sequence the error and the close AFTER the responses to the valid
     // requests parsed from the same read: an invalid sentinel followed
-    // by a quit, flowing through the normal pending pipeline.
+    // by a quit, flowing through the normal pending pipeline. The
+    // buffered-input cap (slowloris guard) reports "error: timeout".
     conn->in.clear();
+    if (overcap) idle_closed_.fetch_add(1, std::memory_order_relaxed);
     Request err;
     err.kind = RequestKind::kInvalid;
-    err.error = "error: request line too long";
+    err.error = overcap ? "error: timeout" : "error: request line too long";
     parsed.push_back(std::move(err));
     Request quit;
     quit.kind = RequestKind::kQuit;
@@ -368,6 +470,7 @@ void TcpServer::Flush(const std::shared_ptr<Connection>& conn) {
         bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
                              std::memory_order_relaxed);
         conn->out.erase(0, static_cast<std::size_t>(n));
+        conn->last_activity = std::chrono::steady_clock::now();
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -492,6 +595,8 @@ TcpServerStats TcpServer::stats() const {
   s.errors = dispatcher_.errors();
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.accept_shed = accept_shed_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -499,6 +604,8 @@ ServeStats TcpServer::ServeStatsSnapshot() const {
   ServeStats s;
   s.connections_open = open_.load(std::memory_order_relaxed);
   s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.accept_shed = accept_shed_.load(std::memory_order_relaxed);
+  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) {
     const QueryCacheStats cs = cache_->GetStats();
     s.cache_hits = cs.hits;

@@ -65,6 +65,15 @@ struct TcpServerOptions {
   std::uint32_t drain_timeout_ms = 5000;
   /// Install SIGINT/SIGTERM handlers that call Stop() (CLI mode).
   bool install_signal_handlers = false;
+  /// Slowloris guard: a connection that has neither delivered bytes nor
+  /// had a response flushed for this long is answered "error: timeout"
+  /// and closed. 0 disables (default; the `serve` CLI enables it).
+  std::uint32_t idle_timeout_ms = 0;
+  /// Cap on unparsed buffered input per connection (bytes before a
+  /// '\n'). A connection exceeding it is answered "error: timeout" and
+  /// closed — dribbling bytes forever cannot pin memory. 0 disables
+  /// (the per-line max_line_bytes still applies).
+  std::size_t max_buffered_bytes = 0;
 };
 
 struct TcpServerStats {
@@ -74,6 +83,10 @@ struct TcpServerStats {
   std::uint64_t errors = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  /// Connections shed in the accept loop under fd exhaustion.
+  std::uint64_t accept_shed = 0;
+  /// Connections closed by the idle-timeout / input-cap guard.
+  std::uint64_t idle_closed = 0;
 };
 
 class TcpServer {
@@ -111,6 +124,12 @@ class TcpServer {
   /// The bound port (resolves port 0 after Start()).
   std::uint16_t port() const { return bound_port_; }
 
+  /// Installs replication verb handlers on the dispatcher. Call before
+  /// Start(); `hooks` must outlive the server.
+  void SetReplicationHooks(ReplicationHooks* hooks) {
+    dispatcher_.set_replication_hooks(hooks);
+  }
+
   TcpServerStats stats() const;
   /// The counters behind a `stats` response, cache fields included.
   ServeStats ServeStatsSnapshot() const;
@@ -121,6 +140,14 @@ class TcpServer {
   void EventLoop();
   void WorkerLoop();
   void AcceptAll();
+  /// Frees one fd under EMFILE/ENFILE: closes the oldest idle
+  /// connection, or accepts-and-drops via the reserve fd. True if the
+  /// accept loop should retry.
+  bool ShedForAccept();
+  /// Closes connections idle past options_.idle_timeout_ms.
+  void SweepIdle();
+  /// Queues "error: timeout" on `conn` and closes it once flushed.
+  void TimeoutConn(const std::shared_ptr<Connection>& conn);
   void HandleWake();
   void BeginShutdown();
   void HandleRead(const std::shared_ptr<Connection>& conn);
@@ -139,6 +166,10 @@ class TcpServer {
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int wake_fd_ = -1;
+  /// Spare fd (open on /dev/null) released under EMFILE so the stuck
+  /// accept can complete and the newcomer be closed instead of the
+  /// listen queue wedging. Loop-thread private after Start().
+  int reserve_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   bool started_ = false;
   bool signal_handlers_installed_ = false;
@@ -166,6 +197,8 @@ class TcpServer {
   std::atomic<std::uint64_t> open_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> accept_shed_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
 };
 
 }  // namespace server

@@ -1,0 +1,57 @@
+// Clock: the injectable time source of the replication layer.
+//
+// Everything in src/repl/ that needs "now" — heartbeat ages, poll
+// due-ness, retry deadlines — reads it through this interface so tests
+// can drive the whole state machine with a ManualClock and zero real
+// sleeps. Production code uses SystemClock (steady_clock, monotonic);
+// wall-clock time never enters any protocol decision.
+
+#ifndef ISLABEL_UTIL_CLOCK_H_
+#define ISLABEL_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace islabel {
+
+/// Monotonic millisecond clock. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t NowMs() const = 0;
+};
+
+/// The real monotonic clock.
+class SystemClock : public Clock {
+ public:
+  std::uint64_t NowMs() const override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Test clock: time moves only when told to. Thread-safe so a server
+/// worker can read stats ages while the test thread advances time.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(std::uint64_t start_ms = 0) : now_ms_(start_ms) {}
+  std::uint64_t NowMs() const override {
+    return now_ms_.load(std::memory_order_acquire);
+  }
+  void AdvanceMs(std::uint64_t delta_ms) {
+    now_ms_.fetch_add(delta_ms, std::memory_order_acq_rel);
+  }
+  void SetMs(std::uint64_t now_ms) {
+    now_ms_.store(now_ms, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> now_ms_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_CLOCK_H_

@@ -1,0 +1,113 @@
+// Retry helpers: capped jittered exponential backoff and deadlines.
+//
+// Used by the replication layer (ReplicaSetClient failover, the replica
+// pull loop) but dependency-free on purpose: both the RNG and the clock
+// are injected, so every retry schedule is reproducible bit-for-bit in
+// tests — no real sleeps, no wall-clock reads.
+//
+// Jitter model: each delay is the exponential base delay scaled by a
+// uniform factor in [1 - jitter, 1]. Jittering DOWN from the cap (rather
+// than up past it) keeps the configured max_delay_ms a hard bound, which
+// is what a failover path wants: the cap is the worst-case added
+// latency, not a suggestion.
+
+#ifndef ISLABEL_UTIL_RETRY_H_
+#define ISLABEL_UTIL_RETRY_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace islabel {
+
+struct BackoffPolicy {
+  /// Delay before the first retry (pre-jitter).
+  std::uint64_t initial_delay_ms = 50;
+  /// Hard upper bound on any delay, jitter included.
+  std::uint64_t max_delay_ms = 5000;
+  /// Growth factor per consecutive failure (values < 1 are treated as 1,
+  /// i.e. constant delay).
+  double multiplier = 2.0;
+  /// Fraction of the base delay that jitter may remove, in [0, 1]:
+  /// delay = base * uniform(1 - jitter, 1). 0 = deterministic.
+  double jitter = 0.5;
+};
+
+/// Tracks consecutive failures and computes the next retry delay.
+/// Not thread-safe; owners serialize access (one Backoff per node).
+class Backoff {
+ public:
+  /// `rng` must outlive the Backoff and is owned by the caller so that
+  /// test schedules replay exactly from a seed.
+  Backoff(const BackoffPolicy& policy, Rng* rng)
+      : policy_(policy), rng_(rng) {}
+
+  /// Registers a failure and returns the delay to wait before the next
+  /// attempt. The first call returns ~initial_delay_ms.
+  std::uint64_t NextDelayMs() {
+    double base = static_cast<double>(policy_.initial_delay_ms);
+    const double multiplier =
+        policy_.multiplier < 1.0 ? 1.0 : policy_.multiplier;
+    for (std::uint32_t i = 0; i < failures_; ++i) {
+      base *= multiplier;
+      if (base >= static_cast<double>(policy_.max_delay_ms)) {
+        base = static_cast<double>(policy_.max_delay_ms);
+        break;
+      }
+    }
+    if (failures_ < UINT32_MAX) ++failures_;
+    if (base > static_cast<double>(policy_.max_delay_ms)) {
+      base = static_cast<double>(policy_.max_delay_ms);
+    }
+    double jitter = policy_.jitter;
+    if (jitter < 0.0) jitter = 0.0;
+    if (jitter > 1.0) jitter = 1.0;
+    const double factor =
+        jitter == 0.0 ? 1.0 : 1.0 - jitter * rng_->NextDouble();
+    return static_cast<std::uint64_t>(base * factor);
+  }
+
+  /// A success resets the schedule to initial_delay_ms.
+  void Reset() { failures_ = 0; }
+
+  std::uint32_t failures() const { return failures_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng* rng_;
+  std::uint32_t failures_ = 0;
+};
+
+/// A point in injected-clock time. Cheap value type.
+class Deadline {
+ public:
+  /// A deadline `timeout_ms` from now on `clock` (which must outlive any
+  /// Expired()/RemainingMs() call).
+  static Deadline After(std::uint64_t timeout_ms, const Clock* clock) {
+    return Deadline(clock, clock->NowMs() + timeout_ms);
+  }
+  /// A deadline that never expires.
+  static Deadline Infinite(const Clock* clock) {
+    return Deadline(clock, UINT64_MAX);
+  }
+
+  bool Expired() const { return clock_->NowMs() >= at_ms_; }
+
+  /// Milliseconds left, 0 once expired (clamps, never underflows).
+  std::uint64_t RemainingMs() const {
+    const std::uint64_t now = clock_->NowMs();
+    return now >= at_ms_ ? 0 : at_ms_ - now;
+  }
+
+ private:
+  Deadline(const Clock* clock, std::uint64_t at_ms)
+      : clock_(clock), at_ms_(at_ms) {}
+
+  const Clock* clock_;
+  std::uint64_t at_ms_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_RETRY_H_

@@ -27,6 +27,8 @@ enum class StatusCode : unsigned char {
   kOutOfRange = 6,
   kFailedPrecondition = 7,
   kInternal = 8,
+  kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "IOError"...).
@@ -64,6 +66,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   explicit operator bool() const { return ok(); }
@@ -82,6 +90,10 @@ class Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// Error message; empty for OK.
   const std::string& message() const {

@@ -1,0 +1,142 @@
+// Tests for the retry helpers (util/retry.h): capped jittered
+// exponential backoff and injected-clock deadlines. Everything here is
+// deterministic — seeded Rng, ManualClock, no sleeps — because the
+// replication layer's failover schedules must replay bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/retry.h"
+
+namespace islabel {
+namespace {
+
+TEST(Backoff, GrowsExponentiallyWithoutJitter) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.max_delay_ms = 10'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  Backoff backoff(policy, &rng);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), 200u);
+  EXPECT_EQ(backoff.NextDelayMs(), 400u);
+  EXPECT_EQ(backoff.NextDelayMs(), 800u);
+  EXPECT_EQ(backoff.failures(), 4u);
+}
+
+TEST(Backoff, CapsAtMaxDelay) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100;
+  policy.max_delay_ms = 500;
+  policy.multiplier = 3.0;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  Backoff backoff(policy, &rng);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), 300u);
+  // 900 would exceed the cap; the cap is a hard bound.
+  EXPECT_EQ(backoff.NextDelayMs(), 500u);
+  EXPECT_EQ(backoff.NextDelayMs(), 500u);
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 50;
+  policy.jitter = 0.0;
+  Rng rng(1);
+  Backoff backoff(policy, &rng);
+  EXPECT_EQ(backoff.NextDelayMs(), 50u);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.failures(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), 50u);
+}
+
+TEST(Backoff, JitterStaysWithinBandAndBelowCap) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 1000;
+  policy.max_delay_ms = 4000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.5;  // delay in [base/2, base]
+  Rng rng(42);
+  Backoff backoff(policy, &rng);
+  std::uint64_t base = 1000;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t d = backoff.NextDelayMs();
+    EXPECT_GE(d, base / 2) << "attempt " << i;
+    EXPECT_LE(d, base) << "attempt " << i;
+    EXPECT_LE(d, policy.max_delay_ms);
+    base = std::min<std::uint64_t>(base * 2, policy.max_delay_ms);
+  }
+}
+
+TEST(Backoff, SameSeedReplaysTheSameSchedule) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 70;
+  policy.jitter = 0.5;
+  std::vector<std::uint64_t> first, second;
+  {
+    Rng rng(777);
+    Backoff backoff(policy, &rng);
+    for (int i = 0; i < 10; ++i) first.push_back(backoff.NextDelayMs());
+  }
+  {
+    Rng rng(777);
+    Backoff backoff(policy, &rng);
+    for (int i = 0; i < 10; ++i) second.push_back(backoff.NextDelayMs());
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Backoff, SubUnitMultiplierMeansConstantDelay) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 80;
+  policy.multiplier = 0.25;  // treated as 1.0
+  policy.jitter = 0.0;
+  Rng rng(1);
+  Backoff backoff(policy, &rng);
+  EXPECT_EQ(backoff.NextDelayMs(), 80u);
+  EXPECT_EQ(backoff.NextDelayMs(), 80u);
+  EXPECT_EQ(backoff.NextDelayMs(), 80u);
+}
+
+TEST(Deadline, ExpiresExactlyOnTheManualClock) {
+  ManualClock clock(1000);
+  const Deadline deadline = Deadline::After(250, &clock);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMs(), 250u);
+  clock.AdvanceMs(249);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMs(), 1u);
+  clock.AdvanceMs(1);
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMs(), 0u);
+  clock.AdvanceMs(1'000'000);
+  EXPECT_EQ(deadline.RemainingMs(), 0u) << "remaining clamps, no underflow";
+}
+
+TEST(Deadline, InfiniteNeverExpires) {
+  ManualClock clock(0);
+  const Deadline deadline = Deadline::Infinite(&clock);
+  clock.AdvanceMs(~0ull / 2);
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_GT(deadline.RemainingMs(), 0u);
+}
+
+TEST(ManualClockTest, AdvancesOnlyWhenTold) {
+  ManualClock clock(5);
+  EXPECT_EQ(clock.NowMs(), 5u);
+  clock.AdvanceMs(10);
+  EXPECT_EQ(clock.NowMs(), 15u);
+  clock.SetMs(3);
+  EXPECT_EQ(clock.NowMs(), 3u);
+}
+
+}  // namespace
+}  // namespace islabel

@@ -7,12 +7,16 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -663,6 +667,154 @@ TEST_F(TcpServerTest, StopDrainsAndCloses) {
   server_->Wait();
   EXPECT_EQ(client.ReadLine(), "<eof>");
   EXPECT_EQ(server_->stats().connections_open, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Slowloris guard: idle timeout + buffered-input cap
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpServerTest, IdleConnectionIsTimedOut) {
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 1;
+  opts.idle_timeout_ms = 150;
+  TcpServer guarded(&index_, cache_.get(), opts);
+  ASSERT_TRUE(guarded.Start().ok());
+  TestClient idle(guarded.port());
+  ASSERT_TRUE(idle.connected());
+  // Send nothing; the sweep must close us with an error response.
+  EXPECT_EQ(idle.ReadLine(), "error: timeout");
+  EXPECT_EQ(idle.ReadLine(), "<eof>");
+  EXPECT_GE(guarded.stats().idle_closed, 1u);
+  guarded.Stop();
+  guarded.Wait();
+}
+
+TEST_F(TcpServerTest, ByteDribblingClientIsTimedOut) {
+  // The classic slowloris: dribble one byte of a never-finished request
+  // line at a rate slow enough to stay under the idle timeout per byte
+  // would defeat a naive last-byte-received check — which is why the
+  // input cap exists. Dribble fast but never send '\n': the buffered
+  // partial line crosses max_buffered_bytes and the connection dies.
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 1;
+  opts.idle_timeout_ms = 10'000;  // idle sweep alone won't fire in time
+  opts.max_buffered_bytes = 48;
+  TcpServer guarded(&index_, cache_.get(), opts);
+  ASSERT_TRUE(guarded.Start().ok());
+  TestClient dribbler(guarded.port());
+  ASSERT_TRUE(dribbler.connected());
+  for (int i = 0; i < 64; ++i) dribbler.Send("7");
+  EXPECT_EQ(dribbler.ReadLine(), "error: timeout");
+  EXPECT_EQ(dribbler.ReadLine(), "<eof>");
+  EXPECT_GE(guarded.stats().idle_closed, 1u);
+
+  // A well-behaved client on the same server is untouched.
+  TestClient good(guarded.port());
+  ASSERT_TRUE(good.connected());
+  good.Send("1 2\n");
+  EXPECT_EQ(good.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  guarded.Stop();
+  guarded.Wait();
+}
+
+TEST_F(TcpServerTest, ActiveClientSurvivesIdleSweeps) {
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 1;
+  opts.idle_timeout_ms = 200;
+  TcpServer guarded(&index_, cache_.get(), opts);
+  ASSERT_TRUE(guarded.Start().ok());
+  TestClient client(guarded.port());
+  ASSERT_TRUE(client.connected());
+  // Keep issuing requests across several idle windows; activity must
+  // keep resetting the timer.
+  for (int round = 0; round < 6; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    client.Send("1 2\n");
+    ASSERT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)))
+        << "round " << round;
+  }
+  guarded.Stop();
+  guarded.Wait();
+}
+
+TEST_F(TcpServerTest, GuardOffByDefault) {
+  // The fixture server runs with both guards disabled; an idle
+  // connection must survive well past any plausible sweep interval.
+  TestClient idle(server_->port());
+  ASSERT_TRUE(idle.connected());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  idle.Send("1 2\n");
+  EXPECT_EQ(idle.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  EXPECT_EQ(server_->stats().idle_closed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EMFILE / ENFILE accept shed
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpServerTest, AcceptShedsUnderFdPressure) {
+  // Lower the process fd limit so accept() hits EMFILE, then keep
+  // connecting. The server must shed (close an idle connection or drop
+  // the newcomer via the reserve fd) instead of spinning or dying, and
+  // must serve normally once pressure lifts.
+  rlimit original{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &original), 0);
+
+  // Count currently-open descriptors, then leave just a little headroom.
+  std::size_t open_fds = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    (void)entry;
+    ++open_fds;
+  }
+  rlimit lowered = original;
+  lowered.rlim_cur = open_fds + 10;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &lowered), 0);
+
+  struct RestoreLimit {
+    rlimit saved;
+    ~RestoreLimit() { ::setrlimit(RLIMIT_NOFILE, &saved); }
+  } restore{original};
+
+  // Exhaust the descriptor pool with our own sockets FIRST, then
+  // connect them: the kernel completes loopback connects through the
+  // listen backlog without the server accepting, so when the event
+  // loop drains the backlog there are zero free descriptors and every
+  // accept() is an EMFILE — the shed path, deterministically.
+  std::vector<int> herd;
+  for (int i = 0; i < 64; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;  // pool exhausted: exactly what we want
+    herd.push_back(fd);
+  }
+  ASSERT_FALSE(herd.empty());
+  std::size_t connected = 0;
+  for (const int fd : herd) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      ++connected;
+    }
+  }
+  ASSERT_GT(connected, 0u);
+
+  // Give the event loop a beat to work through the accept backlog.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_GE(server_->stats().accept_shed, 1u);
+
+  // Release our fds and the rlimit; the server must still answer.
+  for (const int fd : herd) ::close(fd);
+  ::setrlimit(RLIMIT_NOFILE, &original);
+  TestClient after(server_->port());
+  ASSERT_TRUE(after.connected());
+  after.Send("1 2\n");
+  EXPECT_EQ(after.ReadLine(), server::FormatDistance(Expected(1, 2)));
 }
 
 }  // namespace

@@ -8,6 +8,10 @@
 //   islabel batch  --index DIR [--disk] [--threads T] [--in FILE]
 //   islabel serve  --index DIR | --dataset NAME=DIR [--dataset NAME=DIR...]
 //                  [--disk] [--listen HOST:PORT] [--threads N] [--cache-mb M]
+//   islabel serve  --replicate-from HOST:PORT --repl-root DIR
+//                  [--listen HOST:PORT] [--poll-ms N]
+//   islabel query  --endpoints H:P,H:P,... S T [S T ...]
+//   islabel repl-status --endpoints H:P,H:P,...
 //   islabel bench  --index DIR [--queries N] [--disk]
 //
 // Graphs are text edge lists ("u v [w]" per line, '#' comments — SNAP
@@ -19,6 +23,14 @@
 // protocol of server/protocol.h on stdin/stdout, or over TCP with
 // --listen (see CmdServe). Repeated --dataset flags host several indexes
 // in one process behind the `use`/`datasets`/`reload` verbs.
+//
+// Replication: a catalog-mode TCP server is automatically a primary
+// (it answers `version` / `heartbeat` / `replicate`). `serve
+// --replicate-from` starts a replica: an initially-empty catalog that
+// pulls snapshots from the primary, serves whatever generation it has,
+// and keeps polling. `query --endpoints` queries a whole replica set
+// with failover; `repl-status` prints per-endpoint generations and
+// replication counters.
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,10 +51,15 @@
 #include "graph/graph_io.h"
 #include "graph/components.h"
 #include "graph/stats.h"
+#include "repl/primary.h"
+#include "repl/replica.h"
+#include "repl/replica_set_client.h"
+#include "repl/transport.h"
 #include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
 #include "server/tcp_server.h"
+#include "util/clock.h"
 #include "util/random.h"
 #include "util/timer.h"
 
@@ -123,7 +140,12 @@ int Usage() {
       "  islabel batch --index DIR [--disk] [--threads T] [--in FILE]\n"
       "  islabel serve --index DIR | --dataset NAME=DIR [--dataset ...]\n"
       "                [--disk] [--listen HOST:PORT] [--threads N]\n"
-      "                [--cache-mb M]\n"
+      "                [--cache-mb M] [--idle-timeout-ms N]\n"
+      "                [--max-buffered-kb N]\n"
+      "  islabel serve --replicate-from HOST:PORT --repl-root DIR\n"
+      "                [--listen HOST:PORT] [--poll-ms N] [--threads N]\n"
+      "  islabel query --endpoints H:P,H:P,... S T [S T ...]\n"
+      "  islabel repl-status --endpoints H:P,H:P,... [--timeout-ms N]\n"
       "  islabel bench --index DIR [--queries N] [--disk] [--verify]\n");
   return 2;
 }
@@ -312,7 +334,59 @@ int CmdPartitionBuild(const Args& args) {
   return 0;
 }
 
+/// Splits a comma-separated --endpoints value.
+std::vector<std::string> SplitEndpoints(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t end = std::min(value.find(',', begin), value.size());
+    if (end > begin) out.push_back(value.substr(begin, end - begin));
+    if (end == value.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// query --endpoints: sends each pair to a replica set with failover
+/// instead of loading a local index.
+int QueryReplicaSet(const Args& args) {
+  repl::ReplicaSetOptions opts;
+  opts.endpoints = SplitEndpoints(args.Get("endpoints", ""));
+  if (opts.endpoints.empty()) return Usage();
+  opts.request_timeout_ms =
+      static_cast<std::uint64_t>(args.GetInt("timeout-ms", 5000));
+  repl::TcpTransport transport;
+  SystemClock clock;
+  Rng rng(0x5e7);
+  repl::ReplicaSetClient client(&transport, &clock, &rng, opts);
+  int failures = 0;
+  for (std::size_t i = 0; i + 1 < args.positional.size(); i += 2) {
+    const std::string line =
+        args.positional[i] + " " + args.positional[i + 1];
+    Result<std::string> response = client.Query(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query '%s' failed: %s\n", line.c_str(),
+                   response.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s %s\n", line.c_str(), response.value().c_str());
+  }
+  const std::uint64_t n_failovers = client.failovers();
+  if (n_failovers > 0) {
+    std::fprintf(stderr, "(%llu failovers)\n",
+                 static_cast<unsigned long long>(n_failovers));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdQuery(const Args& args) {
+  if (args.Has("endpoints")) {
+    if (args.positional.size() < 2 || args.positional.size() % 2 != 0) {
+      return Usage();
+    }
+    return QueryReplicaSet(args);
+  }
   const std::string dir = args.Get("index", "");
   if (dir.empty() || args.positional.size() < 2 ||
       args.positional.size() % 2 != 0) {
@@ -469,6 +543,12 @@ int ParseListenOption(const Args& args, server::TcpServerOptions* sopts) {
   sopts->port = static_cast<std::uint16_t>(port);
   sopts->num_workers = static_cast<std::uint32_t>(args.GetInt("threads", 0));
   sopts->install_signal_handlers = true;
+  // The CLI server faces real clients: slowloris guard on by default
+  // (library default is off). --idle-timeout-ms 0 disables.
+  sopts->idle_timeout_ms =
+      static_cast<std::uint32_t>(args.GetInt("idle-timeout-ms", 60'000));
+  sopts->max_buffered_bytes =
+      static_cast<std::size_t>(args.GetInt("max-buffered-kb", 1024)) << 10;
   return 0;
 }
 
@@ -577,6 +657,10 @@ int ServeCatalog(const Args& args,
     const int rc = ParseListenOption(args, &sopts);
     if (rc != 0) return rc;
     server::TcpServer tcp_server(&catalog, names.front(), sopts);
+    // Every catalog-mode TCP server can act as a replication primary:
+    // the verbs cost nothing until a replica pulls.
+    repl::PrimaryHooks primary_hooks(&catalog);
+    tcp_server.SetReplicationHooks(&primary_hooks);
     Status st = tcp_server.Start();
     if (!st.ok()) {
       std::fprintf(stderr, "server start failed: %s\n",
@@ -600,7 +684,51 @@ int ServeCatalog(const Args& args,
   return ServeStdin(&dispatcher, nullptr);
 }
 
+/// Replica serve: an initially-empty catalog that pulls snapshots from
+/// --replicate-from and hot-swaps them in as they arrive, while the TCP
+/// front end serves whatever generation is installed
+/// (stale-but-consistent during a partition).
+int ServeReplica(const Args& args) {
+  if (!args.Has("listen")) {
+    std::fprintf(stderr, "--replicate-from requires --listen HOST:PORT\n");
+    return 2;
+  }
+  Catalog catalog;
+  repl::TcpTransport transport;
+  SystemClock clock;
+  Rng rng(0x4e91);
+
+  repl::ReplicaOptions ropts;
+  ropts.primary = args.Get("replicate-from", "");
+  ropts.root = args.Get("repl-root", "repl-data");
+  ropts.poll_interval_ms =
+      static_cast<std::uint64_t>(args.GetInt("poll-ms", 1000));
+  repl::ReplicaAgent agent(&catalog, &transport, &clock, &rng, ropts);
+
+  server::TcpServerOptions sopts;
+  const int rc = ParseListenOption(args, &sopts);
+  if (rc != 0) return rc;
+  server::TcpServer tcp_server(&catalog, /*default_dataset=*/"", sopts);
+  tcp_server.SetReplicationHooks(&agent);
+  Status st = tcp_server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  agent.RunBackground();
+  std::fprintf(stderr,
+               "replica of %s serving on %s:%u (root %s, poll %llu ms); "
+               "SIGINT/SIGTERM to stop\n",
+               ropts.primary.c_str(), sopts.host.c_str(), tcp_server.port(),
+               ropts.root.c_str(),
+               static_cast<unsigned long long>(ropts.poll_interval_ms));
+  const int ret = RunTcpServer(&tcp_server);
+  agent.StopBackground();
+  return ret;
+}
+
 int CmdServe(const Args& args) {
+  if (args.Has("replicate-from")) return ServeReplica(args);
   const std::vector<std::string> dataset_specs = args.GetAll("dataset");
   if (!dataset_specs.empty()) return ServeCatalog(args, dataset_specs);
 
@@ -650,6 +778,45 @@ int CmdServe(const Args& args) {
   return ServeStdin(&dispatcher, cache.get());
 }
 
+// repl-status: one line per endpoint — reachability, dataset
+// generations (`version`) and the full `stats` counters, so an
+// operator can see replica lag at a glance.
+int CmdReplStatus(const Args& args) {
+  const std::vector<std::string> endpoints =
+      SplitEndpoints(args.Get("endpoints", ""));
+  if (endpoints.empty()) return Usage();
+  const std::uint64_t timeout_ms =
+      static_cast<std::uint64_t>(args.GetInt("timeout-ms", 3000));
+  repl::TcpTransport transport;
+  SystemClock clock;
+  int down = 0;
+  for (const std::string& endpoint : endpoints) {
+    Result<std::unique_ptr<repl::Connection>> conn =
+        transport.Connect(endpoint, timeout_ms);
+    if (!conn.ok()) {
+      std::printf("%s DOWN %s\n", endpoint.c_str(),
+                  conn.status().ToString().c_str());
+      ++down;
+      continue;
+    }
+    repl::Channel channel(std::move(conn).value());
+    const Deadline deadline = Deadline::After(timeout_ms, &clock);
+    std::string version, stats;
+    Status st = channel.SendLine("version");
+    if (st.ok()) st = channel.ReadLine(&version, deadline);
+    if (st.ok()) st = channel.SendLine("stats");
+    if (st.ok()) st = channel.ReadLine(&stats, deadline);
+    if (!st.ok()) {
+      std::printf("%s DOWN %s\n", endpoint.c_str(), st.ToString().c_str());
+      ++down;
+      continue;
+    }
+    std::printf("%s UP %s\n", endpoint.c_str(), version.c_str());
+    std::printf("%s    %s\n", endpoint.c_str(), stats.c_str());
+  }
+  return down == 0 ? 0 : 1;
+}
+
 int CmdBench(const Args& args) {
   const std::string dir = args.Get("index", "");
   if (dir.empty()) return Usage();
@@ -696,6 +863,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "batch") return CmdBatch(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "repl-status") return CmdReplStatus(args);
   if (cmd == "bench") return CmdBench(args);
   return Usage();
 }
