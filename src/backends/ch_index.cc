@@ -23,7 +23,7 @@ std::string ChPath(const std::string& dir) { return dir + "/ch.islc"; }
 CHIndex::CHIndex() = default;
 
 CHIndex::ScratchLease::ScratchLease(ScratchPool* pool) : pool_(pool) {
-  std::lock_guard<std::mutex> lock(pool_->mu);
+  MutexLock lock(&pool_->mu);
   if (!pool_->free_list.empty()) {
     scratch_ = std::move(pool_->free_list.back());
     pool_->free_list.pop_back();
@@ -33,7 +33,7 @@ CHIndex::ScratchLease::ScratchLease(ScratchPool* pool) : pool_(pool) {
 }
 
 CHIndex::ScratchLease::~ScratchLease() {
-  std::lock_guard<std::mutex> lock(pool_->mu);
+  MutexLock lock(&pool_->mu);
   pool_->free_list.push_back(std::move(scratch_));
 }
 

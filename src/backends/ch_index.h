@@ -27,14 +27,15 @@
 #define ISLABEL_BACKENDS_CH_INDEX_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "baseline/contraction_hierarchy.h"
 #include "core/distance_index.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 
@@ -76,8 +77,9 @@ class CHIndex : public DistanceIndex {
   /// Mutex-guarded free list of query scratch (engine-pool pattern).
   /// Heap-allocated so CHIndex stays movable despite the mutex.
   struct ScratchPool {
-    std::mutex mu;
-    std::vector<std::unique_ptr<ContractionHierarchy::Scratch>> free_list;
+    Mutex mu;
+    std::vector<std::unique_ptr<ContractionHierarchy::Scratch>> free_list
+        GUARDED_BY(mu);
   };
 
   /// RAII lease: returns the scratch to the pool on destruction.

@@ -16,18 +16,19 @@ const char* DatasetStateName(DatasetState state) {
 
 /// One named dataset. The index pointer is the only hot-swapped field;
 /// everything a query path touches is either immutable after
-/// registration (name, dir), snapshotted under `mu` (index), or atomic
+/// registration (name), snapshotted under `mu` (index), or atomic
 /// (counters).
 struct Catalog::Dataset {
-  std::string name;
-  std::string dir;
-  bool labels_in_memory = true;
+  std::string name;                // immutable after registration
+  bool labels_in_memory = true;    // immutable after registration
 
-  mutable std::mutex mu;  // guards index / state / load_status
-  std::condition_variable loaded_cv;
-  std::shared_ptr<PartitionedIndex> index;
-  DatasetState state = DatasetState::kLoading;
-  Status load_status;
+  mutable Mutex mu;
+  CondVar loaded_cv;
+  /// Backing directory; repointed by ReloadFrom (snapshot installs).
+  std::string dir GUARDED_BY(mu);
+  std::shared_ptr<PartitionedIndex> index GUARDED_BY(mu);
+  DatasetState state GUARDED_BY(mu) = DatasetState::kLoading;
+  Status load_status GUARDED_BY(mu);
 
   std::shared_ptr<DistanceCache> cache;  // set before serving starts
 
@@ -46,17 +47,17 @@ struct Catalog::Dataset {
 const std::string& Catalog::Handle::name() const { return dataset_->name; }
 
 DatasetState Catalog::Handle::state() const {
-  std::lock_guard<std::mutex> lock(dataset_->mu);
+  MutexLock lock(&dataset_->mu);
   return dataset_->state;
 }
 
 Status Catalog::Handle::load_status() const {
-  std::lock_guard<std::mutex> lock(dataset_->mu);
+  MutexLock lock(&dataset_->mu);
   return dataset_->load_status;
 }
 
 std::shared_ptr<PartitionedIndex> Catalog::Handle::index() const {
-  std::lock_guard<std::mutex> lock(dataset_->mu);
+  MutexLock lock(&dataset_->mu);
   return dataset_->index;
 }
 
@@ -66,7 +67,7 @@ DistanceCache* Catalog::Handle::cache() const {
 
 Status Catalog::Handle::Ready(
     std::shared_ptr<PartitionedIndex>* index) const {
-  std::lock_guard<std::mutex> lock(dataset_->mu);
+  MutexLock lock(&dataset_->mu);
   switch (dataset_->state) {
     case DatasetState::kReady:
       *index = dataset_->index;
@@ -168,7 +169,7 @@ DistanceIndexInfo Catalog::Handle::Info() const {
 Catalog::~Catalog() {
   std::vector<std::thread> loaders;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     loaders.swap(loaders_);
   }
   for (std::thread& t : loaders) {
@@ -178,7 +179,7 @@ Catalog::~Catalog() {
 
 std::shared_ptr<Catalog::Dataset> Catalog::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& ds : datasets_) {
     if (ds->name == name) return ds;
   }
@@ -190,10 +191,15 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
   auto ds = std::make_shared<Dataset>();
   ds->name = name;
-  ds->dir = dir;
   ds->labels_in_memory = labels_in_memory;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Uncontended: the dataset is not yet published, but the analysis
+    // (rightly) has no notion of "not shared yet".
+    MutexLock dlock(&ds->mu);
+    ds->dir = dir;
+  }
+  {
+    MutexLock lock(&mu_);
     for (const auto& existing : datasets_) {
       if (existing->name == name) {
         return Status::InvalidArgument("dataset " + name +
@@ -203,7 +209,7 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
     datasets_.push_back(ds);
     loaders_.emplace_back([ds, dir] {
       auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
-      std::lock_guard<std::mutex> dlock(ds->mu);
+      MutexLock dlock(&ds->mu);
       // A ReloadFrom that raced the initial load and won owns the state
       // now; a late initial load must not roll the generation back.
       if (ds->state == DatasetState::kLoading) {
@@ -217,7 +223,7 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
           ds->state = DatasetState::kFailed;
         }
       }
-      ds->loaded_cv.notify_all();
+      ds->loaded_cv.NotifyAll();
     });
   }
   return Status::OK();
@@ -228,11 +234,14 @@ Status Catalog::AddIndex(const std::string& name, PartitionedIndex index,
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
   auto ds = std::make_shared<Dataset>();
   ds->name = name;
-  ds->dir = std::move(dir);
-  ds->index = std::make_shared<PartitionedIndex>(std::move(index));
-  ds->state = DatasetState::kReady;
+  {
+    MutexLock dlock(&ds->mu);  // unpublished; lock only for the analysis
+    ds->dir = std::move(dir);
+    ds->index = std::make_shared<PartitionedIndex>(std::move(index));
+    ds->state = DatasetState::kReady;
+  }
   ds->generation.store(1, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& existing : datasets_) {
     if (existing->name == name) {
       return Status::InvalidArgument("dataset " + name +
@@ -247,8 +256,11 @@ Status Catalog::AddEmpty(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
   auto ds = std::make_shared<Dataset>();
   ds->name = name;
-  ds->state = DatasetState::kEmpty;
-  std::lock_guard<std::mutex> lock(mu_);
+  {
+    MutexLock dlock(&ds->mu);  // unpublished; lock only for the analysis
+    ds->state = DatasetState::kEmpty;
+  }
+  MutexLock lock(&mu_);
   for (const auto& existing : datasets_) {
     if (existing->name == name) {
       return Status::InvalidArgument("dataset " + name +
@@ -262,14 +274,13 @@ Status Catalog::AddEmpty(const std::string& name) {
 Status Catalog::WaitReady() {
   std::vector<std::shared_ptr<Dataset>> datasets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     datasets = datasets_;
   }
   Status first_error;
   for (const auto& ds : datasets) {
-    std::unique_lock<std::mutex> dlock(ds->mu);
-    ds->loaded_cv.wait(dlock,
-                       [&] { return ds->state != DatasetState::kLoading; });
+    MutexLock dlock(&ds->mu);
+    while (ds->state == DatasetState::kLoading) ds->loaded_cv.Wait(&ds->mu);
     if (ds->state == DatasetState::kFailed && first_error.ok()) {
       first_error = ds->load_status;
     }
@@ -287,7 +298,7 @@ Status Catalog::Reload(const std::string& name) {
   std::string dir;
   bool labels_in_memory;
   {
-    std::lock_guard<std::mutex> lock(ds->mu);
+    MutexLock lock(&ds->mu);
     if (ds->state == DatasetState::kLoading) {
       return Status::FailedPrecondition("dataset " + name +
                                         " is still loading");
@@ -306,7 +317,7 @@ Status Catalog::Reload(const std::string& name) {
   auto fresh =
       std::make_shared<PartitionedIndex>(std::move(loaded).value());
   {
-    std::lock_guard<std::mutex> lock(ds->mu);
+    MutexLock lock(&ds->mu);
     ds->index = std::move(fresh);  // old version lives on in query snapshots
     ds->state = DatasetState::kReady;
     ds->load_status = Status::OK();
@@ -336,7 +347,7 @@ Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
   if (!loaded.ok()) return loaded.status();
   auto fresh = std::make_shared<PartitionedIndex>(std::move(loaded).value());
   {
-    std::lock_guard<std::mutex> lock(ds->mu);
+    MutexLock lock(&ds->mu);
     if (gen <= ds->generation.load(std::memory_order_acquire)) {
       return Status::FailedPrecondition(
           "dataset " + name + " overtook generation " + std::to_string(gen) +
@@ -347,7 +358,7 @@ Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
     ds->load_status = Status::OK();
     ds->dir = dir;
     ds->generation.store(gen, std::memory_order_release);
-    ds->loaded_cv.notify_all();  // an install also resolves WaitReady
+    ds->loaded_cv.NotifyAll();  // an install also resolves WaitReady
   }
   // Publish-then-bump, exactly as Reload.
   if (ds->cache != nullptr) ds->cache->BumpGeneration();
@@ -364,7 +375,7 @@ std::uint64_t Catalog::Generation(const std::string& name) const {
 std::string Catalog::Dir(const std::string& name) const {
   std::shared_ptr<Dataset> ds = Find(name);
   if (ds == nullptr) return "";
-  std::lock_guard<std::mutex> lock(ds->mu);
+  MutexLock lock(&ds->mu);
   return ds->dir;
 }
 
@@ -377,7 +388,7 @@ Status Catalog::SetDistanceCache(const std::string& name,
 }
 
 std::vector<std::string> Catalog::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
   for (const auto& ds : datasets_) names.push_back(ds->name);
@@ -387,7 +398,7 @@ std::vector<std::string> Catalog::Names() const {
 std::vector<DatasetInfo> Catalog::List() const {
   std::vector<std::shared_ptr<Dataset>> datasets;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     datasets = datasets_;
   }
   std::vector<DatasetInfo> infos;
@@ -401,7 +412,7 @@ std::vector<DatasetInfo> Catalog::List() const {
     info.generation = ds->generation.load(std::memory_order_acquire);
     info.cache = ds->cache;
     {
-      std::lock_guard<std::mutex> dlock(ds->mu);
+      MutexLock dlock(&ds->mu);
       info.state = ds->state;
       if (ds->index != nullptr) {
         info.parts = ds->index->num_parts();

@@ -28,11 +28,9 @@
 #define ISLABEL_CATALOG_CATALOG_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -40,7 +38,9 @@
 
 #include "catalog/partitioned_index.h"
 #include "core/distance_cache.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 
@@ -226,9 +226,9 @@ class Catalog {
  private:
   std::shared_ptr<Dataset> Find(const std::string& name) const;
 
-  mutable std::mutex mu_;  // guards datasets_ / loaders_
-  std::vector<std::shared_ptr<Dataset>> datasets_;
-  std::vector<std::thread> loaders_;
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<Dataset>> datasets_ GUARDED_BY(mu_);
+  std::vector<std::thread> loaders_ GUARDED_BY(mu_);
 };
 
 }  // namespace islabel

@@ -4,7 +4,7 @@ namespace islabel {
 
 QueryEnginePool::Lease QueryEnginePool::Acquire() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!free_.empty()) {
       std::unique_ptr<QueryEngine> engine = std::move(free_.back());
       free_.pop_back();
@@ -18,7 +18,7 @@ QueryEnginePool::Lease QueryEnginePool::Acquire() {
 }
 
 void QueryEnginePool::Return(std::unique_ptr<QueryEngine> engine) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   free_.push_back(std::move(engine));
 }
 

@@ -19,10 +19,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/query.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 
@@ -78,7 +79,7 @@ class QueryEnginePool {
   /// Engines constructed over the pool's lifetime — equals the peak number
   /// of simultaneous leases observed (diagnostics/tests).
   std::size_t EnginesCreated() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return created_;
   }
 
@@ -87,9 +88,9 @@ class QueryEnginePool {
 
   const VertexHierarchy* hierarchy_;
   LabelProvider provider_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<QueryEngine>> free_;
-  std::size_t created_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<QueryEngine>> free_ GUARDED_BY(mu_);
+  std::size_t created_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace islabel

@@ -18,23 +18,23 @@ bool Matches(const FaultRule& rule, FaultRule::Kind kind,
 }  // namespace
 
 void FaultInjector::AddRule(FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.push_back(std::move(rule));
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   rules_.clear();
 }
 
 FaultStats FaultInjector::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 bool FaultInjector::Fire(FaultRule::Kind kind, const std::string& endpoint,
                          std::uint64_t* arg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (FaultRule& rule : rules_) {
     if (!Matches(rule, kind, endpoint)) continue;
     if (rule.fire_count > 0) --rule.fire_count;
@@ -55,7 +55,7 @@ bool FaultInjector::Fire(FaultRule::Kind kind, const std::string& endpoint,
 
 bool FaultInjector::Peek(FaultRule::Kind kind, const std::string& endpoint,
                          std::uint64_t* arg) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const FaultRule& rule : rules_) {
     if (!Matches(rule, kind, endpoint)) continue;
     if (arg != nullptr) *arg = rule.arg;

@@ -13,11 +13,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "repl/transport.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 namespace repl {
@@ -84,9 +85,9 @@ class FaultInjector {
             std::uint64_t* arg) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<FaultRule> rules_;
-  FaultStats stats_;
+  mutable Mutex mu_;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 /// Transport decorator applying a FaultInjector's rules. The injector

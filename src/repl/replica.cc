@@ -49,17 +49,19 @@ ReplicaAgent::~ReplicaAgent() { StopBackground(); }
 
 bool ReplicaAgent::Tick() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (clock_->NowMs() < next_due_ms_) return false;
   }
-  SyncNow();
+  // The sync outcome is recorded in last_status_ (and drives backoff);
+  // Tick's contract is only "was a sync attempted".
+  (void)SyncNow();
   return true;
 }
 
 Status ReplicaAgent::SyncNow() {
   const Status st = SyncOnce();
   const std::uint64_t now = clock_->NowMs();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++polls_;
   last_status_ = st;
   if (st.ok()) {
@@ -89,7 +91,7 @@ Status ReplicaAgent::SyncOnce() {
     return Status::Corruption("unexpected version reply: " + line);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     contacted_ = true;
     last_contact_ms_ = clock_->NowMs();
   }
@@ -127,7 +129,7 @@ Status ReplicaAgent::SyncOnce() {
     lag += primary_gen > now_local ? primary_gen - now_local : 0;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     lag_gens_ = lag;
     if (first_error.ok()) {
       contacted_ = true;
@@ -207,7 +209,7 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
                               name);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pulls_;
   }
 
@@ -231,7 +233,7 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
   ISLABEL_RETURN_IF_ERROR(
       catalog_->ReloadFrom(name, final_dir.string(), gen));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++installs_;
   }
 
@@ -268,13 +270,13 @@ void ReplicaAgent::StopBackground() {
 }
 
 bool ReplicaAgent::primary_up() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return contacted_ &&
          clock_->NowMs() - last_contact_ms_ <= options_.primary_timeout_ms;
 }
 
 ReplicaAgent::Stats ReplicaAgent::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats s;
   s.polls = polls_;
   s.pulls = pulls_;
@@ -289,7 +291,7 @@ ReplicaAgent::Stats ReplicaAgent::stats() const {
 }
 
 Status ReplicaAgent::last_status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return last_status_;
 }
 

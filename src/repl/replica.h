@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,8 +39,10 @@
 #include "repl/transport.h"
 #include "server/dispatcher.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/retry.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 namespace repl {
@@ -118,18 +119,19 @@ class ReplicaAgent : public server::ReplicationHooks {
   Transport* transport_;
   Clock* clock_;
   ReplicaOptions options_;
-  Backoff backoff_;
 
-  mutable std::mutex mu_;
-  std::uint64_t next_due_ms_ = 0;      // next scheduled sync
-  bool contacted_ = false;             // ever heard from the primary
-  std::uint64_t last_contact_ms_ = 0;  // meaningless until contacted_
-  std::uint64_t lag_gens_ = 0;
-  Status last_status_;
-  std::uint64_t polls_ = 0;
-  std::uint64_t pulls_ = 0;
-  std::uint64_t installs_ = 0;
-  std::uint64_t failures_ = 0;
+  mutable Mutex mu_;
+  Backoff backoff_ GUARDED_BY(mu_);
+  std::uint64_t next_due_ms_ GUARDED_BY(mu_) = 0;  // next scheduled sync
+  bool contacted_ GUARDED_BY(mu_) = false;  // ever heard from the primary
+  // last_contact_ms_ is meaningless until contacted_.
+  std::uint64_t last_contact_ms_ GUARDED_BY(mu_) = 0;
+  std::uint64_t lag_gens_ GUARDED_BY(mu_) = 0;
+  Status last_status_ GUARDED_BY(mu_);
+  std::uint64_t polls_ GUARDED_BY(mu_) = 0;
+  std::uint64_t pulls_ GUARDED_BY(mu_) = 0;
+  std::uint64_t installs_ GUARDED_BY(mu_) = 0;
+  std::uint64_t failures_ GUARDED_BY(mu_) = 0;
 
   std::atomic<bool> bg_stop_{false};
   std::thread bg_thread_;

@@ -18,6 +18,7 @@ ReplicaSetClient::ReplicaSetClient(Transport* transport, Clock* clock,
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
     };
   }
+  MutexLock lock(&mu_);  // unpublished; lock only for the analysis
   for (const std::string& address : options_.endpoints) {
     Endpoint ep;
     ep.address = address;
@@ -61,7 +62,7 @@ Status ReplicaSetClient::ExchangeOn(std::size_t i, const std::string& line,
 }
 
 Result<std::string> ReplicaSetClient::Query(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (endpoints_.empty()) {
     return Status::InvalidArgument("replica set has no endpoints");
   }
@@ -99,7 +100,7 @@ Result<std::string> ReplicaSetClient::Query(const std::string& line) {
 }
 
 std::size_t ReplicaSetClient::CheckHeartbeats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::size_t healthy = 0;
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     std::string response;
@@ -116,7 +117,7 @@ std::size_t ReplicaSetClient::CheckHeartbeats() {
 
 std::vector<ReplicaSetClient::EndpointStats>
 ReplicaSetClient::endpoint_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<EndpointStats> out;
   out.reserve(endpoints_.size());
   for (const Endpoint& ep : endpoints_) {
@@ -131,7 +132,7 @@ ReplicaSetClient::endpoint_stats() const {
 }
 
 std::uint64_t ReplicaSetClient::failovers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return failovers_;
 }
 

@@ -22,15 +22,16 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "repl/transport.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/retry.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 namespace repl {
@@ -86,19 +87,20 @@ class ReplicaSetClient {
   };
 
   /// One request/response exchange against endpoint `i`, reconnecting
-  /// if needed. Marks health on the way out.
+  /// if needed. Marks health on the way out. Called with mu_ held by
+  /// Query / CheckHeartbeats (they own the whole round).
   Status ExchangeOn(std::size_t i, const std::string& line,
-                    std::string* response);
+                    std::string* response) REQUIRES(mu_);
 
   Transport* transport_;
   Clock* clock_;
   Rng* rng_;
   ReplicaSetOptions options_;
 
-  mutable std::mutex mu_;
-  std::vector<Endpoint> endpoints_;
-  std::size_t cursor_ = 0;
-  std::uint64_t failovers_ = 0;
+  mutable Mutex mu_;
+  std::vector<Endpoint> endpoints_ GUARDED_BY(mu_);
+  std::size_t cursor_ GUARDED_BY(mu_) = 0;
+  std::uint64_t failovers_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace repl

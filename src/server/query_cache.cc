@@ -30,7 +30,7 @@ bool QueryCache::Lookup(VertexId s, VertexId t, Distance* out) {
   const std::uint64_t key = Key(s, t);
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     ++shard.misses;
@@ -57,7 +57,7 @@ void QueryCache::Insert(VertexId s, VertexId t, Distance d,
   if (gen != generation_.load(std::memory_order_acquire)) return;
   const std::uint64_t key = Key(s, t);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->dist = d;
@@ -83,7 +83,7 @@ QueryCacheStats QueryCache::GetStats() const {
   stats.generation = generation_.load(std::memory_order_acquire);
   stats.capacity_entries = capacity_entries_;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.entries += shard.map.size();

@@ -23,11 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "core/distance_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 namespace server {
@@ -91,12 +92,13 @@ class QueryCache : public DistanceCache {
   /// One mutex-striped LRU: list front = most recent; map values point
   /// into the list.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map
+        GUARDED_BY(mu);
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t misses GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   static std::uint64_t Key(VertexId s, VertexId t) {

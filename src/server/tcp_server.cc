@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstring>
 
@@ -31,6 +30,11 @@ void HandleStopSignal(int /*signo*/) {
   if (s != nullptr) s->Stop();
 }
 
+const Clock* DefaultClock() {
+  static SystemClock clock;
+  return &clock;
+}
+
 }  // namespace
 
 /// Per-connection state. The fd, the unparsed input tail and the
@@ -40,27 +44,34 @@ struct TcpServer::Connection {
   int fd = -1;                  // loop-thread private; -1 once closed
   std::string in;               // loop-thread private: bytes before '\n'
   bool epollout_armed = false;  // loop-thread private
-  /// Last time the peer delivered bytes or a response was flushed.
-  /// Loop-thread private (read/written only by the event loop).
-  std::chrono::steady_clock::time_point last_activity;
+  /// Last time the peer delivered bytes or a response was flushed
+  /// (clock_->NowMs()). Loop-thread private (read/written only by the
+  /// event loop).
+  std::uint64_t last_activity_ms = 0;
 
-  std::mutex mu;
-  std::string out;              // response bytes awaiting write
-  std::deque<Request> pending;  // parsed requests awaiting execution
-  bool scheduled = false;       // queued for / held by a worker
-  bool want_close = false;      // close once out drained and !scheduled
+  Mutex mu;
+  std::string out GUARDED_BY(mu);              // response bytes awaiting write
+  std::deque<Request> pending GUARDED_BY(mu);  // parsed, awaiting execution
+  bool scheduled GUARDED_BY(mu) = false;   // queued for / held by a worker
+  bool want_close GUARDED_BY(mu) = false;  // close once drained, !scheduled
   // Selected catalog dataset. Guarded by mu like the rest, but only the
   // (single) worker holding the connection ever reads or writes it.
-  RequestDispatcher::Session session;
+  RequestDispatcher::Session session GUARDED_BY(mu);
 };
 
 TcpServer::TcpServer(ISLabelIndex* index, QueryCache* cache,
                      const TcpServerOptions& options)
-    : index_(index), cache_(cache), options_(options), dispatcher_(index) {}
+    : index_(index),
+      cache_(cache),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : DefaultClock()),
+      dispatcher_(index) {}
 
 TcpServer::TcpServer(Catalog* catalog, const std::string& default_dataset,
                      const TcpServerOptions& options)
-    : options_(options), dispatcher_(catalog, default_dataset) {}
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock : DefaultClock()),
+      dispatcher_(catalog, default_dataset) {}
 
 TcpServer::~TcpServer() {
   Stop();
@@ -169,10 +180,10 @@ void TcpServer::Stop() {
 void TcpServer::Wait() {
   if (loop_thread_.joinable()) loop_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     workers_shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -182,7 +193,7 @@ void TcpServer::Wait() {
 
 void TcpServer::EventLoop() {
   std::array<epoll_event, 64> events;
-  std::chrono::steady_clock::time_point drain_deadline{};
+  std::uint64_t drain_deadline_ms = 0;
   for (;;) {
     int timeout_ms = stopping_ ? 50 : -1;
     if (!stopping_ && options_.idle_timeout_ms > 0) {
@@ -212,7 +223,7 @@ void TcpServer::EventLoop() {
       if (it == conns_.end()) continue;  // already closed this batch
       std::shared_ptr<Connection> conn = it->second;
       if (ev.events & (EPOLLHUP | EPOLLERR)) {
-        std::lock_guard<std::mutex> lock(conn->mu);
+        MutexLock lock(&conn->mu);
         conn->want_close = true;
       }
       if (ev.events & (EPOLLIN | EPOLLRDHUP)) HandleRead(conn);
@@ -222,12 +233,11 @@ void TcpServer::EventLoop() {
     if (!stopping_) SweepIdle();
     if (stop_requested_.load(std::memory_order_acquire) && !stopping_) {
       BeginShutdown();
-      drain_deadline = std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(options_.drain_timeout_ms);
+      drain_deadline_ms = clock_->NowMs() + options_.drain_timeout_ms;
     }
     if (stopping_) {
       if (conns_.empty()) break;
-      if (std::chrono::steady_clock::now() >= drain_deadline) {
+      if (clock_->NowMs() >= drain_deadline_ms) {
         auto snapshot = conns_;  // CloseConn mutates conns_
         for (auto& [fd, conn] : snapshot) CloseConn(conn);
         break;
@@ -246,7 +256,7 @@ void TcpServer::BeginShutdown() {
   auto snapshot = conns_;  // Flush may close and erase
   for (auto& [fd, conn] : snapshot) {
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       conn->want_close = true;
     }
     Flush(conn);
@@ -259,7 +269,7 @@ void TcpServer::HandleWake() {
   }
   std::deque<std::shared_ptr<Connection>> ready;
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
     ready.swap(flush_queue_);
   }
   for (auto& conn : ready) Flush(conn);
@@ -287,7 +297,7 @@ void TcpServer::AcceptAll() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    conn->last_activity = std::chrono::steady_clock::now();
+    conn->last_activity_ms = clock_->NowMs();
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
     ev.data.fd = fd;
@@ -308,11 +318,12 @@ bool TcpServer::ShedForAccept() {
   for (auto& [fd, conn] : conns_) {
     bool idle = false;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       idle = !conn->scheduled && conn->pending.empty() && conn->out.empty();
     }
     if (!idle) continue;
-    if (victim == nullptr || conn->last_activity < victim->last_activity) {
+    if (victim == nullptr ||
+        conn->last_activity_ms < victim->last_activity_ms) {
       victim = conn;
     }
   }
@@ -338,12 +349,11 @@ bool TcpServer::ShedForAccept() {
 
 void TcpServer::SweepIdle() {
   if (options_.idle_timeout_ms == 0 || conns_.empty()) return;
-  const auto now = std::chrono::steady_clock::now();
-  const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  const std::uint64_t now_ms = clock_->NowMs();
   auto snapshot = conns_;  // TimeoutConn may flush-close and erase
   for (auto& [fd, conn] : snapshot) {
-    if (now - conn->last_activity < limit) continue;
-    conn->last_activity = now;  // one timeout per offender
+    if (now_ms - conn->last_activity_ms < options_.idle_timeout_ms) continue;
+    conn->last_activity_ms = now_ms;  // one timeout per offender
     idle_closed_.fetch_add(1, std::memory_order_relaxed);
     TimeoutConn(conn);
   }
@@ -355,7 +365,7 @@ void TcpServer::TimeoutConn(const std::shared_ptr<Connection>& conn) {
   // after any in-flight responses even if a worker holds the connection.
   bool enqueue = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     if (conn->want_close) return;
     Request err;
     err.kind = RequestKind::kInvalid;
@@ -371,10 +381,10 @@ void TcpServer::TimeoutConn(const std::shared_ptr<Connection>& conn) {
   }
   if (enqueue) {
     {
-      std::lock_guard<std::mutex> lock(work_mu_);
+      MutexLock lock(&work_mu_);
       work_queue_.push_back(conn);
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 }
 
@@ -388,7 +398,7 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
       bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                           std::memory_order_relaxed);
       conn->in.append(buf, static_cast<std::size_t>(n));
-      conn->last_activity = std::chrono::steady_clock::now();
+      conn->last_activity_ms = clock_->NowMs();
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -398,7 +408,7 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
   ParseLines(conn);
   if (peer_done) {
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       conn->want_close = true;
     }
     Flush(conn);
@@ -439,7 +449,7 @@ void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
 
   bool enqueue = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     // Nothing after a quit (or a peer close) is answered.
     if (conn->want_close) return;
     for (Request& req : parsed) conn->pending.push_back(std::move(req));
@@ -450,10 +460,10 @@ void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
   }
   if (enqueue) {
     {
-      std::lock_guard<std::mutex> lock(work_mu_);
+      MutexLock lock(&work_mu_);
       work_queue_.push_back(conn);
     }
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
 }
 
@@ -462,7 +472,7 @@ void TcpServer::Flush(const std::shared_ptr<Connection>& conn) {
   bool want_out = false;
   bool can_close = false;
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(&conn->mu);
     while (!conn->out.empty()) {  // edge-triggered: write to EAGAIN
       const ssize_t n =
           ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
@@ -470,7 +480,7 @@ void TcpServer::Flush(const std::shared_ptr<Connection>& conn) {
         bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
                              std::memory_order_relaxed);
         conn->out.erase(0, static_cast<std::size_t>(n));
-        conn->last_activity = std::chrono::steady_clock::now();
+        conn->last_activity_ms = clock_->NowMs();
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -514,10 +524,10 @@ void TcpServer::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Connection> conn;
     {
-      std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock, [this] {
-        return workers_shutdown_ || !work_queue_.empty();
-      });
+      MutexLock lock(&work_mu_);
+      while (!workers_shutdown_ && work_queue_.empty()) {
+        work_cv_.Wait(&work_mu_);
+      }
       if (work_queue_.empty()) return;  // shutdown and drained
       conn = std::move(work_queue_.front());
       work_queue_.pop_front();
@@ -536,7 +546,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
     std::deque<Request> batch;
     RequestDispatcher::Session session;
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       if (conn->pending.empty()) {
         conn->scheduled = false;
         break;
@@ -564,7 +574,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      MutexLock lock(&conn->mu);
       conn->out += responses;
       conn->session = std::move(session);
       if (quit) {
@@ -578,7 +588,7 @@ void TcpServer::ProcessConnection(const std::shared_ptr<Connection>& conn) {
 
 void TcpServer::NotifyFlush(std::shared_ptr<Connection> conn) {
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
     flush_queue_.push_back(std::move(conn));
   }
   const std::uint64_t tick = 1;

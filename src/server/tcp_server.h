@@ -30,11 +30,9 @@
 #define ISLABEL_SERVER_TCP_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,7 +42,10 @@
 #include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
+#include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 namespace server {
@@ -74,6 +75,10 @@ struct TcpServerOptions {
   /// closed — dribbling bytes forever cannot pin memory. 0 disables
   /// (the per-line max_line_bytes still applies).
   std::size_t max_buffered_bytes = 0;
+  /// Time source for idle sweeps and the shutdown drain deadline.
+  /// nullptr = the process-wide SystemClock; tests inject a ManualClock
+  /// to drive timeouts without real sleeps. Must outlive the server.
+  const Clock* clock = nullptr;
 };
 
 struct TcpServerStats {
@@ -161,6 +166,7 @@ class TcpServer {
   ISLabelIndex* index_ = nullptr;  // single-index mode only
   QueryCache* cache_ = nullptr;    // single-index mode only
   TcpServerOptions options_;
+  const Clock* clock_ = nullptr;  // never null after construction
   RequestDispatcher dispatcher_;
 
   int epoll_fd_ = -1;
@@ -184,14 +190,14 @@ class TcpServer {
   std::atomic<bool> stop_requested_{false};
 
   // Worker queue: connections with pending requests.
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Connection>> work_queue_;
-  bool workers_shutdown_ = false;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Connection>> work_queue_ GUARDED_BY(work_mu_);
+  bool workers_shutdown_ GUARDED_BY(work_mu_) = false;
 
   // Flush queue: connections with fresh output, drained by the loop.
-  std::mutex flush_mu_;
-  std::deque<std::shared_ptr<Connection>> flush_queue_;
+  Mutex flush_mu_;
+  std::deque<std::shared_ptr<Connection>> flush_queue_ GUARDED_BY(flush_mu_);
 
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> open_{0};

@@ -107,7 +107,7 @@ Status BlockFile::PWriteFull(std::uint64_t offset, const void* data,
 Status BlockFile::Append(const void* data, std::size_t n,
                          std::uint64_t* offset) {
   if (fd_ < 0) return Status::FailedPrecondition("file not open");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::uint64_t at = file_size_.load(std::memory_order_relaxed);
   ISLABEL_RETURN_IF_ERROR(PWriteFull(at, data, n));
   Account(at, n, /*is_write=*/true);
@@ -129,7 +129,7 @@ Status BlockFile::ReadAt(std::uint64_t offset, void* dst, std::size_t n) {
 Status BlockFile::WriteAt(std::uint64_t offset, const void* data,
                           std::size_t n) {
   if (fd_ < 0) return Status::FailedPrecondition("file not open");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ISLABEL_RETURN_IF_ERROR(PWriteFull(offset, data, n));
   Account(offset, n, /*is_write=*/true);
   std::uint64_t size = file_size_.load(std::memory_order_relaxed);

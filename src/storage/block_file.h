@@ -22,11 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "util/io_stats.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace islabel {
 
@@ -74,7 +75,7 @@ class BlockFile {
   /// quiescent points (after a build phase, between query sweeps); safe to
   /// call any time, but mid-traffic snapshots are a moving target.
   const IoStats& stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_snapshot_.block_reads = block_reads_.load(std::memory_order_relaxed);
     stats_snapshot_.block_writes =
         block_writes_.load(std::memory_order_relaxed);
@@ -99,7 +100,7 @@ class BlockFile {
   std::atomic<std::uint64_t> file_size_{0};
   /// Serializes writers (Append needs a stable end-of-file) and the
   /// stats() snapshot; the read path never takes it.
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<std::uint64_t> next_sequential_read_{UINT64_MAX};
   std::atomic<std::uint64_t> next_sequential_write_{UINT64_MAX};
   std::atomic<std::uint64_t> block_reads_{0};
@@ -107,7 +108,7 @@ class BlockFile {
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<std::uint64_t> seeks_{0};
-  mutable IoStats stats_snapshot_;
+  mutable IoStats stats_snapshot_ GUARDED_BY(mu_);
 };
 
 }  // namespace islabel

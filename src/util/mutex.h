@@ -1,0 +1,97 @@
+// Mutex / MutexLock / CondVar: the project's annotated locking
+// primitives — thin zero-cost wrappers over std::mutex and
+// std::condition_variable that carry the Clang thread-safety
+// capability attributes (util/thread_annotations.h).
+//
+// All first-party code locks through these types; raw std::mutex /
+// std::lock_guard / std::condition_variable outside this header are
+// rejected by tools/lint_invariants.py. The reason is leverage: a
+// GUARDED_BY annotation is only provable when the lock itself is a
+// CAPABILITY type, so funneling every lock through one wrapper makes
+// the whole serving stack's lock discipline machine-checkable at once.
+//
+// Usage:
+//
+//   Mutex mu_;
+//   std::deque<Work> queue_ GUARDED_BY(mu_);
+//   CondVar cv_;
+//
+//   {
+//     MutexLock lock(&mu_);
+//     while (queue_.empty() && !shutdown_) cv_.Wait(&mu_);
+//     ...
+//   }
+//   cv_.NotifyOne();
+//
+// Condition waits are explicit while-loops (not the predicate overload)
+// so the predicate's guarded reads stay inside the analyzed critical
+// section — see DESIGN.md §15.
+
+#ifndef ISLABEL_UTIL_MUTEX_H_
+#define ISLABEL_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace islabel {
+
+/// An exclusive lock. Same cost and semantics as std::mutex; the
+/// CAPABILITY attribute is what lets Clang prove GUARDED_BY contracts.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section (std::lock_guard with annotations). Not
+/// movable: a lock's scope IS its critical section.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to a Mutex at each wait. Wait() atomically
+/// releases and reacquires the mutex (the REQUIRES annotation holds at
+/// entry and exit, which is all callers can observe).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified; may wake spuriously — always wait in a
+  /// `while (pred)` loop.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace islabel
+
+#endif  // ISLABEL_UTIL_MUTEX_H_

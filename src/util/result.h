@@ -14,8 +14,9 @@ namespace islabel {
 
 /// Holds either a T or a non-OK Status. Construction from a T yields an OK
 /// result; construction from a non-OK Status yields an error result.
+/// [[nodiscard]] like Status: dropping one swallows an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Error result. `status` must not be OK.
   Result(Status status) : status_(std::move(status)) {  // NOLINT(implicit)

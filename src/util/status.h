@@ -36,7 +36,10 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A Status is either OK (the common, allocation-free case) or an error with
 /// a code and message. Copyable, movable, cheap when OK.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error; every caller must
+/// check, propagate, or explicitly `(void)` it with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -1,0 +1,115 @@
+// Clang thread-safety annotation macros (the Abseil / RocksDB
+// convention). Annotating which mutex guards which member turns the
+// lock-discipline arguments of DESIGN.md §12.4 and §14.3 into
+// compile-time proofs: a Clang build with -Wthread-safety
+// -Wthread-safety-beta -Werror (the `tidy` CMake preset) rejects any
+// access to a GUARDED_BY member outside its mutex, any REQUIRES
+// function called without the lock, and any unbalanced acquire/release.
+//
+// On non-Clang compilers every macro expands to nothing, so the
+// annotated tree builds identically under GCC/MSVC — the annotations
+// are machine-checked documentation, never behavior.
+//
+// Conventions (see DESIGN.md §15):
+//   * every mutex-protected member carries GUARDED_BY(mu);
+//   * a private helper that expects the caller to hold the lock is
+//     annotated REQUIRES(mu) instead of re-locking;
+//   * condition waits are written as explicit `while (pred) cv.Wait(&mu)`
+//     loops inside a MutexLock scope so the predicate's guarded reads
+//     stay inside the analyzed critical section;
+//   * NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//     justification comment.
+
+#ifndef ISLABEL_UTIL_THREAD_ANNOTATIONS_H_
+#define ISLABEL_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ISLABEL_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ISLABEL_TS_ATTRIBUTE__(x)  // no-op: only Clang proves, everyone parses
+#endif
+
+// A class that is a lockable capability (islabel::Mutex).
+#ifndef CAPABILITY
+#define CAPABILITY(x) ISLABEL_TS_ATTRIBUTE__(capability(x))
+#endif
+
+// An RAII class whose lifetime is a critical section (islabel::MutexLock).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY ISLABEL_TS_ATTRIBUTE__(scoped_lockable)
+#endif
+
+// Data member readable/writable only with the given mutex held.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) ISLABEL_TS_ATTRIBUTE__(guarded_by(x))
+#endif
+
+// Pointer member whose *pointee* is guarded by the given mutex.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) ISLABEL_TS_ATTRIBUTE__(pt_guarded_by(x))
+#endif
+
+// Lock-ordering declarations (the §15 hierarchy, checked under
+// -Wthread-safety-beta).
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) ISLABEL_TS_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) ISLABEL_TS_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+#endif
+
+// The function must be called with the given mutex(es) held.
+#ifndef REQUIRES
+#define REQUIRES(...) ISLABEL_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  ISLABEL_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+// The function acquires / releases the given mutex(es).
+#ifndef ACQUIRE
+#define ACQUIRE(...) ISLABEL_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  ISLABEL_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) ISLABEL_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  ISLABEL_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#endif
+
+// The function acquires the mutex iff it returns the given value.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  ISLABEL_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+// The function must NOT be called with the given mutex held (it locks
+// it itself; re-entry would deadlock).
+#ifndef EXCLUDES
+#define EXCLUDES(...) ISLABEL_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#endif
+
+// Runtime assertion that the capability is held (for code the analysis
+// cannot follow, e.g. a lock taken by a caller across a type boundary).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) ISLABEL_TS_ATTRIBUTE__(assert_capability(x))
+#endif
+
+// The function returns a reference to the given capability.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) ISLABEL_TS_ATTRIBUTE__(lock_returned(x))
+#endif
+
+// Opts a function out of analysis entirely. Last resort; justify inline.
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  ISLABEL_TS_ATTRIBUTE__(no_thread_safety_analysis)
+#endif
+
+#endif  // ISLABEL_UTIL_THREAD_ANNOTATIONS_H_

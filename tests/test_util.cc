@@ -449,7 +449,7 @@ TEST(Timer, ScopedTimerAccumulates) {
   double acc = 0.0;
   {
     ScopedTimer st(&acc);
-    volatile int sink = 0;
+    volatile std::uint64_t sink = 0;
     for (int i = 0; i < 100000; ++i) sink = sink + i;
   }
   EXPECT_GT(acc, 0.0);

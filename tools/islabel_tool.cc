@@ -642,8 +642,13 @@ int ServeCatalog(const Args& args,
     for (const std::string& name : names) {
       server::QueryCacheOptions copts;
       copts.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
-      catalog.SetDistanceCache(name,
-                               std::make_shared<server::QueryCache>(copts));
+      const Status cache_st = catalog.SetDistanceCache(
+          name, std::make_shared<server::QueryCache>(copts));
+      if (!cache_st.ok()) {
+        std::fprintf(stderr, "cannot install cache for %s: %s\n",
+                     name.c_str(), cache_st.ToString().c_str());
+        return 1;
+      }
     }
   }
   for (const islabel::DatasetInfo& info : catalog.List()) {

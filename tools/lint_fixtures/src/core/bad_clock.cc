@@ -1,0 +1,11 @@
+// Seeded violation: reading time off the injectable clock seam (1 line).
+#include <chrono>
+
+namespace fixture {
+
+long NowMs() {
+  // violation: clock-seam — protocol code must use util/clock.h
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

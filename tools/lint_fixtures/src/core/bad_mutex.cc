@@ -1,0 +1,14 @@
+// Seeded violation: raw std::mutex outside util/mutex.h (2 lines).
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;  // violation: raw-mutex
+
+void Touch() {
+  std::lock_guard<std::mutex> lock(g_mu);  // violation: raw-mutex
+  // A commented std::unique_lock must NOT fire: the linter strips
+  // comments before matching.
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Seeded violation: ad-hoc randomness outside util/random.h (2 lines).
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Roll() {
+  std::mt19937 gen(42);       // violation: rng-seam
+  return rand() % 6 + (int)gen();  // violation: rng-seam (rand)
+}
+
+}  // namespace fixture

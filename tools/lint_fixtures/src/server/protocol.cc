@@ -1,0 +1,13 @@
+// Seeded violation: parser/documentation verb drift (2 findings).
+// Parses {quit, ping}; the fixture DESIGN.md documents {quit, stats}:
+// 'ping' is parsed-but-undocumented, 'stats' documented-but-unparsed.
+
+namespace fixture {
+
+int Parse(const std::string& head) {
+  if (head == "quit") return 0;
+  if (head == "ping") return 1;
+  return -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation: blocking calls inside the event-loop section
+// (2 lines). The markers mirror the real tcp_server.cc delimiters.
+
+namespace fixture {
+
+// ---- Event loop (all fd operations happen on this thread) ----
+
+void EventLoop() {
+  std::this_thread::sleep_for(kPause);  // violation: event-loop-block
+  std::printf("tick\n");                // violation: event-loop-block
+}
+
+// ---- Workers ----
+
+void WorkerLoop() {
+  // Blocking is fine here: workers may block without stalling the loop.
+  std::this_thread::yield();
+}
+
+}  // namespace fixture

@@ -1,0 +1,3 @@
+// Seeded violation: a test file absent from tests/CMakeLists.txt —
+// it would compile nowhere and never run.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Registered in the fixture CMakeLists.txt; must NOT fire.
+int main() { return 0; }

@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""Project invariant linter: concurrency and layering rules the compiler
+cannot see.
+
+The Clang thread-safety pass (the `tidy` preset) proves lock discipline;
+this linter proves the conventions that make that proof meaningful:
+
+  raw-mutex        All locking goes through util/mutex.h (Mutex /
+                   MutexLock / CondVar). A raw std::mutex has no
+                   CAPABILITY attribute, so anything it guards is
+                   invisible to the analysis.
+  event-loop-block The epoll event loop in server/tcp_server.cc (the
+                   section between its "Event loop" and "Workers"
+                   markers) never blocks: no sleeps, no connect(), no
+                   file I/O, no stdio. One blocked loop thread stalls
+                   every connection.
+  clock-seam       "now" comes only from util/clock.h (injectable;
+                   tests drive a ManualClock). util/timer.h is the one
+                   sanctioned exception: wall-clock *measurement* for
+                   benchmarks, never protocol decisions.
+  rng-seam         Randomness comes only from util/random.h (seedable
+                   Rng; deterministic tests). No rand(), no ad-hoc
+                   std::mt19937, no std::random_device.
+  protocol-verbs   The verb set parsed by server/protocol.cc equals the
+                   set pinned in DESIGN.md's `<!-- protocol-verbs: -->`
+                   marker, so the wire grammar documentation cannot
+                   drift from the parser.
+  test-registered  Every tests/test_*.cc is registered in
+                   tests/CMakeLists.txt — an unregistered test compiles
+                   nowhere and silently stops running.
+
+Usage:
+  tools/lint_invariants.py [--root REPO]   lint the repository
+  tools/lint_invariants.py --self-test     run against the seeded
+                                           violation fixtures in
+                                           tools/lint_fixtures/
+
+Exits non-zero on any violation (or any self-test mismatch). Stdlib
+only; diagnostics are `path:line: [rule] message`, one per line.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- Source walking -------------------------------------------------------
+
+SOURCE_EXTS = (".h", ".cc")
+
+
+def walk_sources(root, subdir):
+    """Yields repo-relative paths of C++ sources under `subdir`, sorted."""
+    base = os.path.join(root, subdir)
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(base):
+        for name in filenames:
+            if name.endswith(SOURCE_EXTS):
+                full = os.path.join(dirpath, name)
+                out.append(os.path.relpath(full, root))
+    return sorted(out)
+
+
+def read_lines(root, relpath):
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def code_lines(lines):
+    """Yields (lineno, text) with // and /* */ comment text blanked out.
+
+    Line numbers are 1-based. String literals are NOT stripped — the
+    forbidden patterns below do not plausibly appear inside project
+    string literals, and keeping strings lets the verb rule reuse this.
+    """
+    in_block = False
+    for i, line in enumerate(lines, start=1):
+        out = []
+        j = 0
+        while j < len(line):
+            if in_block:
+                end = line.find("*/", j)
+                if end < 0:
+                    j = len(line)
+                else:
+                    in_block = False
+                    j = end + 2
+                continue
+            if line.startswith("//", j):
+                break
+            if line.startswith("/*", j):
+                in_block = True
+                j += 2
+                continue
+            out.append(line[j])
+            j += 1
+        yield i, "".join(out)
+
+
+def scan_forbidden(root, files, patterns, rule, why):
+    """One violation per line matching any of `patterns`."""
+    violations = []
+    compiled = [(re.compile(p), p) for p in patterns]
+    for rel in files:
+        for lineno, text in code_lines(read_lines(root, rel)):
+            for rx, pat in compiled:
+                if rx.search(text):
+                    violations.append(
+                        (rel, lineno, rule, f"'{pat}' forbidden: {why}"))
+                    break
+    return violations
+
+
+# --- Rules ----------------------------------------------------------------
+
+RAW_MUTEX_PATTERNS = [
+    r"std::(recursive_|timed_|shared_)?mutex\b",
+    r"std::lock_guard\b",
+    r"std::unique_lock\b",
+    r"std::scoped_lock\b",
+    r"std::condition_variable\b",
+    r"pthread_mutex",
+]
+RAW_MUTEX_ALLOWED = {os.path.join("src", "util", "mutex.h")}
+
+
+def rule_raw_mutex(root):
+    files = [f for f in walk_sources(root, "src")
+             if f not in RAW_MUTEX_ALLOWED]
+    return scan_forbidden(
+        root, files, RAW_MUTEX_PATTERNS, "raw-mutex",
+        "lock through util/mutex.h so Clang can prove GUARDED_BY")
+
+
+CLOCK_PATTERNS = [
+    r"std::chrono::(steady|system|high_resolution)_clock",
+    r"\b(steady|system|high_resolution)_clock::now\b",
+]
+CLOCK_ALLOWED = {
+    os.path.join("src", "util", "clock.h"),
+    # Wall-clock measurement for benchmarks/build timing only; protocol
+    # decisions must use the injectable util/clock.h seam.
+    os.path.join("src", "util", "timer.h"),
+}
+
+
+def rule_clock_seam(root):
+    files = [f for f in walk_sources(root, "src") if f not in CLOCK_ALLOWED]
+    return scan_forbidden(
+        root, files, CLOCK_PATTERNS, "clock-seam",
+        "read time through util/clock.h (ManualClock-testable)")
+
+
+RNG_PATTERNS = [
+    r"std::random_device\b",
+    r"std::mt19937",
+    r"\bs?rand\s*\(",
+]
+RNG_ALLOWED = {
+    os.path.join("src", "util", "random.h"),
+    os.path.join("src", "util", "random.cc"),
+}
+
+
+def rule_rng_seam(root):
+    files = [f for f in walk_sources(root, "src") if f not in RNG_ALLOWED]
+    return scan_forbidden(
+        root, files, RNG_PATTERNS, "rng-seam",
+        "draw randomness through util/random.h (seedable, deterministic)")
+
+
+EVENT_LOOP_FILE = os.path.join("src", "server", "tcp_server.cc")
+EVENT_LOOP_BEGIN = "---- Event loop"
+EVENT_LOOP_END = "---- Workers"
+BLOCKING_PATTERNS = [
+    r"\bsleep\w*\s*\(",          # sleep / usleep / nanosleep / sleep_for
+    r"std::this_thread",
+    r"::connect\s*\(",
+    r"\bfopen\s*\(",
+    r"\b[io]?fstream\b",
+    r"\bsystem\s*\(",
+    r"\bgetline\s*\(",
+    r"\bf?printf\s*\(",
+    r"std::c(out|err)\b",
+]
+
+
+def rule_event_loop(root):
+    path = os.path.join(root, EVENT_LOOP_FILE)
+    if not os.path.exists(path):
+        return [(EVENT_LOOP_FILE, 1, "event-loop-block", "file not found")]
+    lines = read_lines(root, EVENT_LOOP_FILE)
+    begin = end = None
+    for i, line in enumerate(lines, start=1):
+        if EVENT_LOOP_BEGIN in line and begin is None:
+            begin = i
+        elif EVENT_LOOP_END in line and begin is not None:
+            end = i
+            break
+    if begin is None or end is None:
+        # The markers delimit the audited region; losing them silently
+        # disables the rule, so their absence IS the violation.
+        return [(EVENT_LOOP_FILE, 1, "event-loop-block",
+                 f"section markers '{EVENT_LOOP_BEGIN}' / "
+                 f"'{EVENT_LOOP_END}' not found")]
+    violations = []
+    compiled = [(re.compile(p), p) for p in BLOCKING_PATTERNS]
+    section = dict(code_lines(lines))
+    for lineno in range(begin, end):
+        text = section.get(lineno, "")
+        for rx, pat in compiled:
+            if rx.search(text):
+                violations.append(
+                    (EVENT_LOOP_FILE, lineno, "event-loop-block",
+                     f"'{pat}' blocks the event loop "
+                     "(every connection stalls behind it)"))
+                break
+    return violations
+
+
+PROTOCOL_FILE = os.path.join("src", "server", "protocol.cc")
+DESIGN_FILE = "DESIGN.md"
+VERB_MARKER_RE = re.compile(r"<!--\s*protocol-verbs:\s*([^>]*?)\s*-->")
+VERB_PARSE_RE = re.compile(r'head\s*==\s*"([a-z]+)"')
+
+
+def rule_protocol_verbs(root):
+    for rel in (PROTOCOL_FILE, DESIGN_FILE):
+        if not os.path.exists(os.path.join(root, rel)):
+            return [(rel, 1, "protocol-verbs", "file not found")]
+    parsed = set()
+    for _lineno, text in code_lines(read_lines(root, PROTOCOL_FILE)):
+        parsed.update(VERB_PARSE_RE.findall(text))
+    design_text = "\n".join(read_lines(root, DESIGN_FILE))
+    marker = VERB_MARKER_RE.search(design_text)
+    if marker is None:
+        return [(DESIGN_FILE, 1, "protocol-verbs",
+                 "missing '<!-- protocol-verbs: ... -->' marker")]
+    documented = set(marker.group(1).split())
+    marker_line = design_text[:marker.start()].count("\n") + 1
+    violations = []
+    for verb in sorted(parsed - documented):
+        violations.append(
+            (PROTOCOL_FILE, 1, "protocol-verbs",
+             f"verb '{verb}' parsed but absent from the DESIGN.md marker"))
+    for verb in sorted(documented - parsed):
+        violations.append(
+            (DESIGN_FILE, marker_line, "protocol-verbs",
+             f"verb '{verb}' documented but not parsed by protocol.cc"))
+    return violations
+
+
+TESTS_CMAKE = os.path.join("tests", "CMakeLists.txt")
+
+
+def rule_tests_registered(root):
+    if not os.path.exists(os.path.join(root, TESTS_CMAKE)):
+        return [(TESTS_CMAKE, 1, "test-registered", "file not found")]
+    cmake_text = "\n".join(read_lines(root, TESTS_CMAKE))
+    violations = []
+    tests_dir = os.path.join(root, "tests")
+    for name in sorted(os.listdir(tests_dir)):
+        if not (name.startswith("test_") and name.endswith(".cc")):
+            continue
+        stem = name[:-len(".cc")]
+        if not re.search(r"\b" + re.escape(stem) + r"\b", cmake_text):
+            violations.append(
+                (os.path.join("tests", name), 1, "test-registered",
+                 f"not registered in {TESTS_CMAKE} — it never runs"))
+    return violations
+
+
+RULES = [
+    rule_raw_mutex,
+    rule_event_loop,
+    rule_clock_seam,
+    rule_rng_seam,
+    rule_protocol_verbs,
+    rule_tests_registered,
+]
+
+
+def run_rules(root):
+    violations = []
+    for rule in RULES:
+        violations.extend(rule(root))
+    return violations
+
+
+# --- Self-test ------------------------------------------------------------
+
+# rule -> number of violations the seeded fixture tree must produce.
+SELF_TEST_EXPECTED = {
+    "raw-mutex": 2,
+    "event-loop-block": 2,
+    "clock-seam": 1,
+    "rng-seam": 2,
+    "protocol-verbs": 2,   # one undocumented verb + one unparsed verb
+    "test-registered": 1,
+}
+
+
+def self_test(script_dir):
+    fixtures = os.path.join(script_dir, "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"self-test: fixture tree {fixtures} missing", file=sys.stderr)
+        return 1
+    got = {}
+    for rel, lineno, rule, msg in run_rules(fixtures):
+        got[rule] = got.get(rule, 0) + 1
+        print(f"  (expected) {rel}:{lineno}: [{rule}] {msg}")
+    failed = False
+    for rule, want in sorted(SELF_TEST_EXPECTED.items()):
+        have = got.pop(rule, 0)
+        if have != want:
+            print(f"self-test: rule '{rule}' fired {have}x, expected "
+                  f"{want}x — the rule has gone blind or trigger-happy",
+                  file=sys.stderr)
+            failed = True
+    for rule, have in sorted(got.items()):
+        print(f"self-test: unexpected rule '{rule}' fired {have}x",
+              file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print("self-test: all rules fire on their seeded violations")
+    return 0
+
+
+# --- Entry point ----------------------------------------------------------
+
+def main():
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    parser = argparse.ArgumentParser(
+        description="Lint project concurrency/layering invariants.")
+    parser.add_argument(
+        "--root", default=os.path.dirname(script_dir),
+        help="repository root (default: parent of this script)")
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the rules against the seeded fixtures and verify "
+             "every rule fires")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(script_dir)
+
+    violations = run_rules(args.root)
+    for rel, lineno, rule, msg in violations:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    if violations:
+        print(f"{len(violations)} invariant violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
