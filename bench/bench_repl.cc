@@ -18,6 +18,9 @@
 // mismatch fails the bench with exit code 2 (same contract as
 // bench_server). Results go to BENCH_repl.json (override:
 // ISLABEL_BENCH_JSON). ISLABEL_SCALE / ISLABEL_QUERIES as usual.
+// After the legs, replica 0's Prometheus exposition is written to
+// METRICS_repl.prom (override: ISLABEL_BENCH_METRICS) so the run
+// leaves a real scrape of the replication metric families behind.
 
 #include <unistd.h>
 
@@ -34,6 +37,7 @@
 #include "bench/bench_common.h"
 #include "catalog/catalog.h"
 #include "catalog/partitioned_index.h"
+#include "obs/metrics.h"
 #include "repl/primary.h"
 #include "repl/replica.h"
 #include "repl/replica_set_client.h"
@@ -328,6 +332,23 @@ int main() {
   if (failover_mismatches != 0) {
     std::printf("  !! %llu failover-leg answers mismatch the fresh engines\n",
                 static_cast<unsigned long long>(failover_mismatches));
+  }
+
+  // Snapshot replica 0's Prometheus exposition (its catalog owns the
+  // registry the server, pool, and replication gauges feed) so CI
+  // archives a real scrape of the replication families next to the JSON.
+  {
+    const char* metrics_env = std::getenv("ISLABEL_BENCH_METRICS");
+    const std::string metrics_path =
+        metrics_env != nullptr ? metrics_env : "METRICS_repl.prom";
+    const std::string prom =
+        replicas[0]->catalog.metrics()->RenderPrometheus();
+    std::FILE* pf = std::fopen(metrics_path.c_str(), "w");
+    if (pf != nullptr) {
+      std::fwrite(prom.data(), 1, prom.size(), pf);
+      std::fclose(pf);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
   }
 
   for (auto& node : replicas) {

@@ -4,9 +4,15 @@
 // TCP server on an ephemeral loopback port, and drives it with four
 // concurrent client connections sending a Zipf-skewed repeated-pair
 // workload (the scale-free query skew that makes a result cache pay),
-// pipelined in chunks. Three legs per dataset:
+// pipelined in chunks. Four legs per dataset:
 //   * no cache        — baseline server QPS,
 //   * sharded cache   — same workload, cache hit-rate recorded,
+//   * telemetry A/B   — same cached workload against a fully
+//     instrumented server (registry + pool + cache + per-stage traces),
+//     once recording and once with the registry flipped to no-op; the
+//     QPS delta is the instrumentation overhead (DESIGN.md §16 budgets
+//     <2%). A Prometheus snapshot of the instrumented run goes to
+//     METRICS_server.prom (override: ISLABEL_BENCH_METRICS).
 //   * after an update — InsertVertex bumps the cache generation; served
 //     answers are re-verified against a fresh engine, proving invalidated
 //     entries are recomputed, not served stale.
@@ -42,6 +48,7 @@
 #include "catalog/catalog.h"
 #include "catalog/partitioned_index.h"
 #include "core/index.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
 #include "server/tcp_server.h"
@@ -431,6 +438,10 @@ int main() {
   const char* json_env = std::getenv("ISLABEL_BENCH_JSON");
   const std::string json_path =
       json_env != nullptr ? json_env : "BENCH_server.json";
+  const char* metrics_env = std::getenv("ISLABEL_BENCH_METRICS");
+  const std::string metrics_path =
+      metrics_env != nullptr ? metrics_env : "METRICS_server.prom";
+  bool wrote_metrics_snapshot = false;
   std::uint64_t total_mismatches = 0;
 
   PrintHeader("TCP serving (epoll server, 4 loopback clients)",
@@ -458,6 +469,9 @@ int main() {
                   built.status().ToString().c_str());
       continue;
     }
+    // Declared before the index so the instruments the pool bridge
+    // hands out stay valid for the index's whole lifetime.
+    obs::MetricRegistry registry;
     ISLabelIndex index = std::move(built).value();
 
     // Distinct pairs + single-threaded ground truth.
@@ -530,7 +544,59 @@ int main() {
                   static_cast<double>(cache_stats.hits + cache_stats.misses)
             : 0.0;
 
-    // Leg 3: update invalidation. InsertVertex bumps the cache
+    // Leg 3: telemetry A/B. The same cached workload against a server
+    // wired with the full metrics stack (pool bridge, metric-backed
+    // cache, per-verb/per-stage histograms), run twice: once recording,
+    // once with the registry flipped to no-op. Each run gets a fresh
+    // cache so the comparison is symmetric (both start cold). The QPS
+    // delta is the cost of instrumentation — DESIGN.md §16 budgets <2%.
+    LegResult metrics_on;
+    LegResult metrics_off;
+    index.InstallMetrics(&registry);
+    {
+      server::TcpServerOptions mopts = sopts;
+      mopts.metrics = &registry;
+      const auto run_ab = [&](bool enabled, LegResult* out) {
+        server::QueryCacheOptions copts;
+        copts.metrics = &registry;
+        auto mcache = std::make_shared<server::QueryCache>(copts);
+        index.set_distance_cache(mcache);
+        registry.set_enabled(enabled);
+        server::TcpServer srv(&index, mcache.get(), mopts);
+        if (!srv.Start().ok()) {
+          std::fprintf(stderr, "!! telemetry %s leg failed to start (%s)\n",
+                       enabled ? "on" : "off", d.name.c_str());
+          ++infra_failures;
+          return;
+        }
+        *out = RunWorkload(srv.port(), workload);
+        srv.Stop();
+        srv.Wait();
+      };
+      run_ab(true, &metrics_on);
+      if (!wrote_metrics_snapshot && metrics_on.requests > 0) {
+        // Snapshot the instrumented run's exposition so CI archives a
+        // real scrape next to the JSON numbers.
+        const std::string prom = registry.RenderPrometheus();
+        std::FILE* pf = std::fopen(metrics_path.c_str(), "w");
+        if (pf != nullptr) {
+          std::fwrite(prom.data(), 1, prom.size(), pf);
+          std::fclose(pf);
+          wrote_metrics_snapshot = true;
+        }
+      }
+      run_ab(false, &metrics_off);
+      registry.set_enabled(true);
+      // Leg 4 reuses the leg-2 cache (its generation-bump semantics are
+      // what the leg verifies), so point the index back at it.
+      index.set_distance_cache(cache);
+    }
+    const double overhead_pct =
+        metrics_off.qps > 0.0
+            ? (metrics_off.qps - metrics_on.qps) / metrics_off.qps * 100.0
+            : 0.0;
+
+    // Leg 4: update invalidation. InsertVertex bumps the cache
     // generation; the served answers must match a FRESH engine on the
     // updated index — bit-identical cached vs uncached across the update.
     LegResult post_update;
@@ -573,21 +639,25 @@ int main() {
       }
     }
 
-    const std::uint64_t mismatches = uncached.mismatches + cached.mismatches +
-                                     post_update.mismatches + infra_failures;
+    const std::uint64_t mismatches =
+        uncached.mismatches + cached.mismatches + metrics_on.mismatches +
+        metrics_off.mismatches + post_update.mismatches + infra_failures;
     total_mismatches += mismatches;
     std::printf("%-14s %10.0f %10.0f %7.1f%% %9.0f %10llu\n", d.name.c_str(),
                 uncached.qps, cached.qps, hit_rate * 100, post_update.qps,
-                static_cast<unsigned long long>(uncached.requests +
-                                                cached.requests +
-                                                post_update.requests));
+                static_cast<unsigned long long>(
+                    uncached.requests + cached.requests + metrics_on.requests +
+                    metrics_off.requests + post_update.requests));
+    std::printf("  telemetry A/B: on %.0f QPS, off %.0f QPS, overhead "
+                "%+.2f%%\n",
+                metrics_on.qps, metrics_off.qps, overhead_pct);
     if (mismatches != 0) {
       std::printf("  !! %llu served answers mismatch the single-threaded "
                   "engine\n",
                   static_cast<unsigned long long>(mismatches));
     }
 
-    char buf[512];
+    char buf[768];
     if (!first_dataset) json += ",\n";
     first_dataset = false;
     std::snprintf(
@@ -597,15 +667,19 @@ int main() {
         "\"qps_post_update\": %.1f,\n"
         "     \"cache_hits\": %llu, \"cache_misses\": %llu, "
         "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu,\n"
+        "     \"qps_metrics_on\": %.1f, \"qps_metrics_off\": %.1f, "
+        "\"metrics_overhead_pct\": %.2f,\n"
         "     \"requests\": %llu, \"mismatches\": %llu}",
         d.name.c_str(), d.graph.NumVertices(),
         static_cast<unsigned long long>(d.graph.NumEdges()), uncached.qps,
         cached.qps, post_update.qps,
         static_cast<unsigned long long>(cache_stats.hits),
         static_cast<unsigned long long>(cache_stats.misses), hit_rate,
-        static_cast<unsigned long long>(cache_stats.entries),
+        static_cast<unsigned long long>(cache_stats.entries), metrics_on.qps,
+        metrics_off.qps, overhead_pct,
         static_cast<unsigned long long>(
-            uncached.requests + cached.requests + post_update.requests),
+            uncached.requests + cached.requests + metrics_on.requests +
+            metrics_off.requests + post_update.requests),
         static_cast<unsigned long long>(mismatches));
     json += buf;
   }
@@ -619,6 +693,9 @@ int main() {
   } else {
     std::printf("\ncould not write %s\n", json_path.c_str());
     return 1;
+  }
+  if (wrote_metrics_snapshot) {
+    std::printf("wrote %s\n", metrics_path.c_str());
   }
 
   // ---- Catalog leg: multi-dataset + reload under load ----

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
 namespace islabel {
 
 const char* DatasetStateName(DatasetState state) {
@@ -32,12 +36,22 @@ struct Catalog::Dataset {
 
   std::shared_ptr<DistanceCache> cache;  // set before serving starts
 
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> errors{0};
-  std::atomic<std::uint64_t> reloads{0};
+  /// Registry-backed counters (labeled {dataset=name}); set once in
+  /// Catalog::NewDataset, never null afterwards.
+  obs::Counter* requests = nullptr;
+  obs::Counter* errors = nullptr;
+  obs::Counter* reloads = nullptr;
+  obs::Gauge* generation_gauge = nullptr;
   /// Data version (see DatasetInfo::generation). Written under `mu`
-  /// together with the index swap; atomic so stats reads stay lock-free.
+  /// together with the index swap; atomic so protocol reads stay
+  /// lock-free (the gauge mirrors it for scrapes and may lag a write by
+  /// one instruction — never the other way for protocol decisions).
   std::atomic<std::uint64_t> generation{0};
+
+  void SetGeneration(std::uint64_t gen) {
+    generation.store(gen, std::memory_order_release);
+    generation_gauge->Set(static_cast<std::int64_t>(gen));
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -95,7 +109,7 @@ Status Catalog::Handle::CheckQueryable(VertexId, VertexId) const {
 
 Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
                                       QueryStats* stats) {
-  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  dataset_->requests->Inc();
   // Generation FIRST, index snapshot second: if a reload lands between
   // the two, this query runs on the NEW index and its insert (under the
   // pre-bump generation) is dropped — conservative but never stale. An
@@ -107,6 +121,7 @@ Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
   const bool use_cache = cache != nullptr && stats == nullptr;
   std::uint64_t cache_gen = 0;
   if (use_cache) {
+    obs::StageTimer span(obs::Stage::kCacheLookup);
     cache_gen = cache->generation();
     if (cache->Lookup(s, t, out)) return Status::OK();
   }
@@ -114,7 +129,7 @@ Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
   Status st = Ready(&index);
   if (st.ok()) st = index->Query(s, t, out, stats);
   if (!st.ok()) {
-    dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+    dataset_->errors->Inc();
     return st;
   }
   if (use_cache) cache->Insert(s, t, *out, cache_gen);
@@ -124,11 +139,11 @@ Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
 Status Catalog::Handle::ShortestPath(VertexId s, VertexId t,
                                      std::vector<VertexId>* path,
                                      Distance* dist) {
-  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  dataset_->requests->Inc();
   std::shared_ptr<PartitionedIndex> index;
   Status st = Ready(&index);
   if (st.ok()) st = index->ShortestPath(s, t, path, dist);
-  if (!st.ok()) dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) dataset_->errors->Inc();
   return st;
 }
 
@@ -136,11 +151,11 @@ Status Catalog::Handle::QueryOneToMany(VertexId s,
                                        const std::vector<VertexId>& targets,
                                        std::vector<Distance>* out,
                                        QueryStats* stats) {
-  dataset_->requests.fetch_add(1, std::memory_order_relaxed);
+  dataset_->requests->Inc();
   std::shared_ptr<PartitionedIndex> index;
   Status st = Ready(&index);
   if (st.ok()) st = index->QueryOneToMany(s, targets, out, stats);
-  if (!st.ok()) dataset_->errors.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) dataset_->errors->Inc();
   return st;
 }
 
@@ -166,6 +181,14 @@ DistanceIndexInfo Catalog::Handle::Info() const {
 // Catalog
 // ---------------------------------------------------------------------------
 
+Catalog::Catalog(obs::MetricRegistry* metrics) {
+  if (metrics == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricRegistry>();
+    metrics = own_metrics_.get();
+  }
+  metrics_ = metrics;
+}
+
 Catalog::~Catalog() {
   std::vector<std::thread> loaders;
   {
@@ -175,6 +198,23 @@ Catalog::~Catalog() {
   for (std::thread& t : loaders) {
     if (t.joinable()) t.join();
   }
+}
+
+std::shared_ptr<Catalog::Dataset> Catalog::NewDataset(
+    const std::string& name) {
+  auto ds = std::make_shared<Dataset>();
+  ds->name = name;
+  const obs::Labels labels{{"dataset", name}};
+  ds->requests = metrics_->GetCounter("islabel_dataset_requests_total",
+                                      "Queries routed to the dataset",
+                                      labels);
+  ds->errors = metrics_->GetCounter("islabel_dataset_errors_total",
+                                    "Queries that failed", labels);
+  ds->reloads = metrics_->GetCounter("islabel_dataset_reloads_total",
+                                     "Successful reloads/installs", labels);
+  ds->generation_gauge = metrics_->GetGauge(
+      "islabel_dataset_generation", "Current data generation", labels);
+  return ds;
 }
 
 std::shared_ptr<Catalog::Dataset> Catalog::Find(
@@ -189,8 +229,7 @@ std::shared_ptr<Catalog::Dataset> Catalog::Find(
 Status Catalog::Add(const std::string& name, const std::string& dir,
                     bool labels_in_memory) {
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
-  auto ds = std::make_shared<Dataset>();
-  ds->name = name;
+  auto ds = NewDataset(name);
   ds->labels_in_memory = labels_in_memory;
   {
     // Uncontended: the dataset is not yet published, but the analysis
@@ -207,7 +246,8 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
       }
     }
     datasets_.push_back(ds);
-    loaders_.emplace_back([ds, dir] {
+    obs::MetricRegistry* metrics = metrics_;
+    loaders_.emplace_back([ds, dir, metrics] {
       auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
       MutexLock dlock(&ds->mu);
       // A ReloadFrom that raced the initial load and won owns the state
@@ -216,8 +256,9 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
         if (loaded.ok()) {
           ds->index = std::make_shared<PartitionedIndex>(
               std::move(loaded).value());
+          ds->index->InstallMetrics(metrics);
           ds->state = DatasetState::kReady;
-          ds->generation.store(1, std::memory_order_release);
+          ds->SetGeneration(1);
         } else {
           ds->load_status = loaded.status();
           ds->state = DatasetState::kFailed;
@@ -232,15 +273,15 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
 Status Catalog::AddIndex(const std::string& name, PartitionedIndex index,
                          std::string dir) {
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
-  auto ds = std::make_shared<Dataset>();
-  ds->name = name;
+  auto ds = NewDataset(name);
   {
     MutexLock dlock(&ds->mu);  // unpublished; lock only for the analysis
     ds->dir = std::move(dir);
     ds->index = std::make_shared<PartitionedIndex>(std::move(index));
+    ds->index->InstallMetrics(metrics_);
     ds->state = DatasetState::kReady;
   }
-  ds->generation.store(1, std::memory_order_release);
+  ds->SetGeneration(1);
   MutexLock lock(&mu_);
   for (const auto& existing : datasets_) {
     if (existing->name == name) {
@@ -254,8 +295,7 @@ Status Catalog::AddIndex(const std::string& name, PartitionedIndex index,
 
 Status Catalog::AddEmpty(const std::string& name) {
   if (name.empty()) return Status::InvalidArgument("dataset name is empty");
-  auto ds = std::make_shared<Dataset>();
-  ds->name = name;
+  auto ds = NewDataset(name);
   {
     MutexLock dlock(&ds->mu);  // unpublished; lock only for the analysis
     ds->state = DatasetState::kEmpty;
@@ -310,22 +350,30 @@ Status Catalog::Reload(const std::string& name) {
     return Status::FailedPrecondition("dataset " + name +
                                       " has no backing directory");
   }
+  static const SystemClock kReloadClock;
+  const std::uint64_t t0 = kReloadClock.NowMicros();
   // The expensive load runs without any lock; queries proceed on the old
   // index throughout.
   auto loaded = PartitionedIndex::Load(dir, labels_in_memory);
   if (!loaded.ok()) return loaded.status();
   auto fresh =
       std::make_shared<PartitionedIndex>(std::move(loaded).value());
+  fresh->InstallMetrics(metrics_);
   {
     MutexLock lock(&ds->mu);
     ds->index = std::move(fresh);  // old version lives on in query snapshots
     ds->state = DatasetState::kReady;
     ds->load_status = Status::OK();
-    ds->generation.fetch_add(1, std::memory_order_acq_rel);
+    ds->SetGeneration(
+        ds->generation.load(std::memory_order_acquire) + 1);
   }
   // Publish-then-bump: see the ordering argument in Handle::Query.
   if (ds->cache != nullptr) ds->cache->BumpGeneration();
-  ds->reloads.fetch_add(1, std::memory_order_relaxed);
+  ds->reloads->Inc();
+  metrics_
+      ->GetHistogram("islabel_catalog_reload_seconds",
+                     "Reload/install duration (load + swap)")
+      ->Record(kReloadClock.NowMicros() - t0);
   return Status::OK();
 }
 
@@ -341,11 +389,14 @@ Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
         std::to_string(ds->generation.load(std::memory_order_acquire)) +
         " >= " + std::to_string(gen));
   }
+  static const SystemClock kInstallClock;
+  const std::uint64_t t0 = kInstallClock.NowMicros();
   // Load before touching any dataset state: a corrupt or truncated
   // directory must leave the currently-serving version untouched.
   auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
   if (!loaded.ok()) return loaded.status();
   auto fresh = std::make_shared<PartitionedIndex>(std::move(loaded).value());
+  fresh->InstallMetrics(metrics_);
   {
     MutexLock lock(&ds->mu);
     if (gen <= ds->generation.load(std::memory_order_acquire)) {
@@ -357,12 +408,16 @@ Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
     ds->state = DatasetState::kReady;
     ds->load_status = Status::OK();
     ds->dir = dir;
-    ds->generation.store(gen, std::memory_order_release);
+    ds->SetGeneration(gen);
     ds->loaded_cv.NotifyAll();  // an install also resolves WaitReady
   }
   // Publish-then-bump, exactly as Reload.
   if (ds->cache != nullptr) ds->cache->BumpGeneration();
-  ds->reloads.fetch_add(1, std::memory_order_relaxed);
+  ds->reloads->Inc();
+  metrics_
+      ->GetHistogram("islabel_catalog_reload_seconds",
+                     "Reload/install duration (load + swap)")
+      ->Record(kInstallClock.NowMicros() - t0);
   return Status::OK();
 }
 
@@ -406,9 +461,9 @@ std::vector<DatasetInfo> Catalog::List() const {
   for (const auto& ds : datasets) {
     DatasetInfo info;
     info.name = ds->name;
-    info.requests = ds->requests.load(std::memory_order_relaxed);
-    info.errors = ds->errors.load(std::memory_order_relaxed);
-    info.reloads = ds->reloads.load(std::memory_order_relaxed);
+    info.requests = ds->requests->Value();
+    info.errors = ds->errors->Value();
+    info.reloads = ds->reloads->Value();
     info.generation = ds->generation.load(std::memory_order_acquire);
     info.cache = ds->cache;
     {

@@ -86,8 +86,16 @@ struct DatasetInfo {
 
 class Catalog {
  public:
-  Catalog() = default;
+  /// A catalog always has a metric registry (DESIGN.md §16): the
+  /// injected one when given, an owned one otherwise. Per-dataset
+  /// request/error/reload counters, the generation gauge and the reload
+  /// duration histogram register there, and every loaded index gets
+  /// InstallMetrics so backend pools feed the same registry. An injected
+  /// registry must outlive the catalog.
+  explicit Catalog(obs::MetricRegistry* metrics = nullptr);
   ~Catalog();
+
+  obs::MetricRegistry* metrics() const { return metrics_; }
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -225,6 +233,10 @@ class Catalog {
 
  private:
   std::shared_ptr<Dataset> Find(const std::string& name) const;
+  std::shared_ptr<Dataset> NewDataset(const std::string& name);
+
+  std::unique_ptr<obs::MetricRegistry> own_metrics_;
+  obs::MetricRegistry* metrics_ = nullptr;  // never null after construction
 
   mutable Mutex mu_;
   std::vector<std::shared_ptr<Dataset>> datasets_ GUARDED_BY(mu_);

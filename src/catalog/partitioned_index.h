@@ -158,6 +158,14 @@ class PartitionedIndex : public DistanceIndex {
 
   // ---- Introspection ----
 
+  /// Forwards to every part's backend, so a mixed-backend catalog feeds
+  /// the shared pool gauges from all of its IS-LABEL parts.
+  void InstallMetrics(obs::MetricRegistry* registry) override {
+    for (auto& part : parts_) {
+      if (part.index != nullptr) part.index->InstallMetrics(registry);
+    }
+  }
+
   VertexId NumVertices() const override {
     return static_cast<VertexId>(component_.size());
   }

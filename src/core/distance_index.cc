@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/query.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace islabel {
@@ -34,6 +35,10 @@ bool ParseBackendKind(std::string_view name, BackendKind* out) {
 
 DistanceIndex::~DistanceIndex() = default;
 
+void DistanceIndex::InstallMetrics(obs::MetricRegistry* registry) {
+  (void)registry;
+}
+
 Status DistanceIndex::CheckQueryable(VertexId s, VertexId t) const {
   const VertexId n = NumVertices();
   if (s >= n || t >= n) return Status::OutOfRange("vertex id out of range");
@@ -50,10 +55,34 @@ Status DistanceIndex::Query(VertexId s, VertexId t, Distance* out,
   const bool use_cache = distance_cache_ != nullptr && stats == nullptr;
   std::uint64_t cache_gen = 0;
   if (use_cache) {
+    obs::StageTimer span(obs::Stage::kCacheLookup);
     cache_gen = distance_cache_->generation();
     if (distance_cache_->Lookup(s, t, out)) return Status::OK();
   }
-  Status st = QueryUncached(s, t, out, stats);
+  // Kernel attribution happens here, once, for every backend: the span
+  // around QueryUncached minus whatever the engine pool charged to
+  // kPoolWait inside it. Only the outermost frame records (a catalog
+  // handle's QueryUncached re-enters this template method).
+  obs::QueryTrace* trace = obs::CurrentTrace();
+  Status st;
+  if (trace != nullptr && trace->BeginKernel()) {
+    const std::uint64_t pool_before =
+        trace->StageMicros(obs::Stage::kPoolWait);
+    const std::uint64_t t0 = trace->clock()->NowMicros();
+    st = QueryUncached(s, t, out, stats);
+    const std::uint64_t dt = trace->clock()->NowMicros() - t0;
+    const std::uint64_t pool_dt =
+        trace->StageMicros(obs::Stage::kPoolWait) - pool_before;
+    trace->Add(obs::Stage::kKernel, dt > pool_dt ? dt - pool_dt : 0);
+    trace->EndKernel();
+  } else {
+    if (trace != nullptr) {
+      st = QueryUncached(s, t, out, stats);
+      trace->EndKernel();
+    } else {
+      st = QueryUncached(s, t, out, stats);
+    }
+  }
   if (st.ok() && use_cache) distance_cache_->Insert(s, t, *out, cache_gen);
   return st;
 }

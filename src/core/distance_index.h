@@ -54,6 +54,10 @@ namespace islabel {
 
 struct QueryStats;  // core/query.h
 
+namespace obs {
+class MetricRegistry;  // obs/metrics.h
+}  // namespace obs
+
 /// The concrete index families a catalog can host. kAuto is a build-time
 /// selector only (resolved per component by the registry's road-likeness
 /// heuristic); a built index always reports kISLabel or kCH.
@@ -144,6 +148,15 @@ class DistanceIndex {
     distance_cache_ = std::move(cache);
   }
   DistanceCache* distance_cache() const { return distance_cache_.get(); }
+
+  // ---- Optional telemetry (DESIGN.md §16) ----
+
+  /// Registers backend-owned instruments (engine-pool gauges, lease-wait
+  /// histograms) into `registry` and keeps them wired across internal
+  /// pool resets. Idempotent; composite backends forward to their parts.
+  /// Default: no-op. Call before serving, and again after a mutation
+  /// that rebuilds internal pools is fine too.
+  virtual void InstallMetrics(obs::MetricRegistry* registry);
 
  protected:
   DistanceIndex() = default;

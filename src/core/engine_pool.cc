@@ -1,8 +1,10 @@
 #include "core/engine_pool.h"
 
+#include "obs/trace.h"
+
 namespace islabel {
 
-QueryEnginePool::Lease QueryEnginePool::Acquire() {
+QueryEnginePool::Lease QueryEnginePool::AcquireInternal() {
   {
     MutexLock lock(&mu_);
     if (!free_.empty()) {
@@ -12,9 +14,24 @@ QueryEnginePool::Lease QueryEnginePool::Acquire() {
     }
     ++created_;
   }
+  if (auto* c = engines_created_.load(std::memory_order_acquire)) c->Inc();
   // Construction happens outside the lock; the constructor only stores
   // pointers (scratch is lazily sized at the engine's first query).
   return Lease(this, std::make_unique<QueryEngine>(hierarchy_, provider_));
+}
+
+QueryEnginePool::Lease QueryEnginePool::Acquire() {
+  obs::StageTimer span(obs::Stage::kPoolWait);
+  obs::Histogram* hist = lease_wait_.load(std::memory_order_acquire);
+  const Clock* clock = metrics_clock_.load(std::memory_order_acquire);
+  const std::uint64_t t0 =
+      (hist != nullptr && clock != nullptr) ? clock->NowMicros() : 0;
+  Lease lease = AcquireInternal();
+  if (hist != nullptr && clock != nullptr) {
+    hist->Record(clock->NowMicros() - t0);
+  }
+  if (auto* g = leases_active_.load(std::memory_order_acquire)) g->Add(1);
+  return lease;
 }
 
 void QueryEnginePool::Return(std::unique_ptr<QueryEngine> engine) {
@@ -24,6 +41,9 @@ void QueryEnginePool::Return(std::unique_ptr<QueryEngine> engine) {
 
 void QueryEnginePool::Lease::Release() {
   if (pool_ != nullptr && engine_ != nullptr) {
+    if (auto* g = pool_->leases_active_.load(std::memory_order_acquire)) {
+      g->Add(-1);
+    }
     pool_->Return(std::move(engine_));
   }
   pool_ = nullptr;

@@ -17,11 +17,14 @@
 #ifndef ISLABEL_CORE_ENGINE_POOL_H_
 #define ISLABEL_CORE_ENGINE_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
 #include "core/query.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -83,14 +86,40 @@ class QueryEnginePool {
     return created_;
   }
 
+  /// Registry-backed instruments (DESIGN.md §16). The gauge and counter
+  /// are SHARED across pools via Add/Inc deltas, so pool occupancy
+  /// survives ResetPool and sums across partitioned-index parts. All
+  /// pointers must outlive the pool; null fields disable that signal.
+  struct PoolMetrics {
+    obs::Histogram* lease_wait = nullptr;   // Acquire latency, µs
+    obs::Gauge* leases_active = nullptr;    // +1 per live lease
+    obs::Counter* engines_created = nullptr;
+    const Clock* clock = nullptr;           // needed for lease_wait
+  };
+  void SetMetrics(const PoolMetrics& metrics) {
+    lease_wait_.store(metrics.lease_wait, std::memory_order_release);
+    leases_active_.store(metrics.leases_active, std::memory_order_release);
+    engines_created_.store(metrics.engines_created,
+                           std::memory_order_release);
+    metrics_clock_.store(metrics.clock, std::memory_order_release);
+  }
+
  private:
+  friend class Lease;
   void Return(std::unique_ptr<QueryEngine> engine);
+  Lease AcquireInternal();
 
   const VertexHierarchy* hierarchy_;
   LabelProvider provider_;
   mutable Mutex mu_;
   std::vector<std::unique_ptr<QueryEngine>> free_ GUARDED_BY(mu_);
   std::size_t created_ GUARDED_BY(mu_) = 0;
+
+  // Installed once before serving; read lock-free on the query path.
+  std::atomic<obs::Histogram*> lease_wait_{nullptr};
+  std::atomic<obs::Gauge*> leases_active_{nullptr};
+  std::atomic<obs::Counter*> engines_created_{nullptr};
+  std::atomic<const Clock*> metrics_clock_{nullptr};
 };
 
 }  // namespace islabel

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
 #include "storage/label_store.h"
+#include "util/clock.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "util/varint.h"
@@ -71,6 +73,31 @@ void ISLabelIndex::ResetPool() {
   // Every pool reset marks a potential answer change (InsertVertex,
   // DeleteVertex, reload): invalidate all cached distances.
   BumpCacheGeneration();
+  ApplyPoolMetrics();
+}
+
+void ISLabelIndex::InstallMetrics(obs::MetricRegistry* registry) {
+  metrics_registry_ = registry;
+  ApplyPoolMetrics();
+}
+
+void ISLabelIndex::ApplyPoolMetrics() {
+  if (metrics_registry_ == nullptr || pool_ == nullptr) return;
+  // Lease-wait latency is real wall time by definition, so the system
+  // clock is correct here even in tests (trace tests drive pool-wait
+  // attribution through the ManualClock seam instead).
+  static const SystemClock kPoolClock;
+  QueryEnginePool::PoolMetrics m;
+  m.lease_wait = metrics_registry_->GetHistogram(
+      "islabel_pool_lease_wait_seconds",
+      "Engine-pool lease acquisition latency");
+  m.leases_active = metrics_registry_->GetGauge(
+      "islabel_pool_leases_active", "Engine leases currently held");
+  m.engines_created = metrics_registry_->GetCounter(
+      "islabel_pool_engines_created_total",
+      "Query engines constructed across all pools");
+  m.clock = &kPoolClock;
+  pool_->SetMetrics(m);
 }
 
 Status ISLabelIndex::CheckQueryable(VertexId s, VertexId t) const {

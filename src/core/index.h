@@ -159,6 +159,12 @@ class ISLabelIndex : public DistanceIndex {
   /// to hold a lease across many queries (serve loops, benches).
   QueryEnginePool* engine_pool() { return pool_.get(); }
 
+  /// Wires the engine pool's lease-wait histogram and occupancy gauges
+  /// into `registry`, and keeps them wired across every ResetPool
+  /// (updates, reloads). The shared Add/Inc instruments mean partitioned
+  /// parts and reloaded pools all feed the same series.
+  void InstallMetrics(obs::MetricRegistry* registry) override;
+
  protected:
   /// Leases an engine and runs the real query; the base class has already
   /// validated endpoints and missed the cache.
@@ -177,6 +183,10 @@ class ISLabelIndex : public DistanceIndex {
   /// change.
   void ResetPool();
 
+  // Re-applies the registry-backed pool instruments to the current pool
+  // (no-op until InstallMetrics has been called).
+  void ApplyPoolMetrics();
+
   // Rebuilds the G_k CSR from an edge list after an update (updates.cc).
   void RebuildCore(EdgeList edges);
 
@@ -187,6 +197,7 @@ class ISLabelIndex : public DistanceIndex {
   BuildStats build_stats_;
   BitVector deleted_;
   bool vias_enabled_ = true;
+  obs::MetricRegistry* metrics_registry_ = nullptr;
 };
 
 }  // namespace islabel

@@ -1,0 +1,49 @@
+// Bridges util/io_stats.h into the metric registry (DESIGN.md §16).
+//
+// IoStats is a plain struct accumulated by the storage layer (BlockFile
+// keeps a mutex-guarded snapshot); rather than teach storage about
+// metrics, the serving front end registers one snapshot callback here
+// and the registry scrapes it. The callback runs at exposition time
+// only — the disk-read hot path stays untouched.
+//
+// The callback must return a consistent snapshot and outlive the
+// registry (in practice: the CLI registers the index's BlockFile stats,
+// and the index outlives the server).
+
+#ifndef ISLABEL_OBS_IO_BRIDGE_H_
+#define ISLABEL_OBS_IO_BRIDGE_H_
+
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/io_stats.h"
+
+namespace islabel {
+namespace obs {
+
+inline void BridgeIoStats(MetricRegistry* registry, const Labels& labels,
+                          std::function<IoStats()> snapshot) {
+  if (registry == nullptr) return;
+  auto fn = std::make_shared<std::function<IoStats()>>(std::move(snapshot));
+  registry->RegisterCallbackGauge(
+      "islabel_io_block_reads", "Logical block reads (label store)", labels,
+      [fn] { return static_cast<double>((*fn)().block_reads); });
+  registry->RegisterCallbackGauge(
+      "islabel_io_block_writes", "Logical block writes (label store)", labels,
+      [fn] { return static_cast<double>((*fn)().block_writes); });
+  registry->RegisterCallbackGauge(
+      "islabel_io_bytes_read", "Bytes read from disk-resident labels", labels,
+      [fn] { return static_cast<double>((*fn)().bytes_read); });
+  registry->RegisterCallbackGauge(
+      "islabel_io_bytes_written", "Bytes written by the storage layer",
+      labels, [fn] { return static_cast<double>((*fn)().bytes_written); });
+  registry->RegisterCallbackGauge(
+      "islabel_io_seeks", "Random (non-sequential) block accesses", labels,
+      [fn] { return static_cast<double>((*fn)().seeks); });
+}
+
+}  // namespace obs
+}  // namespace islabel
+
+#endif  // ISLABEL_OBS_IO_BRIDGE_H_

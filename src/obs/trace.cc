@@ -1,0 +1,55 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace islabel {
+namespace obs {
+namespace {
+
+thread_local QueryTrace* g_current_trace = nullptr;
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kPoolWait:
+      return "pool_wait";
+    case Stage::kKernel:
+      return "kernel";
+    case Stage::kEncode:
+      return "encode";
+  }
+  return "unknown";
+}
+
+QueryTrace* CurrentTrace() { return g_current_trace; }
+
+TraceScope::TraceScope(QueryTrace* trace) : prev_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
+
+std::string FormatSlowQueryLine(const char* verb, std::uint64_t total_us,
+                                const QueryTrace& trace) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "slow-query verb=%s total_us=%" PRIu64 " parse_us=%" PRIu64
+      " cache_us=%" PRIu64 " pool_wait_us=%" PRIu64 " kernel_us=%" PRIu64
+      " encode_us=%" PRIu64,
+      verb, total_us, trace.StageMicros(Stage::kParse),
+      trace.StageMicros(Stage::kCacheLookup),
+      trace.StageMicros(Stage::kPoolWait),
+      trace.StageMicros(Stage::kKernel),
+      trace.StageMicros(Stage::kEncode));
+  return std::string(buf);
+}
+
+}  // namespace obs
+}  // namespace islabel

@@ -1,0 +1,114 @@
+// QueryTrace: request-scoped span recorder for the serving path
+// (DESIGN.md §16). One trace lives on the dispatcher's stack per
+// request; a thread-local current-trace pointer lets the layers below
+// (cache lookup in the DistanceIndex template method, lease wait in the
+// engine pool, the kernel itself) attribute time to named stages
+// without any signature change. When no trace is installed — stdin
+// tools, tests, benches driving indexes directly — a StageTimer is one
+// thread-local load and a branch: zero clock reads.
+//
+// Stages: parse → cache lookup → pool lease wait → kernel → encode.
+// Time comes from the injected Clock seam (util/clock.h), so trace and
+// slow-query tests run on a ManualClock with zero real sleeps.
+
+#ifndef ISLABEL_OBS_TRACE_H_
+#define ISLABEL_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace islabel {
+namespace obs {
+
+enum class Stage : int {
+  kParse = 0,
+  kCacheLookup = 1,
+  kPoolWait = 2,
+  kKernel = 3,
+  kEncode = 4,
+};
+inline constexpr int kNumStages = 5;
+
+const char* StageName(Stage stage);
+
+/// Per-request stage accumulator. Single-threaded by design: the worker
+/// that owns the request creates it, installs it via TraceScope, and
+/// reads it back after the verb completes. Stages hit more than once
+/// (per-part pool waits in a partitioned query) accumulate.
+class QueryTrace {
+ public:
+  explicit QueryTrace(const Clock* clock) : clock_(clock) {}
+
+  const Clock* clock() const { return clock_; }
+
+  void Add(Stage stage, std::uint64_t micros) {
+    stage_us_[static_cast<int>(stage)] += micros;
+  }
+  std::uint64_t StageMicros(Stage stage) const {
+    return stage_us_[static_cast<int>(stage)];
+  }
+
+  /// Nesting guard for the kernel stage: a catalog handle's QueryUncached
+  /// runs the inner index's template method, and only the OUTERMOST
+  /// frame may attribute kernel time or it would double-count. Returns
+  /// true when this frame is outermost; every Begin pairs with an End.
+  bool BeginKernel() { return kernel_depth_++ == 0; }
+  void EndKernel() { --kernel_depth_; }
+
+ private:
+  const Clock* clock_;
+  std::uint64_t stage_us_[kNumStages] = {};
+  int kernel_depth_ = 0;
+};
+
+/// The trace installed for the current thread, or null.
+QueryTrace* CurrentTrace();
+
+/// Installs `trace` as the thread's current trace for its scope,
+/// restoring the previous one on exit (null uninstalls).
+class TraceScope {
+ public:
+  explicit TraceScope(QueryTrace* trace);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  QueryTrace* prev_;
+};
+
+/// RAII span against the current trace. No trace installed → no clock
+/// reads at all.
+class StageTimer {
+ public:
+  explicit StageTimer(Stage stage) : trace_(CurrentTrace()), stage_(stage) {
+    if (trace_ != nullptr) start_us_ = trace_->clock()->NowMicros();
+  }
+  ~StageTimer() {
+    if (trace_ != nullptr) {
+      trace_->Add(stage_, trace_->clock()->NowMicros() - start_us_);
+    }
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  QueryTrace* trace_;
+  Stage stage_;
+  std::uint64_t start_us_ = 0;
+};
+
+/// The slow-query log line (format pinned in DESIGN.md §16):
+///   slow-query verb=distance total_us=N parse_us=N cache_us=N
+///   pool_wait_us=N kernel_us=N encode_us=N
+std::string FormatSlowQueryLine(const char* verb, std::uint64_t total_us,
+                                const QueryTrace& trace);
+
+}  // namespace obs
+}  // namespace islabel
+
+#endif  // ISLABEL_OBS_TRACE_H_

@@ -5,6 +5,24 @@
 namespace islabel {
 namespace repl {
 
+PrimaryHooks::PrimaryHooks(Catalog* catalog, std::size_t chunk_bytes)
+    : catalog_(catalog), chunk_bytes_(chunk_bytes) {
+  obs::MetricRegistry* reg = catalog_->metrics();
+  heartbeats_ = reg->GetCounter("islabel_repl_heartbeats_total",
+                                "Heartbeat requests answered.");
+  snapshots_sent_ = reg->GetCounter("islabel_repl_snapshots_sent_total",
+                                    "Snapshot streams served to replicas.");
+  snapshot_bytes_sent_ =
+      reg->GetCounter("islabel_repl_snapshot_bytes_sent_total",
+                      "Container bytes shipped in snapshot streams.");
+  snapshot_chunks_sent_ =
+      reg->GetCounter("islabel_repl_snapshot_chunks_sent_total",
+                      "Checksummed chunks shipped in snapshot streams.");
+  uptodate_replies_ = reg->GetCounter(
+      "islabel_repl_uptodate_replies_total",
+      "replicate requests answered uptodate (caller was current).");
+}
+
 std::string FormatVersionLine(const Catalog& catalog) {
   std::string out = "version:";
   for (const std::string& name : catalog.Names()) {
@@ -21,7 +39,7 @@ std::string PrimaryHooks::HandleVersion() {
 }
 
 std::string PrimaryHooks::HandleHeartbeat() {
-  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  heartbeats_->Inc();
   return "pong";
 }
 
@@ -35,7 +53,7 @@ std::string PrimaryHooks::HandleReplicate(const std::string& name,
   for (int attempt = 0; attempt < 4; ++attempt) {
     const std::uint64_t gen = catalog_->Generation(name);
     if (gen <= have_gen) {
-      uptodate_replies_.fetch_add(1, std::memory_order_relaxed);
+      uptodate_replies_->Inc();
       return "uptodate " + name + " " + std::to_string(gen);
     }
     const std::string dir = catalog_->Dir(name);
@@ -63,8 +81,9 @@ std::string PrimaryHooks::HandleReplicate(const std::string& name,
       out.append(chunk.data(), chunk.size());
     }
     out += "\nend " + std::to_string(Crc32(blob));
-    snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
-    snapshot_bytes_sent_.fetch_add(blob.size(), std::memory_order_relaxed);
+    snapshots_sent_->Inc();
+    snapshot_bytes_sent_->Inc(blob.size());
+    snapshot_chunks_sent_->Inc(nchunks);
     return out;
   }
   return "error: Unavailable: dataset " + name +
@@ -73,17 +92,12 @@ std::string PrimaryHooks::HandleReplicate(const std::string& name,
 
 void PrimaryHooks::FillStats(server::ServeStats* stats) {
   stats->extra.emplace_back("repl_primary", 1);
-  stats->extra.emplace_back(
-      "repl_heartbeats", heartbeats_.load(std::memory_order_relaxed));
-  stats->extra.emplace_back(
-      "repl_snapshots_sent",
-      snapshots_sent_.load(std::memory_order_relaxed));
-  stats->extra.emplace_back(
-      "repl_snapshot_bytes_sent",
-      snapshot_bytes_sent_.load(std::memory_order_relaxed));
-  stats->extra.emplace_back(
-      "repl_uptodate_replies",
-      uptodate_replies_.load(std::memory_order_relaxed));
+  stats->extra.emplace_back("repl_heartbeats", heartbeats_->Value());
+  stats->extra.emplace_back("repl_snapshots_sent", snapshots_sent_->Value());
+  stats->extra.emplace_back("repl_snapshot_bytes_sent",
+                            snapshot_bytes_sent_->Value());
+  stats->extra.emplace_back("repl_uptodate_replies",
+                            uptodate_replies_->Value());
 }
 
 }  // namespace repl

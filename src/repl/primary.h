@@ -24,11 +24,11 @@
 #ifndef ISLABEL_REPL_PRIMARY_H_
 #define ISLABEL_REPL_PRIMARY_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "catalog/catalog.h"
+#include "obs/metrics.h"
 #include "server/dispatcher.h"
 
 namespace islabel {
@@ -36,9 +36,11 @@ namespace repl {
 
 class PrimaryHooks : public server::ReplicationHooks {
  public:
+  /// Counters register in the catalog's metric registry (a catalog
+  /// always has one), so snapshot traffic shows up in the `metrics`
+  /// verb alongside the `stats` extra pairs.
   explicit PrimaryHooks(Catalog* catalog,
-                        std::size_t chunk_bytes = 256 * 1024)
-      : catalog_(catalog), chunk_bytes_(chunk_bytes) {}
+                        std::size_t chunk_bytes = 256 * 1024);
 
   std::string HandleVersion() override;
   std::string HandleHeartbeat() override;
@@ -49,10 +51,11 @@ class PrimaryHooks : public server::ReplicationHooks {
  private:
   Catalog* catalog_;
   std::size_t chunk_bytes_;
-  std::atomic<std::uint64_t> heartbeats_{0};
-  std::atomic<std::uint64_t> snapshots_sent_{0};
-  std::atomic<std::uint64_t> snapshot_bytes_sent_{0};
-  std::atomic<std::uint64_t> uptodate_replies_{0};
+  obs::Counter* heartbeats_;
+  obs::Counter* snapshots_sent_;
+  obs::Counter* snapshot_bytes_sent_;
+  obs::Counter* snapshot_chunks_sent_;
+  obs::Counter* uptodate_replies_;
 };
 
 /// Formats "version: NAME:GEN ..." for `catalog` — shared by the primary

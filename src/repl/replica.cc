@@ -43,9 +43,72 @@ ReplicaAgent::ReplicaAgent(Catalog* catalog, Transport* transport,
       transport_(transport),
       clock_(clock),
       options_(std::move(options)),
-      backoff_(options_.backoff, rng) {}
+      backoff_(options_.backoff, rng) {
+  InstallMetrics();
+}
 
-ReplicaAgent::~ReplicaAgent() { StopBackground(); }
+ReplicaAgent::~ReplicaAgent() {
+  StopBackground();
+  FreezeMetrics();
+}
+
+void ReplicaAgent::InstallMetrics() {
+  obs::MetricRegistry* reg = catalog_->metrics();
+  polls_c_ = reg->GetCounter("islabel_repl_polls_total",
+                             "Sync attempts against the primary.");
+  pulls_c_ = reg->GetCounter("islabel_repl_pulls_total",
+                             "Snapshot streams received.");
+  installs_c_ = reg->GetCounter("islabel_repl_installs_total",
+                                "Generations published via ReloadFrom.");
+  failures_c_ = reg->GetCounter("islabel_repl_failures_total",
+                                "Failed sync attempts.");
+  // Live levels come from callbacks evaluated at scrape time — lag is
+  // recomputed per sync, but ms-since-contact and primary-up decay with
+  // wall time, which a stored gauge cannot express.
+  reg->RegisterCallbackGauge(
+      "islabel_repl_lag_gens",
+      "Sum over datasets of primary generation minus local.", {},
+      [this] { return static_cast<double>(stats().lag_gens); });
+  reg->RegisterCallbackGauge(
+      "islabel_repl_ms_since_contact",
+      "Milliseconds since the primary last answered; -1 before first "
+      "contact.",
+      {}, [this] {
+        const Stats s = stats();
+        return s.ms_since_contact == ~0ull
+                   ? -1.0
+                   : static_cast<double>(s.ms_since_contact);
+      });
+  reg->RegisterCallbackGauge(
+      "islabel_repl_primary_up",
+      "1 while the last primary contact is fresher than the timeout.", {},
+      [this] { return stats().primary_up ? 1.0 : 0.0; });
+}
+
+void ReplicaAgent::FreezeMetrics() {
+  // The registry outlives this agent; replace the this-capturing
+  // callbacks with the final observed values so a later scrape cannot
+  // call into freed memory.
+  const Stats last = stats();
+  obs::MetricRegistry* reg = catalog_->metrics();
+  reg->RegisterCallbackGauge(
+      "islabel_repl_lag_gens",
+      "Sum over datasets of primary generation minus local.", {},
+      [v = static_cast<double>(last.lag_gens)] { return v; });
+  reg->RegisterCallbackGauge(
+      "islabel_repl_ms_since_contact",
+      "Milliseconds since the primary last answered; -1 before first "
+      "contact.",
+      {}, [v = last.ms_since_contact == ~0ull
+                   ? -1.0
+                   : static_cast<double>(last.ms_since_contact)] {
+        return v;
+      });
+  reg->RegisterCallbackGauge(
+      "islabel_repl_primary_up",
+      "1 while the last primary contact is fresher than the timeout.", {},
+      [v = last.primary_up ? 1.0 : 0.0] { return v; });
+}
 
 bool ReplicaAgent::Tick() {
   {
@@ -61,14 +124,14 @@ bool ReplicaAgent::Tick() {
 Status ReplicaAgent::SyncNow() {
   const Status st = SyncOnce();
   const std::uint64_t now = clock_->NowMs();
+  polls_c_->Inc();
+  if (!st.ok()) failures_c_->Inc();
   MutexLock lock(&mu_);
-  ++polls_;
   last_status_ = st;
   if (st.ok()) {
     backoff_.Reset();
     next_due_ms_ = now + options_.poll_interval_ms;
   } else {
-    ++failures_;
     next_due_ms_ = now + backoff_.NextDelayMs();
   }
   return st;
@@ -208,10 +271,7 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
     return Status::Corruption("snapshot stream checksum mismatch for " +
                               name);
   }
-  {
-    MutexLock lock(&mu_);
-    ++pulls_;
-  }
+  pulls_c_->Inc();
 
   // Validate fully, stage, rename, publish — a failure anywhere leaves
   // the currently-serving generation untouched.
@@ -232,10 +292,7 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
   }
   ISLABEL_RETURN_IF_ERROR(
       catalog_->ReloadFrom(name, final_dir.string(), gen));
-  {
-    MutexLock lock(&mu_);
-    ++installs_;
-  }
+  installs_c_->Inc();
 
   // Best-effort cleanup of superseded generations and stale staging
   // directories; in-flight queries pin the old index in memory, not on
@@ -276,12 +333,12 @@ bool ReplicaAgent::primary_up() const {
 }
 
 ReplicaAgent::Stats ReplicaAgent::stats() const {
-  MutexLock lock(&mu_);
   Stats s;
-  s.polls = polls_;
-  s.pulls = pulls_;
-  s.installs = installs_;
-  s.failures = failures_;
+  s.polls = polls_c_->Value();
+  s.pulls = pulls_c_->Value();
+  s.installs = installs_c_->Value();
+  s.failures = failures_c_->Value();
+  MutexLock lock(&mu_);
   s.lag_gens = lag_gens_;
   const std::uint64_t now = clock_->NowMs();
   s.ms_since_contact = contacted_ ? now - last_contact_ms_ : ~0ull;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "obs/metrics.h"
 #include "repl/transport.h"
 #include "server/dispatcher.h"
 #include "util/clock.h"
@@ -114,6 +115,12 @@ class ReplicaAgent : public server::ReplicationHooks {
   Status SyncOnce();
   Status PullDataset(Channel* channel, const std::string& name,
                      std::uint64_t local_gen, std::uint64_t target_gen);
+  /// Registers the replica's counters and the live lag / contact /
+  /// primary-up callback gauges in the catalog's registry. The dtor
+  /// re-registers the callbacks with frozen final values, since the
+  /// registry (owned by the catalog) outlives the agent.
+  void InstallMetrics();
+  void FreezeMetrics();
 
   Catalog* catalog_;
   Transport* transport_;
@@ -128,10 +135,12 @@ class ReplicaAgent : public server::ReplicationHooks {
   std::uint64_t last_contact_ms_ GUARDED_BY(mu_) = 0;
   std::uint64_t lag_gens_ GUARDED_BY(mu_) = 0;
   Status last_status_ GUARDED_BY(mu_);
-  std::uint64_t polls_ GUARDED_BY(mu_) = 0;
-  std::uint64_t pulls_ GUARDED_BY(mu_) = 0;
-  std::uint64_t installs_ GUARDED_BY(mu_) = 0;
-  std::uint64_t failures_ GUARDED_BY(mu_) = 0;
+  // Registry series (catalog registry, DESIGN.md §16) — atomics, bumped
+  // wherever convenient without mu_.
+  obs::Counter* polls_c_;
+  obs::Counter* pulls_c_;
+  obs::Counter* installs_c_;
+  obs::Counter* failures_c_;
 
   std::atomic<bool> bg_stop_{false};
   std::thread bg_thread_;

@@ -13,6 +13,11 @@ ReplicaSetClient::ReplicaSetClient(Transport* transport, Clock* clock,
       clock_(clock),
       rng_(rng),
       options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    failovers_c_ = options_.metrics->GetCounter(
+        "islabel_client_failovers_total",
+        "Requests that had to leave their first-choice endpoint.");
+  }
   if (!options_.sleep_ms) {
     options_.sleep_ms = [](std::uint64_t ms) {
       std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -84,7 +89,7 @@ Result<std::string> ReplicaSetClient::Query(const std::string& line) {
         std::string response;
         const Status st = ExchangeOn(i, line, &response);
         if (st.ok()) {
-          if (!first_choice) ++failovers_;
+          if (!first_choice) failovers_c_->Inc();
           cursor_ = (i + 1) % endpoints_.size();
           return response;
         }
@@ -132,8 +137,7 @@ ReplicaSetClient::endpoint_stats() const {
 }
 
 std::uint64_t ReplicaSetClient::failovers() const {
-  MutexLock lock(&mu_);
-  return failovers_;
+  return failovers_c_->Value();
 }
 
 }  // namespace repl

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "repl/transport.h"
 #include "util/clock.h"
 #include "util/mutex.h"
@@ -48,6 +49,9 @@ struct ReplicaSetOptions {
   /// Inter-round sleep hook; defaults to a real sleep. Tests inject a
   /// function that advances their ManualClock.
   std::function<void(std::uint64_t)> sleep_ms;
+  /// Optional registry: when set, the failover count is also exposed as
+  /// islabel_client_failovers_total (must outlive the client).
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 class ReplicaSetClient {
@@ -100,7 +104,10 @@ class ReplicaSetClient {
   mutable Mutex mu_;
   std::vector<Endpoint> endpoints_ GUARDED_BY(mu_);
   std::size_t cursor_ GUARDED_BY(mu_) = 0;
-  std::uint64_t failovers_ GUARDED_BY(mu_) = 0;
+  // One counter system: the private instrument unless options.metrics
+  // re-points it at a registry series (DESIGN.md §16).
+  obs::Counter own_failovers_;
+  obs::Counter* failovers_c_ = &own_failovers_;
 };
 
 }  // namespace repl

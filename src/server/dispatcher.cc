@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "server/query_cache.h"
+#include "util/logging.h"
 
 namespace islabel {
 namespace server {
@@ -13,6 +14,8 @@ namespace {
 /// The verb→API mapping, written once against the DistanceIndex
 /// interface: single-index mode passes the raw backend, catalog mode
 /// passes the session's Catalog::Handle (itself a DistanceIndex).
+/// Response formatting runs under the encode stage span so a traced
+/// request splits kernel time from serialization time.
 std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
                              bool* error) {
   *error = false;
@@ -24,6 +27,7 @@ std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
         *error = true;
         return FormatError(st);
       }
+      obs::StageTimer span(obs::Stage::kEncode);
       return FormatDistance(d);
     }
     case RequestKind::kOneToMany: {
@@ -33,6 +37,7 @@ std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
         *error = true;
         return FormatError(st);
       }
+      obs::StageTimer span(obs::Stage::kEncode);
       return FormatDistances(dists);
     }
     case RequestKind::kPath: {
@@ -43,6 +48,7 @@ std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
         *error = true;
         return FormatError(st);
       }
+      obs::StageTimer span(obs::Stage::kEncode);
       return FormatPath(d, path);
     }
     default:
@@ -50,6 +56,42 @@ std::string ExecuteQueryVerb(DistanceIndex& backend, const Request& req,
   }
   *error = true;
   return "error: internal: request kind not dispatchable";
+}
+
+/// Wire name of a dispatched verb, used as the `verb` label of
+/// islabel_server_request_seconds and in slow-query lines.
+const char* VerbName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kDistance:
+      return "distance";
+    case RequestKind::kOneToMany:
+      return "one";
+    case RequestKind::kPath:
+      return "path";
+    case RequestKind::kUse:
+      return "use";
+    case RequestKind::kDatasets:
+      return "datasets";
+    case RequestKind::kReload:
+      return "reload";
+    case RequestKind::kVersion:
+      return "version";
+    case RequestKind::kHeartbeat:
+      return "heartbeat";
+    case RequestKind::kReplicate:
+      return "replicate";
+    case RequestKind::kMetrics:
+      return "metrics";
+    case RequestKind::kInvalid:
+      return "invalid";
+    default:
+      return "other";
+  }
+}
+
+const Clock* DefaultMetricsClock() {
+  static const SystemClock clock;
+  return &clock;
 }
 
 }  // namespace
@@ -70,24 +112,25 @@ std::string RequestDispatcher::ExecuteOnHandle(const Request& req,
       if (names.size() == 1) name = names.front();
     }
     if (name.empty()) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_c_->Inc();
       return "error: FailedPrecondition: no dataset selected (server has "
              "no default; pick one with `use NAME`, list with `datasets`)";
     }
     session->handle = catalog_->Get(name);
     if (!session->handle) {
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_c_->Inc();
       return "error: NotFound: unknown dataset " + name;
     }
   }
   bool error = false;
   std::string response = ExecuteQueryVerb(session->handle, req, &error);
-  if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (error) errors_c_->Inc();
   return response;
 }
 
-std::string RequestDispatcher::Execute(const Request& req, Session* session) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
+std::string RequestDispatcher::ExecuteInternal(const Request& req,
+                                               Session* session) {
+  requests_c_->Inc();
   switch (req.kind) {
     case RequestKind::kDistance:
     case RequestKind::kOneToMany:
@@ -95,14 +138,14 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
       if (catalog_ != nullptr) return ExecuteOnHandle(req, session);
       bool error = false;
       std::string response = ExecuteQueryVerb(*index_, req, &error);
-      if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+      if (error) errors_c_->Inc();
       return response;
     }
     case RequestKind::kUse: {
       if (catalog_ == nullptr) break;
       Catalog::Handle handle = catalog_->Get(req.name);
       if (!handle) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_c_->Inc();
         return "error: NotFound: unknown dataset " + req.name;
       }
       // Switching to a loading/failed dataset is allowed deliberately:
@@ -120,16 +163,27 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
       if (catalog_ == nullptr) break;
       Status st = catalog_->Reload(req.name);
       if (!st.ok()) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_c_->Inc();
         return FormatError(st);
       }
       return "ok: reloaded " + req.name;
+    }
+    case RequestKind::kMetrics: {
+      if (metrics_ == nullptr) {
+        errors_c_->Inc();
+        return "error: NotSupported: metrics not enabled";
+      }
+      // The registry renders with a trailing '\n' after "# EOF"; the
+      // Format contract is no trailing newline (front ends append it).
+      std::string text = metrics_->RenderPrometheus();
+      if (!text.empty() && text.back() == '\n') text.pop_back();
+      return text;
     }
     case RequestKind::kVersion:
     case RequestKind::kHeartbeat:
     case RequestKind::kReplicate: {
       if (repl_hooks_ == nullptr) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_c_->Inc();
         return "error: NotSupported: replication not enabled";
       }
       std::string response =
@@ -138,22 +192,99 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
               ? repl_hooks_->HandleHeartbeat()
               : repl_hooks_->HandleReplicate(req.name, req.gen);
       if (response.rfind("error: ", 0) == 0) {
-        errors_.fetch_add(1, std::memory_order_relaxed);
+        errors_c_->Inc();
       }
       return response;
     }
     case RequestKind::kInvalid:
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_c_->Inc();
       return req.error;
     case RequestKind::kNone:
     case RequestKind::kStats:
     case RequestKind::kQuit:
-      errors_.fetch_add(1, std::memory_order_relaxed);
+      errors_c_->Inc();
       return "error: internal: request kind not dispatchable";
   }
   // A catalog verb reached a single-index server.
-  errors_.fetch_add(1, std::memory_order_relaxed);
+  errors_c_->Inc();
   return "error: NotSupported: no catalog (single-dataset server)";
+}
+
+std::string RequestDispatcher::Execute(const Request& req, Session* session) {
+  if (metrics_ == nullptr || !metrics_->enabled()) {
+    return ExecuteInternal(req, session);
+  }
+  // The trace lives on this stack frame; layers below find it through
+  // the thread-local installed by TraceScope. parse_us was measured by
+  // the front end before Execute, so it is seeded rather than timed.
+  obs::QueryTrace trace(clock_);
+  trace.Add(obs::Stage::kParse, req.parse_us);
+  obs::TraceScope scope(&trace);
+  const std::uint64_t t0 = clock_->NowMicros();
+  std::string response = ExecuteInternal(req, session);
+  const std::uint64_t total_us = clock_->NowMicros() - t0 + req.parse_us;
+
+  obs::Histogram* vh = verb_hist_[static_cast<int>(req.kind)];
+  if (vh != nullptr) vh->Record(total_us);
+  const bool query_verb = req.kind == RequestKind::kDistance ||
+                          req.kind == RequestKind::kOneToMany ||
+                          req.kind == RequestKind::kPath;
+  if (query_verb) {
+    // Zeros are recorded too, so every stage's _count equals the query
+    // count and per-stage averages are directly comparable.
+    for (int i = 0; i < obs::kNumStages; ++i) {
+      stage_hist_[i]->Record(trace.StageMicros(static_cast<obs::Stage>(i)));
+    }
+  }
+  if (slow_query_threshold_ms_ > 0 &&
+      total_us >= slow_query_threshold_ms_ * 1000) {
+    slow_queries_->Inc();
+    const std::string line =
+        obs::FormatSlowQueryLine(VerbName(req.kind), total_us, trace);
+    if (slow_query_sink_) {
+      slow_query_sink_(line);
+    } else {
+      ISLABEL_LOG(kWarn) << line;
+    }
+  }
+  return response;
+}
+
+void RequestDispatcher::InstallMetrics(const MetricsOptions& options) {
+  if (options.registry == nullptr) return;
+  metrics_ = options.registry;
+  clock_ = options.clock != nullptr ? options.clock : DefaultMetricsClock();
+  slow_query_threshold_ms_ = options.slow_query_threshold_ms;
+  slow_query_sink_ = options.slow_query_sink;
+
+  requests_c_ = metrics_->GetCounter("islabel_server_requests_total",
+                                     "Requests dispatched, all verbs.");
+  errors_c_ = metrics_->GetCounter("islabel_server_errors_total",
+                                   "Requests answered with an error line.");
+  slow_queries_ = metrics_->GetCounter(
+      "islabel_server_slow_queries_total",
+      "Requests over the slow-query threshold (DESIGN.md §16).");
+
+  static constexpr RequestKind kDispatched[] = {
+      RequestKind::kDistance, RequestKind::kOneToMany,
+      RequestKind::kPath,     RequestKind::kUse,
+      RequestKind::kDatasets, RequestKind::kReload,
+      RequestKind::kVersion,  RequestKind::kHeartbeat,
+      RequestKind::kReplicate, RequestKind::kMetrics,
+      RequestKind::kInvalid};
+  for (RequestKind kind : kDispatched) {
+    verb_hist_[static_cast<int>(kind)] = metrics_->GetHistogram(
+        "islabel_server_request_seconds",
+        "End-to-end request latency (parse through encode), per verb.",
+        {{"verb", VerbName(kind)}});
+  }
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    stage_hist_[i] = metrics_->GetHistogram(
+        "islabel_query_stage_seconds",
+        "Per-stage latency of query verbs (zeros recorded for unhit "
+        "stages, so every stage's _count equals the query count).",
+        {{"stage", obs::StageName(static_cast<obs::Stage>(i))}});
+  }
 }
 
 void RequestDispatcher::FillServeStats(ServeStats* stats) const {

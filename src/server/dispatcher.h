@@ -26,14 +26,18 @@
 #ifndef ISLABEL_SERVER_DISPATCHER_H_
 #define ISLABEL_SERVER_DISPATCHER_H_
 
-#include <atomic>
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "core/distance_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/protocol.h"
+#include "util/clock.h"
 
 namespace islabel {
 namespace server {
@@ -89,8 +93,11 @@ class RequestDispatcher {
   };
 
   /// Returns the response line (no trailing '\n') for a kDistance,
-  /// kOneToMany, kPath, kUse, kDatasets, kReload or kInvalid request,
-  /// bumping the request/error counters as a side effect.
+  /// kOneToMany, kPath, kUse, kDatasets, kReload, kMetrics or kInvalid
+  /// request, bumping the request/error counters as a side effect. With
+  /// metrics installed, also runs the request under a QueryTrace: the
+  /// per-verb latency histogram, the per-stage histograms and the
+  /// slow-query log all record here, once, for both front ends.
   std::string Execute(const Request& req, Session* session);
 
   /// Session-less convenience for single-index callers.
@@ -99,16 +106,37 @@ class RequestDispatcher {
     return Execute(req, &session);
   }
 
-  std::uint64_t requests() const {
-    return requests_.load(std::memory_order_relaxed);
+  /// Telemetry wiring (DESIGN.md §16). Install before serving starts —
+  /// not thread-safe against in-flight requests, and counts recorded
+  /// before installation stay in the private counters.
+  struct MetricsOptions {
+    obs::MetricRegistry* registry = nullptr;  // required
+    /// Clock for request/stage timing; null uses the system clock.
+    const Clock* clock = nullptr;
+    /// Requests with total latency >= this many ms hit the slow-query
+    /// log; 0 disables it.
+    std::uint64_t slow_query_threshold_ms = 0;
+    /// Receives each formatted slow-query line; null logs via
+    /// ISLABEL_LOG(kWarn).
+    std::function<void(const std::string&)> slow_query_sink;
+  };
+  void InstallMetrics(const MetricsOptions& options);
+
+  /// The registry installed via InstallMetrics, or null. The `metrics`
+  /// verb renders exactly this registry.
+  obs::MetricRegistry* metrics() const { return metrics_; }
+  /// True when per-request tracing should run (registry present and
+  /// enabled) — front ends consult this before timing parses.
+  bool metrics_enabled() const {
+    return metrics_ != nullptr && metrics_->enabled();
   }
-  std::uint64_t errors() const {
-    return errors_.load(std::memory_order_relaxed);
-  }
+
+  std::uint64_t requests() const { return requests_c_->Value(); }
+  std::uint64_t errors() const { return errors_c_->Value(); }
 
   /// Counts a served `stats` request (issued by the front end, which owns
   /// the stats response).
-  void CountStatsRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void CountStatsRequest() { requests_c_->Inc(); }
 
   bool has_catalog() const { return catalog_ != nullptr; }
   Catalog* catalog() const { return catalog_; }
@@ -134,13 +162,29 @@ class RequestDispatcher {
 
  private:
   std::string ExecuteOnHandle(const Request& req, Session* session);
+  std::string ExecuteInternal(const Request& req, Session* session);
 
   DistanceIndex* index_ = nullptr;
   Catalog* catalog_ = nullptr;
   ReplicationHooks* repl_hooks_ = nullptr;
   std::string default_dataset_;
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> errors_{0};
+
+  // One counter system: private instruments until InstallMetrics
+  // re-points them at registry series (requests()/errors() keep working
+  // either way).
+  obs::Counter own_requests_, own_errors_;
+  obs::Counter* requests_c_ = &own_requests_;
+  obs::Counter* errors_c_ = &own_errors_;
+
+  obs::MetricRegistry* metrics_ = nullptr;
+  const Clock* clock_ = nullptr;
+  std::uint64_t slow_query_threshold_ms_ = 0;
+  std::function<void(const std::string&)> slow_query_sink_;
+  obs::Counter* slow_queries_ = nullptr;
+  // Indexed by RequestKind; null for kinds never dispatched (kNone,
+  // kQuit, kStats).
+  std::array<obs::Histogram*, 16> verb_hist_{};
+  std::array<obs::Histogram*, obs::kNumStages> stage_hist_{};
 };
 
 }  // namespace server

@@ -98,6 +98,11 @@ Request ParseRequest(std::string_view line) {
     r.kind = RequestKind::kStats;
     return r;
   }
+  if (head == "metrics") {
+    if (tokens.size() != 1) return Invalid("error: usage: metrics");
+    r.kind = RequestKind::kMetrics;
+    return r;
+  }
   if (head == "datasets") {
     if (tokens.size() != 1) return Invalid("error: usage: datasets");
     r.kind = RequestKind::kDatasets;

@@ -13,6 +13,7 @@
 //   version          dataset generations    → "version: name:gen ..."
 //   heartbeat        liveness probe         → "pong"
 //   replicate NAME GEN   snapshot pull      → framed snapshot stream
+//   metrics          Prometheus exposition  → text format, "# EOF" last
 //   quit | exit      close the session      → (no response)
 //   # comment / blank line                  → (no response)
 //
@@ -23,9 +24,11 @@
 //
 // The replication verbs (version / heartbeat / replicate) are answered
 // only when the server has replication hooks installed (see
-// server/dispatcher.h); everyone else reports NotSupported. `replicate`
-// is the one verb whose response spans multiple lines — a framed,
-// checksummed snapshot stream (see repl/primary.h for the framing).
+// server/dispatcher.h); everyone else reports NotSupported. Two verbs
+// answer multiple lines: `replicate` streams a framed, checksummed
+// snapshot (see repl/primary.h for the framing), and `metrics` returns
+// Prometheus text format whose final line is exactly "# EOF" — readers
+// consume until that terminator (DESIGN.md §16).
 //
 // Errors are a single line starting with "error: ". Parsing is strict:
 // ids must be pure decimal uint32 tokens and a request must carry exactly
@@ -62,6 +65,7 @@ enum class RequestKind : std::uint8_t {
   kVersion,     // "version" (replication)
   kHeartbeat,   // "heartbeat" (replication)
   kReplicate,   // "replicate NAME GEN" (replication)
+  kMetrics,     // "metrics" (Prometheus exposition, multi-line)
   kQuit,        // "quit" / "exit"
   kInvalid,     // malformed; `error` holds the full response line
 };
@@ -75,6 +79,9 @@ struct Request {
   std::string name;               // kUse / kReload / kReplicate: dataset
   std::uint64_t gen = 0;          // kReplicate only: caller's generation
   std::string error;              // kInvalid only: "error: ..." line
+  /// Parse latency measured by the front end (µs); flows into the
+  /// request's QueryTrace. 0 when the front end is not timing.
+  std::uint32_t parse_us = 0;
 };
 
 /// Parses one request line (no trailing '\n'). Never fails — malformed

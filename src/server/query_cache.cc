@@ -24,6 +24,38 @@ QueryCache::QueryCache(const QueryCacheOptions& options) {
       std::max<std::size_t>(options.capacity_bytes / kBytesPerEntry, shards);
   per_shard_capacity_ = std::max<std::size_t>(total_entries / shards, 1);
   capacity_entries_ = per_shard_capacity_ * shards;
+
+  obs::Labels base;
+  if (options.metrics != nullptr && !options.metrics_dataset.empty()) {
+    base.emplace_back("dataset", options.metrics_dataset);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    if (options.metrics != nullptr) {
+      obs::Labels labels = base;
+      labels.emplace_back("shard", std::to_string(i));
+      shard.hits = options.metrics->GetCounter(
+          "islabel_cache_hits_total", "Query-cache hits", labels);
+      shard.misses = options.metrics->GetCounter(
+          "islabel_cache_misses_total", "Query-cache misses", labels);
+      shard.evictions = options.metrics->GetCounter(
+          "islabel_cache_evictions_total", "LRU evictions", labels);
+      shard.gen_invalidations = options.metrics->GetCounter(
+          "islabel_cache_gen_invalidations_total",
+          "Entries lazily dropped for carrying a stale generation", labels);
+    } else {
+      shard.hits = &shard.own_hits;
+      shard.misses = &shard.own_misses;
+      shard.evictions = &shard.own_evictions;
+      shard.gen_invalidations = &shard.own_invalidations;
+    }
+  }
+  if (options.metrics != nullptr) {
+    entries_gauge_ = options.metrics->GetGauge(
+        "islabel_cache_entries", "Live query-cache entries", base);
+    generation_gauge_ = options.metrics->GetGauge(
+        "islabel_cache_generation", "Current cache generation", base);
+  }
 }
 
 bool QueryCache::Lookup(VertexId s, VertexId t, Distance* out) {
@@ -33,19 +65,21 @@ bool QueryCache::Lookup(VertexId s, VertexId t, Distance* out) {
   MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    ++shard.misses;
+    shard.misses->Inc();
     return false;
   }
   if (it->second->generation != gen) {
     // Stale entry from before an index update: erase lazily, miss.
     shard.lru.erase(it->second);
     shard.map.erase(it);
-    ++shard.misses;
+    shard.gen_invalidations->Inc();
+    shard.misses->Inc();
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->dist;
-  ++shard.hits;
+  shard.hits->Inc();
   return true;
 }
 
@@ -67,15 +101,21 @@ void QueryCache::Insert(VertexId s, VertexId t, Distance d,
   }
   shard.lru.push_front(Entry{key, d, gen});
   shard.map.emplace(key, shard.lru.begin());
+  if (entries_gauge_ != nullptr) entries_gauge_->Add(1);
   if (shard.map.size() > per_shard_capacity_) {
     shard.map.erase(shard.lru.back().key);
     shard.lru.pop_back();
-    ++shard.evictions;
+    shard.evictions->Inc();
+    if (entries_gauge_ != nullptr) entries_gauge_->Add(-1);
   }
 }
 
 void QueryCache::BumpGeneration() {
-  generation_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t gen =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (generation_gauge_ != nullptr) {
+    generation_gauge_->Set(static_cast<std::int64_t>(gen));
+  }
 }
 
 QueryCacheStats QueryCache::GetStats() const {
@@ -83,11 +123,12 @@ QueryCacheStats QueryCache::GetStats() const {
   stats.generation = generation_.load(std::memory_order_acquire);
   stats.capacity_entries = capacity_entries_;
   for (const Shard& shard : shards_) {
+    stats.hits += shard.hits->Value();
+    stats.misses += shard.misses->Value();
+    stats.evictions += shard.evictions->Value();
+    stats.gen_invalidations += shard.gen_invalidations->Value();
     MutexLock lock(&shard.mu);
-    stats.hits += shard.hits;
-    stats.misses += shard.misses;
     stats.entries += shard.map.size();
-    stats.evictions += shard.evictions;
   }
   return stats;
 }

@@ -23,10 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/distance_cache.h"
+#include "obs/metrics.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -39,6 +41,14 @@ struct QueryCacheOptions {
   std::size_t capacity_bytes = 64u << 20;
   /// Rounded up to a power of two; 0 picks a default (16).
   std::size_t num_shards = 16;
+  /// When set, the per-shard hit/miss/eviction/invalidation counters and
+  /// the entries/generation gauges register here (DESIGN.md §16); when
+  /// null the cache counts into private instruments so GetStats always
+  /// works. The registry must outlive the cache.
+  obs::MetricRegistry* metrics = nullptr;
+  /// `dataset` label value for the registered series; empty omits it
+  /// (single-index serving).
+  std::string metrics_dataset;
 };
 
 struct QueryCacheStats {
@@ -46,6 +56,7 @@ struct QueryCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t entries = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t gen_invalidations = 0;
   std::uint64_t generation = 0;
   std::uint64_t capacity_entries = 0;
 };
@@ -90,15 +101,19 @@ class QueryCache : public DistanceCache {
   };
 
   /// One mutex-striped LRU: list front = most recent; map values point
-  /// into the list.
+  /// into the list. Counters are obs::Counter (atomic) — registered as
+  /// per-shard registry series when QueryCacheOptions::metrics is set,
+  /// private otherwise; the pointers alias `own_*` in the private case.
   struct Shard {
     mutable Mutex mu;
     std::list<Entry> lru GUARDED_BY(mu);
     std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map
         GUARDED_BY(mu);
-    std::uint64_t hits GUARDED_BY(mu) = 0;
-    std::uint64_t misses GUARDED_BY(mu) = 0;
-    std::uint64_t evictions GUARDED_BY(mu) = 0;
+    obs::Counter own_hits, own_misses, own_evictions, own_invalidations;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* gen_invalidations = nullptr;
   };
 
   static std::uint64_t Key(VertexId s, VertexId t) {
@@ -116,6 +131,10 @@ class QueryCache : public DistanceCache {
   std::size_t per_shard_capacity_ = 0;
   std::size_t capacity_entries_ = 0;
   std::atomic<std::uint64_t> generation_{0};
+  // Cache-wide gauges, null without a registry (entries via Add deltas
+  // under the shard locks, generation via Set).
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* generation_gauge_ = nullptr;
 };
 
 }  // namespace server

@@ -65,13 +65,50 @@ TcpServer::TcpServer(ISLabelIndex* index, QueryCache* cache,
       cache_(cache),
       options_(options),
       clock_(options.clock != nullptr ? options.clock : DefaultClock()),
-      dispatcher_(index) {}
+      dispatcher_(index) {
+  InitMetrics();
+}
 
 TcpServer::TcpServer(Catalog* catalog, const std::string& default_dataset,
                      const TcpServerOptions& options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : DefaultClock()),
-      dispatcher_(catalog, default_dataset) {}
+      dispatcher_(catalog, default_dataset) {
+  InitMetrics();
+}
+
+void TcpServer::InitMetrics() {
+  obs::MetricRegistry* registry = options_.metrics;
+  if (registry == nullptr && dispatcher_.has_catalog()) {
+    registry = dispatcher_.catalog()->metrics();
+  }
+  if (registry == nullptr) return;  // single-index server, no telemetry
+
+  accepted_ = registry->GetCounter("islabel_server_connections_accepted_total",
+                                   "Connections accepted since start.");
+  open_ = registry->GetGauge("islabel_server_connections_open",
+                             "Currently open connections.");
+  bytes_in_ = registry->GetCounter("islabel_server_bytes_in_total",
+                                   "Request bytes read from peers.");
+  bytes_out_ = registry->GetCounter("islabel_server_bytes_out_total",
+                                    "Response bytes written to peers.");
+  accept_shed_ = registry->GetCounter(
+      "islabel_server_accept_shed_total",
+      "Connections shed in the accept loop under fd exhaustion.");
+  idle_closed_ = registry->GetCounter(
+      "islabel_server_idle_closed_total",
+      "Connections closed by the idle-timeout / input-cap guard.");
+  queue_depth_ = registry->GetGauge(
+      "islabel_server_worker_queue_depth",
+      "Connections queued for (or held by) a worker right now.");
+
+  RequestDispatcher::MetricsOptions mo;
+  mo.registry = registry;
+  mo.clock = clock_;
+  mo.slow_query_threshold_ms = options_.slow_query_threshold_ms;
+  mo.slow_query_sink = options_.slow_query_sink;
+  dispatcher_.InstallMetrics(mo);
+}
 
 TcpServer::~TcpServer() {
   Stop();
@@ -306,8 +343,8 @@ void TcpServer::AcceptAll() {
       continue;
     }
     conns_.emplace(fd, std::move(conn));
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    open_.fetch_add(1, std::memory_order_relaxed);
+    accepted_->Inc();
+    open_->Add(1);
   }
 }
 
@@ -329,7 +366,7 @@ bool TcpServer::ShedForAccept() {
   }
   if (victim != nullptr) {
     CloseConn(victim);
-    accept_shed_.fetch_add(1, std::memory_order_relaxed);
+    accept_shed_->Inc();
     return true;  // a slot is free: retry the accept
   }
   // Every connection is busy: momentarily give back the reserve fd so
@@ -343,7 +380,7 @@ bool TcpServer::ShedForAccept() {
   if (fd >= 0) ::close(fd);
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   if (fd < 0) return false;
-  accept_shed_.fetch_add(1, std::memory_order_relaxed);
+  accept_shed_->Inc();
   return true;  // keep draining the backlog
 }
 
@@ -354,7 +391,7 @@ void TcpServer::SweepIdle() {
   for (auto& [fd, conn] : snapshot) {
     if (now_ms - conn->last_activity_ms < options_.idle_timeout_ms) continue;
     conn->last_activity_ms = now_ms;  // one timeout per offender
-    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    idle_closed_->Inc();
     TimeoutConn(conn);
   }
 }
@@ -384,6 +421,7 @@ void TcpServer::TimeoutConn(const std::shared_ptr<Connection>& conn) {
       MutexLock lock(&work_mu_);
       work_queue_.push_back(conn);
     }
+    queue_depth_->Add(1);
     work_cv_.NotifyOne();
   }
 }
@@ -395,8 +433,7 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
   for (;;) {  // edge-triggered: drain to EAGAIN
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
-      bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
-                          std::memory_order_relaxed);
+      bytes_in_->Inc(static_cast<std::uint64_t>(n));
       conn->in.append(buf, static_cast<std::size_t>(n));
       conn->last_activity_ms = clock_->NowMs();
       continue;
@@ -416,13 +453,20 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
 }
 
 void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
+  // Parse latency feeds the request's QueryTrace; only pay the clock
+  // reads when telemetry is actually on.
+  const bool time_parse = dispatcher_.metrics_enabled();
   std::deque<Request> parsed;
   std::size_t begin = 0;
   for (;;) {
     const std::size_t nl = conn->in.find('\n', begin);
     if (nl == std::string::npos) break;
+    const std::uint64_t t0 = time_parse ? clock_->NowMicros() : 0;
     Request req = ParseRequest(
         std::string_view(conn->in).substr(begin, nl - begin));
+    if (time_parse) {
+      req.parse_us = static_cast<std::uint32_t>(clock_->NowMicros() - t0);
+    }
     begin = nl + 1;
     if (req.kind != RequestKind::kNone) parsed.push_back(std::move(req));
   }
@@ -436,7 +480,7 @@ void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
     // by a quit, flowing through the normal pending pipeline. The
     // buffered-input cap (slowloris guard) reports "error: timeout".
     conn->in.clear();
-    if (overcap) idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    if (overcap) idle_closed_->Inc();
     Request err;
     err.kind = RequestKind::kInvalid;
     err.error = overcap ? "error: timeout" : "error: request line too long";
@@ -463,6 +507,7 @@ void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
       MutexLock lock(&work_mu_);
       work_queue_.push_back(conn);
     }
+    queue_depth_->Add(1);
     work_cv_.NotifyOne();
   }
 }
@@ -477,8 +522,7 @@ void TcpServer::Flush(const std::shared_ptr<Connection>& conn) {
       const ssize_t n =
           ::send(conn->fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
       if (n > 0) {
-        bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
-                             std::memory_order_relaxed);
+        bytes_out_->Inc(static_cast<std::uint64_t>(n));
         conn->out.erase(0, static_cast<std::size_t>(n));
         conn->last_activity_ms = clock_->NowMs();
         continue;
@@ -515,7 +559,7 @@ void TcpServer::CloseConn(const std::shared_ptr<Connection>& conn) {
   ::close(conn->fd);
   conns_.erase(conn->fd);
   conn->fd = -1;
-  open_.fetch_sub(1, std::memory_order_relaxed);
+  open_->Add(-1);
 }
 
 // ---- Workers ----
@@ -532,6 +576,7 @@ void TcpServer::WorkerLoop() {
       conn = std::move(work_queue_.front());
       work_queue_.pop_front();
     }
+    queue_depth_->Add(-1);
     ProcessConnection(conn);
   }
 }
@@ -599,23 +644,23 @@ void TcpServer::NotifyFlush(std::shared_ptr<Connection> conn) {
 
 TcpServerStats TcpServer::stats() const {
   TcpServerStats s;
-  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  s.connections_open = open_.load(std::memory_order_relaxed);
+  s.connections_accepted = accepted_->Value();
+  s.connections_open = static_cast<std::uint64_t>(open_->Value());
   s.requests = dispatcher_.requests();
   s.errors = dispatcher_.errors();
-  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
-  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
-  s.accept_shed = accept_shed_.load(std::memory_order_relaxed);
-  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_->Value();
+  s.bytes_out = bytes_out_->Value();
+  s.accept_shed = accept_shed_->Value();
+  s.idle_closed = idle_closed_->Value();
   return s;
 }
 
 ServeStats TcpServer::ServeStatsSnapshot() const {
   ServeStats s;
-  s.connections_open = open_.load(std::memory_order_relaxed);
-  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
-  s.accept_shed = accept_shed_.load(std::memory_order_relaxed);
-  s.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  s.connections_open = static_cast<std::uint64_t>(open_->Value());
+  s.connections_accepted = accepted_->Value();
+  s.accept_shed = accept_shed_->Value();
+  s.idle_closed = idle_closed_->Value();
   if (cache_ != nullptr) {
     const QueryCacheStats cs = cache_->GetStats();
     s.cache_hits = cs.hits;

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "core/index.h"
+#include "obs/metrics.h"
 #include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
@@ -75,10 +77,23 @@ struct TcpServerOptions {
   /// closed — dribbling bytes forever cannot pin memory. 0 disables
   /// (the per-line max_line_bytes still applies).
   std::size_t max_buffered_bytes = 0;
-  /// Time source for idle sweeps and the shutdown drain deadline.
-  /// nullptr = the process-wide SystemClock; tests inject a ManualClock
-  /// to drive timeouts without real sleeps. Must outlive the server.
+  /// Time source for idle sweeps, the shutdown drain deadline, and (when
+  /// metrics are on) request/stage latency timing. nullptr = the
+  /// process-wide SystemClock; tests inject a ManualClock to drive
+  /// timeouts without real sleeps. Must outlive the server.
   const Clock* clock = nullptr;
+  /// Metric registry (DESIGN.md §16). When set, the server registers its
+  /// connection/byte/queue instruments there and installs it on the
+  /// dispatcher (per-verb histograms, stage traces, the `metrics` verb).
+  /// nullptr in catalog mode falls back to the catalog's registry;
+  /// nullptr in single-index mode disables telemetry. Must outlive the
+  /// server.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Requests slower than this many ms hit the slow-query log (0 = off).
+  /// Only effective when a registry is resolved.
+  std::uint64_t slow_query_threshold_ms = 0;
+  /// Receives slow-query lines; null logs via ISLABEL_LOG(kWarn).
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 struct TcpServerStats {
@@ -139,8 +154,16 @@ class TcpServer {
   /// The counters behind a `stats` response, cache fields included.
   ServeStats ServeStatsSnapshot() const;
 
+  /// The resolved metric registry (options, or the catalog's), or null
+  /// when this server runs without telemetry.
+  obs::MetricRegistry* metrics() const { return dispatcher_.metrics(); }
+
  private:
   struct Connection;
+
+  /// Resolves the registry (options > catalog > none) and registers the
+  /// server-level instruments + dispatcher metrics. Constructor-time.
+  void InitMetrics();
 
   void EventLoop();
   void WorkerLoop();
@@ -199,12 +222,20 @@ class TcpServer {
   Mutex flush_mu_;
   std::deque<std::shared_ptr<Connection>> flush_queue_ GUARDED_BY(flush_mu_);
 
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> open_{0};
-  std::atomic<std::uint64_t> bytes_in_{0};
-  std::atomic<std::uint64_t> bytes_out_{0};
-  std::atomic<std::uint64_t> accept_shed_{0};
-  std::atomic<std::uint64_t> idle_closed_{0};
+  // One counter system (DESIGN.md §16): private instruments unless
+  // InitMetrics re-points them at registry series. Either way the update
+  // sites are identical relaxed atomics, so the loop/worker threads never
+  // branch on "is telemetry on".
+  obs::Counter own_accepted_, own_bytes_in_, own_bytes_out_;
+  obs::Counter own_accept_shed_, own_idle_closed_;
+  obs::Gauge own_open_, own_queue_depth_;
+  obs::Counter* accepted_ = &own_accepted_;
+  obs::Gauge* open_ = &own_open_;
+  obs::Counter* bytes_in_ = &own_bytes_in_;
+  obs::Counter* bytes_out_ = &own_bytes_out_;
+  obs::Counter* accept_shed_ = &own_accept_shed_;
+  obs::Counter* idle_closed_ = &own_idle_closed_;
+  obs::Gauge* queue_depth_ = &own_queue_depth_;
 };
 
 }  // namespace server

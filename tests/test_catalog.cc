@@ -762,5 +762,58 @@ TEST_F(CatalogServerTest, CrossComponentAnswersUnreachableOverTheWire) {
   EXPECT_EQ(client.ReadLine(), "unreachable");
 }
 
+TEST_F(CatalogServerTest, MetricsVerbExposesCatalogFamilies) {
+  // Catalog mode needs no explicit wiring: the server scrapes the
+  // catalog's own registry (a catalog always has one).
+  TestClient client(server_->port());
+  client.Send("1 2\nuse b\n0 1\nreload a\nmetrics\n");
+  (void)client.ReadLine();  // distance on a
+  ASSERT_EQ(client.ReadLine(), "ok: using b");
+  (void)client.ReadLine();  // distance on b
+  ASSERT_EQ(client.ReadLine(), "ok: reloaded a");
+
+  std::vector<std::string> lines;
+  for (;;) {
+    const std::string line = client.ReadLine();
+    ASSERT_NE(line, "<eof>");
+    lines.push_back(line);
+    if (line == "# EOF") break;
+  }
+  auto value = [&lines](const std::string& series) -> std::uint64_t {
+    for (const std::string& line : lines) {
+      if (line.rfind(series + " ", 0) == 0) {
+        return std::strtoull(line.c_str() + series.size() + 1, nullptr, 10);
+      }
+    }
+    ADD_FAILURE() << "series not found: " << series;
+    return 0;
+  };
+  // Per-dataset routing is visible in the labels.
+  EXPECT_EQ(value("islabel_dataset_requests_total{dataset=\"a\"}"), 1u);
+  EXPECT_EQ(value("islabel_dataset_requests_total{dataset=\"b\"}"), 1u);
+  EXPECT_EQ(value("islabel_dataset_reloads_total{dataset=\"a\"}"), 1u);
+  EXPECT_EQ(value("islabel_catalog_reload_seconds_count"), 1u);
+  // Server-level families live in the same registry: use + reload +
+  // 2 distances + the metrics scrape itself.
+  EXPECT_EQ(value("islabel_server_requests_total"), 5u);
+  // The exposition spans the required subsystem breadth.
+  std::set<std::string> families;
+  for (const std::string& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream t(line.substr(7));
+      std::string name;
+      t >> name;
+      families.insert(name);
+    }
+  }
+  EXPECT_GE(families.size(), 12u);
+  for (const char* want :
+       {"islabel_server_requests_total", "islabel_server_connections_open",
+        "islabel_dataset_requests_total", "islabel_catalog_reload_seconds",
+        "islabel_pool_lease_wait_seconds", "islabel_query_stage_seconds"}) {
+    EXPECT_NE(families.count(want), 0u) << want;
+  }
+}
+
 }  // namespace
 }  // namespace islabel

@@ -1,0 +1,404 @@
+// Tests for the telemetry layer (src/obs/): registry identity and
+// kind-mismatch behavior, histogram bucket math and quantile
+// interpolation, the enabled A/B switch, Prometheus exposition
+// validity, a multi-threaded histogram hammer (the TSan target for the
+// record path), and the QueryTrace / slow-query machinery on a
+// ManualClock.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace islabel {
+namespace obs {
+namespace {
+
+// ---------- Registry identity ----------
+
+TEST(MetricRegistry, GetOrCreateReturnsSamePointer) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("islabel_test_total", "help");
+  Counter* b = reg.GetCounter("islabel_test_total", "help");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3u);
+
+  Gauge* g1 = reg.GetGauge("islabel_test_level", "help");
+  Gauge* g2 = reg.GetGauge("islabel_test_level", "help");
+  EXPECT_EQ(g1, g2);
+
+  Histogram* h1 = reg.GetHistogram("islabel_test_seconds", "help");
+  Histogram* h2 = reg.GetHistogram("islabel_test_seconds", "help");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricRegistry, DistinctLabelsAreDistinctSeries) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("islabel_test_total", "h", {{"verb", "a"}});
+  Counter* b = reg.GetCounter("islabel_test_total", "h", {{"verb", "b"}});
+  EXPECT_NE(a, b);
+  a->Inc();
+  EXPECT_EQ(a->Value(), 1u);
+  EXPECT_EQ(b->Value(), 0u);
+  // Same labels again: same series.
+  EXPECT_EQ(a, reg.GetCounter("islabel_test_total", "h", {{"verb", "a"}}));
+}
+
+TEST(MetricRegistry, KindMismatchYieldsScratchNotCrash) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("islabel_test_total", "h");
+  Gauge* g = reg.GetGauge("islabel_test_total", "h");  // wrong kind
+  Histogram* h = reg.GetHistogram("islabel_test_total", "h");  // wrong kind
+  // Recording into the scratch instruments works...
+  g->Set(7);
+  h->Record(5);
+  c->Inc();
+  // ...but the family keeps its original kind and value, and nothing
+  // bogus is rendered.
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE islabel_test_total counter"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE islabel_test_total gauge"), std::string::npos);
+  EXPECT_EQ(reg.FamilyNames().size(), 1u);
+}
+
+TEST(MetricRegistry, EnabledFlagTurnsRecordingIntoNoop) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("islabel_test_total", "h");
+  Gauge* g = reg.GetGauge("islabel_test_level", "h");
+  Histogram* h = reg.GetHistogram("islabel_test_seconds", "h");
+  c->Inc();
+  g->Set(5);
+  h->Record(10);
+
+  reg.set_enabled(false);
+  c->Inc(100);
+  g->Set(999);
+  g->Add(999);
+  h->Record(10);
+  EXPECT_EQ(c->Value(), 1u);
+  EXPECT_EQ(g->Value(), 5);
+  EXPECT_EQ(h->Count(), 1u);
+
+  reg.set_enabled(true);
+  c->Inc();
+  EXPECT_EQ(c->Value(), 2u);
+}
+
+TEST(MetricRegistry, StandaloneInstrumentsAlwaysRecord) {
+  // Instruments outside any registry (the "own_" embedded default of
+  // the one-counter-system pattern) have no enabled flag: always live.
+  Counter c;
+  c.Inc(4);
+  EXPECT_EQ(c.Value(), 4u);
+  Gauge g;
+  g.Add(2);
+  g.Add(-5);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(MetricRegistry, CallbackGaugeReRegisterReplaces) {
+  MetricRegistry reg;
+  int live = 42;
+  reg.RegisterCallbackGauge("islabel_test_cb", "h", {},
+                            [&live] { return static_cast<double>(live); });
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("islabel_test_cb 42"), std::string::npos);
+  // Freeze: replace the live closure with a value capture (the
+  // ReplicaAgent::FreezeMetrics pattern).
+  reg.RegisterCallbackGauge("islabel_test_cb", "h", {}, [] { return 7.0; });
+  live = 0;
+  text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("islabel_test_cb 7"), std::string::npos);
+  EXPECT_EQ(reg.FamilyNames().size(), 1u);
+}
+
+// ---------- Histogram math ----------
+
+TEST(Histogram, BucketIndexEdges) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3);
+  // Every exact power of two lands in its own bucket (upper bound is
+  // inclusive), one past it spills into the next.
+  for (int i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketUpperMicros(i)), i);
+  }
+  const std::uint64_t top =
+      Histogram::BucketUpperMicros(Histogram::kNumFiniteBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(top + 1), Histogram::kNumFiniteBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(~0ull), Histogram::kNumFiniteBuckets);
+}
+
+TEST(Histogram, RecordAccumulatesCountSumBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Record(1);
+  h.Record(1000);  // bucket 10: (512, 1024]
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.SumMicros(), 2001u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(10), 2u);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideBucket) {
+  Histogram h;
+  EXPECT_EQ(h.QuantileMicros(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.Record(1000);  // all in (512, 1024]
+  const double p50 = h.QuantileMicros(0.5);
+  const double p99 = h.QuantileMicros(0.99);
+  EXPECT_GT(p50, 512.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, p50);  // quantiles are monotone in q
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(Histogram, OverflowQuantileReportsTopFiniteBound) {
+  Histogram h;
+  h.Record(~0ull);  // way past the top finite bucket
+  const double top = static_cast<double>(
+      Histogram::BucketUpperMicros(Histogram::kNumFiniteBuckets - 1));
+  EXPECT_EQ(h.QuantileMicros(0.5), top);
+  EXPECT_EQ(h.QuantileMicros(1.0), top);
+}
+
+// ---------- Prometheus exposition validity ----------
+
+// Minimal strict parser for the subset of the text format the registry
+// emits: every line is "# HELP name text", "# TYPE name kind",
+// "name[{labels}] value", or the final "# EOF". Samples must follow
+// their TYPE line; histogram buckets must be cumulative and end at
+// +Inf == count.
+void CheckPrometheusText(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> typed;
+  std::string last;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(saw_eof) << "content after # EOF: " << line;
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    last = line;
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream t(line.substr(7));
+      std::string name, kind;
+      t >> name >> kind;
+      ASSERT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      typed.insert(name);
+      continue;
+    }
+    // Sample line: name[{...}] SP value.
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::string series = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    char* end = nullptr;
+    (void)std::strtod(value.c_str(), &end);
+    ASSERT_EQ(*end, '\0') << "unparsable value in: " << line;
+    std::string name = series.substr(0, series.find('{'));
+    // Histogram sample names carry a suffix; strip it to find the family.
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s = suffix;
+      if (typed.count(name) == 0 && name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string stripped = name.substr(0, name.size() - s.size());
+        if (typed.count(stripped) != 0) name = stripped;
+      }
+    }
+    EXPECT_NE(typed.count(name), 0u)
+        << "sample before its # TYPE line: " << line;
+  }
+  EXPECT_TRUE(saw_eof);
+  EXPECT_EQ(last, "# EOF");
+}
+
+TEST(MetricRegistry, RenderPrometheusIsValidAndEofTerminated) {
+  MetricRegistry reg;
+  reg.GetCounter("islabel_test_total", "Total things.")->Inc(5);
+  reg.GetCounter("islabel_test_by_verb_total", "h", {{"verb", "distance"}})
+      ->Inc();
+  reg.GetGauge("islabel_test_level", "A level.")->Set(-3);
+  Histogram* h = reg.GetHistogram("islabel_test_seconds", "Latency.",
+                                  {{"verb", "path"}});
+  h->Record(1);
+  h->Record(100);
+  h->Record(100000);
+  reg.RegisterCallbackGauge("islabel_test_cb", "Sampled at scrape.", {},
+                            [] { return 1.5; });
+  const std::string text = reg.RenderPrometheus();
+  CheckPrometheusText(text);
+
+  // Histogram invariants: cumulative buckets, +Inf equals _count.
+  EXPECT_NE(
+      text.find("islabel_test_seconds_bucket{verb=\"path\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("islabel_test_seconds_count{verb=\"path\"} 3"),
+            std::string::npos);
+  // Help text with a newline is escaped, not emitted raw.
+  MetricRegistry reg2;
+  reg2.GetCounter("islabel_test_total", "line1\nline2")->Inc();
+  CheckPrometheusText(reg2.RenderPrometheus());
+}
+
+TEST(MetricRegistry, LabelValuesAreEscaped) {
+  MetricRegistry reg;
+  reg.GetCounter("islabel_test_total", "h", {{"p", "a\"b\\c\nd"}})->Inc();
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("p=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  CheckPrometheusText(text);
+}
+
+// ---------- Concurrency: the TSan target ----------
+
+TEST(Histogram, ConcurrentRecordConservesTotals) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("islabel_test_seconds", "h");
+  Counter* c = reg.GetCounter("islabel_test_total", "h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h, c, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Deterministic spread across buckets, different per thread.
+        h->Record(static_cast<std::uint64_t>((i * 7 + t) % 5000));
+        c->Inc();
+      }
+    });
+  }
+  // Scrapes race the writers; rendering must stay well-formed.
+  for (int i = 0; i < 10; ++i) CheckPrometheusText(reg.RenderPrometheus());
+  for (auto& th : threads) th.join();
+
+  const std::uint64_t expected = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(c->Value(), expected);
+  EXPECT_EQ(h->Count(), expected);
+  std::uint64_t bucket_sum = 0;
+  for (int i = 0; i <= Histogram::kNumFiniteBuckets; ++i) {
+    bucket_sum += h->BucketCount(i);
+  }
+  EXPECT_EQ(bucket_sum, expected);  // no lost or double-counted events
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) expected_sum += (i * 7 + t) % 5000;
+  }
+  EXPECT_EQ(h->SumMicros(), expected_sum);
+}
+
+TEST(MetricRegistry, ConcurrentGetOrCreateIsSafe) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      for (int i = 0; i < 500; ++i) {
+        Counter* c = reg.GetCounter("islabel_test_total", "h");
+        c->Inc();
+        seen[static_cast<std::size_t>(t)] = c;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->Value(), 8u * 500u);
+}
+
+// ---------- QueryTrace / slow-query ----------
+
+TEST(QueryTrace, StageTimerAttributesToCurrentTrace) {
+  ManualClock clock;
+  QueryTrace trace(&clock);
+  TraceScope scope(&trace);
+  ASSERT_EQ(CurrentTrace(), &trace);
+  {
+    StageTimer timer(Stage::kKernel);
+    clock.AdvanceMicros(250);
+  }
+  {
+    StageTimer timer(Stage::kEncode);
+    clock.AdvanceMicros(30);
+  }
+  {
+    StageTimer timer(Stage::kKernel);  // stages accumulate
+    clock.AdvanceMicros(50);
+  }
+  EXPECT_EQ(trace.StageMicros(Stage::kKernel), 300u);
+  EXPECT_EQ(trace.StageMicros(Stage::kEncode), 30u);
+  EXPECT_EQ(trace.StageMicros(Stage::kParse), 0u);
+}
+
+TEST(QueryTrace, NoTraceInstalledMeansNoEffect) {
+  ASSERT_EQ(CurrentTrace(), nullptr);
+  StageTimer timer(Stage::kKernel);  // must not crash or read a clock
+}
+
+TEST(QueryTrace, TraceScopeRestoresPrevious) {
+  ManualClock clock;
+  QueryTrace outer(&clock);
+  TraceScope outer_scope(&outer);
+  {
+    QueryTrace inner(&clock);
+    TraceScope inner_scope(&inner);
+    EXPECT_EQ(CurrentTrace(), &inner);
+  }
+  EXPECT_EQ(CurrentTrace(), &outer);
+}
+
+TEST(QueryTrace, KernelDepthGuardOnlyOutermostCounts) {
+  ManualClock clock;
+  QueryTrace trace(&clock);
+  EXPECT_TRUE(trace.BeginKernel());
+  EXPECT_FALSE(trace.BeginKernel());  // nested frame must not attribute
+  trace.EndKernel();
+  trace.EndKernel();
+  EXPECT_TRUE(trace.BeginKernel());  // guard resets once fully unwound
+  trace.EndKernel();
+}
+
+TEST(QueryTrace, StageNamesArePinned) {
+  EXPECT_STREQ(StageName(Stage::kParse), "parse");
+  EXPECT_STREQ(StageName(Stage::kCacheLookup), "cache_lookup");
+  EXPECT_STREQ(StageName(Stage::kPoolWait), "pool_wait");
+  EXPECT_STREQ(StageName(Stage::kKernel), "kernel");
+  EXPECT_STREQ(StageName(Stage::kEncode), "encode");
+}
+
+TEST(QueryTrace, SlowQueryLineFormatIsPinned) {
+  ManualClock clock;
+  QueryTrace trace(&clock);
+  trace.Add(Stage::kParse, 10);
+  trace.Add(Stage::kCacheLookup, 2);
+  trace.Add(Stage::kPoolWait, 400);
+  trace.Add(Stage::kKernel, 11800);
+  trace.Add(Stage::kEncode, 3);
+  EXPECT_EQ(FormatSlowQueryLine("distance", 12345, trace),
+            "slow-query verb=distance total_us=12345 parse_us=10 cache_us=2 "
+            "pool_wait_us=400 kernel_us=11800 encode_us=3");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace islabel

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -25,11 +26,13 @@
 
 #include "baseline/dijkstra.h"
 #include "core/index.h"
+#include "obs/metrics.h"
 #include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
 #include "server/tcp_server.h"
 #include "tests/test_common.h"
+#include "util/clock.h"
 
 namespace islabel {
 namespace {
@@ -815,6 +818,189 @@ TEST_F(TcpServerTest, AcceptShedsUnderFdPressure) {
   ASSERT_TRUE(after.connected());
   after.Send("1 2\n");
   EXPECT_EQ(after.ReadLine(), server::FormatDistance(Expected(1, 2)));
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpServerTest, MetricsVerbWithoutRegistryAnswersNotSupported) {
+  // The fixture's server has neither an explicit registry nor a catalog.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("metrics\n");
+  EXPECT_EQ(client.ReadLine(), "error: NotSupported: metrics not enabled");
+  client.Send("metrics now\n");
+  EXPECT_EQ(client.ReadLine(), "error: usage: metrics");
+}
+
+// Reads lines until "# EOF" (inclusive) and checks Prometheus text
+// shape: HELP/TYPE pairs, parsable sample values, no blank lines.
+std::vector<std::string> ReadMetricsResponse(TestClient* client) {
+  std::vector<std::string> lines;
+  for (;;) {
+    const std::string line = client->ReadLine();
+    EXPECT_NE(line, "<eof>") << "connection died mid-exposition";
+    if (line == "<eof>") break;
+    lines.push_back(line);
+    if (line == "# EOF") break;
+  }
+  std::set<std::string> typed;
+  for (const std::string& line : lines) {
+    EXPECT_FALSE(line.empty());
+    if (line.empty() || line == "# EOF") continue;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream t(line.substr(7));
+      std::string name, kind;
+      t >> name >> kind;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      typed.insert(name);
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    if (sp == std::string::npos) continue;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparsable sample value: " << line;
+  }
+  EXPECT_FALSE(typed.empty());
+  return lines;
+}
+
+std::uint64_t MetricValue(const std::vector<std::string>& lines,
+                          const std::string& series) {
+  for (const std::string& line : lines) {
+    if (line.rfind(series + " ", 0) == 0) {
+      return std::strtoull(line.c_str() + series.size() + 1, nullptr, 10);
+    }
+  }
+  ADD_FAILURE() << "series not found: " << series;
+  return 0;
+}
+
+/// Sum over every series of `family` (e.g. the cache's per-shard split).
+std::uint64_t MetricSum(const std::vector<std::string>& lines,
+                        const std::string& family) {
+  std::uint64_t sum = 0;
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.rfind(family + "{", 0) == 0 || line.rfind(family + " ", 0) == 0) {
+      const std::size_t sp = line.rfind(' ');
+      sum += std::strtoull(line.c_str() + sp + 1, nullptr, 10);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "family not found: " << family;
+  return sum;
+}
+
+TEST(TcpServerMetrics, MetricsVerbRendersPrometheusOverLoopback) {
+  Graph graph = MakeTestGraph(Family::kErdosRenyi, 200, true, 7);
+  auto built = ISLabelIndex::Build(graph);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  obs::MetricRegistry registry;
+  index.InstallMetrics(&registry);
+  QueryCacheOptions copts;
+  copts.metrics = &registry;
+  auto cache = std::make_shared<QueryCache>(copts);
+  index.set_distance_cache(cache);
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 2;
+  opts.metrics = &registry;
+  TcpServer server(&index, cache.get(), opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("1 2\n1 2\none 1 2 3\nmetrics\n");
+  (void)client.ReadLine();
+  (void)client.ReadLine();
+  (void)client.ReadLine();
+  const std::vector<std::string> lines = ReadMetricsResponse(&client);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+
+  // The exposition spans server, cache and pool families.
+  EXPECT_EQ(MetricValue(lines, "islabel_server_requests_total"), 4u);
+  EXPECT_EQ(MetricValue(lines, "islabel_server_connections_accepted_total"),
+            1u);
+  EXPECT_EQ(MetricValue(lines,
+                        "islabel_server_request_seconds_count{verb="
+                        "\"distance\"}"),
+            2u);
+  EXPECT_EQ(
+      MetricValue(lines, "islabel_server_request_seconds_count{verb=\"one\"}"),
+      1u);
+  // The repeated pair hit the result cache (per-shard series sum up;
+  // the one-to-many verb bypasses the pair cache).
+  EXPECT_EQ(MetricSum(lines, "islabel_cache_hits_total"), 1u);
+  EXPECT_EQ(MetricSum(lines, "islabel_cache_misses_total"), 1u);
+  // Every query verb records every stage (zeros included), so each
+  // stage's count equals the query-verb count.
+  for (const char* stage :
+       {"parse", "cache_lookup", "pool_wait", "kernel", "encode"}) {
+    EXPECT_EQ(MetricValue(lines,
+                          std::string("islabel_query_stage_seconds_count{"
+                                      "stage=\"") +
+                              stage + "\"}"),
+              3u)
+        << stage;
+  }
+
+  // A second scrape must advance the request counter (the scrape itself
+  // is a request) and stay well-formed.
+  client.Send("metrics\n");
+  const std::vector<std::string> again = ReadMetricsResponse(&client);
+  EXPECT_EQ(MetricValue(again, "islabel_server_requests_total"), 5u);
+
+  client.Send("quit\n");
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+  server.Stop();
+  server.Wait();
+}
+
+TEST(DispatcherMetrics, SlowQueryLineGoesToSinkWithStageBreakdown) {
+  Graph graph = MakeTestGraph(Family::kPath, 32, true, 3);
+  auto built = ISLabelIndex::Build(graph);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  server::RequestDispatcher dispatcher(&index);
+  obs::MetricRegistry registry;
+  ManualClock clock;
+  std::vector<std::string> slow_lines;
+  server::RequestDispatcher::MetricsOptions mopts;
+  mopts.registry = &registry;
+  mopts.clock = &clock;
+  mopts.slow_query_threshold_ms = 1;
+  mopts.slow_query_sink = [&slow_lines](const std::string& line) {
+    slow_lines.push_back(line);
+  };
+  dispatcher.InstallMetrics(mopts);
+
+  // The manual clock never advances during execution, so total latency
+  // is exactly the parse time the front end reports — deterministic.
+  Request fast = ParseRequest("1 2");
+  fast.parse_us = 999;  // 0.999ms < 1ms threshold
+  (void)dispatcher.Execute(fast);
+  EXPECT_TRUE(slow_lines.empty());
+
+  Request slow = ParseRequest("1 2");
+  slow.parse_us = 5000;
+  (void)dispatcher.Execute(slow);
+  ASSERT_EQ(slow_lines.size(), 1u);
+  EXPECT_EQ(slow_lines[0].rfind(
+                "slow-query verb=distance total_us=5000 parse_us=5000 ", 0),
+            0u)
+      << slow_lines[0];
+  EXPECT_EQ(
+      registry.GetCounter("islabel_server_slow_queries_total", "")->Value(),
+      1u);
 }
 
 }  // namespace

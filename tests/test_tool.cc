@@ -244,6 +244,68 @@ TEST_F(ToolTest, PartitionBuildAndCatalogServe) {
   EXPECT_NE(lines[7].find("alpha.reloads=1"), std::string::npos) << lines[7];
 }
 
+TEST_F(ToolTest, ServeMetricsVerbSingleIndexMode) {
+  std::string out;
+  const std::string script = "printf '1 2\\n1 2\\nmetrics\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --index " +
+                           index_dir_ + " --cache-mb 8 --slow-query-ms 5000",
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  ASSERT_GE(lines.size(), 4u) << out;
+  EXPECT_EQ(lines[0], DistStr(1, 2));
+  EXPECT_EQ(lines[1], DistStr(1, 2));
+  // The Prometheus blob ends with exactly "# EOF" and nothing after.
+  EXPECT_EQ(lines.back(), "# EOF") << out;
+  EXPECT_NE(out.find("# TYPE islabel_server_requests_total counter"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("islabel_server_requests_total 3"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find(
+                "islabel_server_request_seconds_count{verb=\"distance\"} 2"),
+            std::string::npos)
+      << out;
+  // Single-index mode bridges the engine pool and the cache too.
+  EXPECT_NE(out.find("islabel_pool_engines_created_total"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("islabel_cache_hits_total"), std::string::npos) << out;
+}
+
+TEST_F(ToolTest, ServeMetricsVerbCatalogMode) {
+  const Graph dg =
+      MakeTestGraph(Family::kDisconnected, 120, /*weighted=*/true, 31);
+  const std::string dg_path = dir_ + "/dg.txt";
+  ASSERT_TRUE(WriteEdgeListText(dg, dg_path).ok());
+  const std::string cat_dir = dir_ + "/cat";
+  std::string out;
+  ASSERT_EQ(RunCommand(tool_ + " partition-build --graph " + dg_path +
+                           " --catalog " + cat_dir,
+                       &out),
+            0)
+      << out;
+  const std::string script = "printf '0 1\\nuse beta\\n0 1\\nmetrics\\nquit\\n'";
+  ASSERT_EQ(RunCommand(script + " | " + tool_ + " serve --dataset alpha=" +
+                           cat_dir + " --dataset beta=" + cat_dir +
+                           " --cache-mb 4",
+                       &out),
+            0);
+  const std::vector<std::string> lines = SplitLines(out);
+  EXPECT_EQ(lines.back(), "# EOF") << out;
+  // Dataset routing shows up as labels in the catalog's registry.
+  EXPECT_NE(out.find("islabel_dataset_requests_total{dataset=\"alpha\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("islabel_dataset_requests_total{dataset=\"beta\"} 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("islabel_cache_hits_total{dataset=\"alpha\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("islabel_server_requests_total 4"), std::string::npos)
+      << out;
+}
+
 TEST_F(ToolTest, PartitionBuildChAndAutoBackendsServeUnchangedProtocol) {
   // A road-like grid through `partition-build --backend ch`, then
   // `--backend auto` (which must also pick CH here) — both catalogs are

@@ -48,6 +48,8 @@
 #include "catalog/partitioned_index.h"
 #include "core/index.h"
 #include "graph/generators.h"
+#include "obs/io_bridge.h"
+#include "obs/metrics.h"
 #include "graph/graph_io.h"
 #include "graph/components.h"
 #include "graph/stats.h"
@@ -141,7 +143,7 @@ int Usage() {
       "  islabel serve --index DIR | --dataset NAME=DIR [--dataset ...]\n"
       "                [--disk] [--listen HOST:PORT] [--threads N]\n"
       "                [--cache-mb M] [--idle-timeout-ms N]\n"
-      "                [--max-buffered-kb N]\n"
+      "                [--max-buffered-kb N] [--slow-query-ms N]\n"
       "  islabel serve --replicate-from HOST:PORT --repl-root DIR\n"
       "                [--listen HOST:PORT] [--poll-ms N] [--threads N]\n"
       "  islabel query --endpoints H:P,H:P,... S T [S T ...]\n"
@@ -549,6 +551,8 @@ int ParseListenOption(const Args& args, server::TcpServerOptions* sopts) {
       static_cast<std::uint32_t>(args.GetInt("idle-timeout-ms", 60'000));
   sopts->max_buffered_bytes =
       static_cast<std::size_t>(args.GetInt("max-buffered-kb", 1024)) << 10;
+  sopts->slow_query_threshold_ms =
+      static_cast<std::uint64_t>(args.GetInt("slow-query-ms", 0));
   return 0;
 }
 
@@ -570,9 +574,17 @@ int RunTcpServer(server::TcpServer* tcp_server) {
 int ServeStdin(server::RequestDispatcher* dispatcher,
                server::QueryCache* cache) {
   server::RequestDispatcher::Session session;
+  // Parse timing feeds the QueryTrace, exactly like the TCP front end.
+  static const SystemClock kParseClock;
+  const bool time_parse = dispatcher->metrics_enabled();
   std::string line;
   while (std::getline(std::cin, line)) {
-    const server::Request req = server::ParseRequest(line);
+    const std::uint64_t t0 = time_parse ? kParseClock.NowMicros() : 0;
+    server::Request req = server::ParseRequest(line);
+    if (time_parse) {
+      req.parse_us =
+          static_cast<std::uint32_t>(kParseClock.NowMicros() - t0);
+    }
     if (req.kind == server::RequestKind::kNone) continue;
     if (req.kind == server::RequestKind::kQuit) break;
     std::string response;
@@ -642,6 +654,8 @@ int ServeCatalog(const Args& args,
     for (const std::string& name : names) {
       server::QueryCacheOptions copts;
       copts.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
+      copts.metrics = catalog.metrics();
+      copts.metrics_dataset = name;
       const Status cache_st = catalog.SetDistanceCache(
           name, std::make_shared<server::QueryCache>(copts));
       if (!cache_st.ok()) {
@@ -686,6 +700,11 @@ int ServeCatalog(const Args& args,
                "'stats', 'quit'\n",
                names.size(), names.front().c_str());
   server::RequestDispatcher dispatcher(&catalog, names.front());
+  server::RequestDispatcher::MetricsOptions mopts;
+  mopts.registry = catalog.metrics();
+  mopts.slow_query_threshold_ms =
+      static_cast<std::uint64_t>(args.GetInt("slow-query-ms", 0));
+  dispatcher.InstallMetrics(mopts);
   return ServeStdin(&dispatcher, nullptr);
 }
 
@@ -737,6 +756,9 @@ int CmdServe(const Args& args) {
   const std::vector<std::string> dataset_specs = args.GetAll("dataset");
   if (!dataset_specs.empty()) return ServeCatalog(args, dataset_specs);
 
+  // Declared before the index so every registered instrument (pool
+  // series, cache counters, the io bridge) outlives its writers.
+  obs::MetricRegistry registry;
   auto loaded = LoadIndexArg(args);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -744,6 +766,13 @@ int CmdServe(const Args& args) {
     return 1;
   }
   ISLabelIndex index = std::move(loaded).value();
+  index.InstallMetrics(&registry);
+  if (index.labels_on_disk()) {
+    obs::BridgeIoStats(&registry, {},
+                       [store = index.label_store()] {
+                         return store->stats();
+                       });
+  }
   const bool tcp = args.Has("listen");
 
   std::shared_ptr<server::QueryCache> cache;
@@ -751,6 +780,7 @@ int CmdServe(const Args& args) {
   if (cache_mb > 0) {
     server::QueryCacheOptions copts;
     copts.capacity_bytes = static_cast<std::size_t>(cache_mb) << 20;
+    copts.metrics = &registry;
     cache = std::make_shared<server::QueryCache>(copts);
     index.set_distance_cache(cache);
   }
@@ -759,6 +789,7 @@ int CmdServe(const Args& args) {
     server::TcpServerOptions sopts;
     const int rc = ParseListenOption(args, &sopts);
     if (rc != 0) return rc;
+    sopts.metrics = &registry;
     server::TcpServer tcp_server(&index, cache.get(), sopts);
     Status st = tcp_server.Start();
     if (!st.ok()) {
@@ -780,6 +811,11 @@ int CmdServe(const Args& args) {
                "'path S T', 'stats', 'quit'\n",
                index.NumVertices(), args.Has("disk") ? "disk" : "in-memory");
   server::RequestDispatcher dispatcher(&index);
+  server::RequestDispatcher::MetricsOptions mopts;
+  mopts.registry = &registry;
+  mopts.slow_query_threshold_ms =
+      static_cast<std::uint64_t>(args.GetInt("slow-query-ms", 0));
+  dispatcher.InstallMetrics(mopts);
   return ServeStdin(&dispatcher, cache.get());
 }
 

@@ -1,0 +1,12 @@
+// Seeded metric-names violations: an undocumented registration, a name
+// without the islabel_ prefix, and a computed (unlintable) name. The
+// fourth seeded violation for this rule lives in the fixture DESIGN.md
+// marker: a documented name no fixture source registers.
+#include <string>
+
+void RegisterFixtureMetrics(Registry* reg, const std::string& dynamic) {
+  reg->GetCounter("islabel_fixture_orphan_total",
+                  "Registered but missing from the DESIGN.md marker.");
+  reg->GetGauge("fixture_unprefixed", "Name lacks the islabel_ prefix.");
+  reg->GetHistogram(dynamic, "Computed name: cannot be documented.");
+}

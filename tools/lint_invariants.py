@@ -25,6 +25,13 @@ this linter proves the conventions that make that proof meaningful:
                    set pinned in DESIGN.md's `<!-- protocol-verbs: -->`
                    marker, so the wire grammar documentation cannot
                    drift from the parser.
+  metric-names     Every metric family registered in src/ (GetCounter /
+                   GetGauge / GetHistogram / RegisterCallbackGauge with
+                   a literal name) appears in DESIGN.md's
+                   `<!-- metric-names: -->` marker and vice versa, and
+                   carries the `islabel_` prefix. Registration sites
+                   must use a string literal — a computed name cannot
+                   be linted, documented, or grepped for.
   test-registered  Every tests/test_*.cc is registered in
                    tests/CMakeLists.txt — an unregistered test compiles
                    nowhere and silently stops running.
@@ -250,6 +257,74 @@ def rule_protocol_verbs(root):
     return violations
 
 
+METRIC_MARKER_RE = re.compile(r"<!--\s*metric-names:\s*([^>]*?)\s*-->", re.S)
+# A registration call whose first argument is a string literal. Matched
+# against the comment-stripped file joined with newlines, so the literal
+# may sit on the line after the open paren.
+METRIC_CALL_RE = re.compile(
+    r"\b(?:GetCounter|GetGauge|GetHistogram|RegisterCallbackGauge)"
+    r'\s*\(\s*"([A-Za-z_][A-Za-z0-9_]*)"')
+# A registration call whose first argument is NOT a string literal.
+METRIC_NONLITERAL_RE = re.compile(
+    r"\b(?:GetCounter|GetGauge|GetHistogram|RegisterCallbackGauge)"
+    r'\s*\((?!\s*")')
+# The registry API itself declares/defines these methods with
+# `std::string name` parameters; that is not a computed-name call site.
+METRIC_API_FILES = {
+    os.path.join("src", "obs", "metrics.h"),
+    os.path.join("src", "obs", "metrics.cc"),
+}
+METRIC_PREFIX = "islabel_"
+
+
+def rule_metric_names(root):
+    if not os.path.exists(os.path.join(root, DESIGN_FILE)):
+        return [(DESIGN_FILE, 1, "metric-names", "file not found")]
+    violations = []
+    registered = {}  # name -> (file, line) of first registration
+    for rel in walk_sources(root, "src"):
+        joined = "\n".join(
+            text for _lineno, text in code_lines(read_lines(root, rel)))
+        for m in METRIC_CALL_RE.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            name = m.group(1)
+            if not name.startswith(METRIC_PREFIX):
+                violations.append(
+                    (rel, lineno, "metric-names",
+                     f"metric '{name}' lacks the '{METRIC_PREFIX}' prefix"))
+            elif name not in registered:
+                registered[name] = (rel, lineno)
+        if rel in METRIC_API_FILES:
+            continue
+        for m in METRIC_NONLITERAL_RE.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            violations.append(
+                (rel, lineno, "metric-names",
+                 "metric registered under a computed name — use a string "
+                 "literal so it can be documented and grepped"))
+    design_text = "\n".join(read_lines(root, DESIGN_FILE))
+    marker = METRIC_MARKER_RE.search(design_text)
+    if marker is None:
+        # Mirrors protocol-verbs: losing the marker would silently
+        # disable the rule, so its absence IS the violation.
+        violations.append((DESIGN_FILE, 1, "metric-names",
+                           "missing '<!-- metric-names: ... -->' marker"))
+        return violations
+    documented = set(marker.group(1).split())
+    marker_line = design_text[:marker.start()].count("\n") + 1
+    for name in sorted(set(registered) - documented):
+        rel, lineno = registered[name]
+        violations.append(
+            (rel, lineno, "metric-names",
+             f"metric '{name}' registered but absent from the DESIGN.md "
+             "marker"))
+    for name in sorted(documented - set(registered)):
+        violations.append(
+            (DESIGN_FILE, marker_line, "metric-names",
+             f"metric '{name}' documented but never registered in src/"))
+    return violations
+
+
 TESTS_CMAKE = os.path.join("tests", "CMakeLists.txt")
 
 
@@ -276,6 +351,7 @@ RULES = [
     rule_clock_seam,
     rule_rng_seam,
     rule_protocol_verbs,
+    rule_metric_names,
     rule_tests_registered,
 ]
 
@@ -296,6 +372,9 @@ SELF_TEST_EXPECTED = {
     "clock-seam": 1,
     "rng-seam": 2,
     "protocol-verbs": 2,   # one undocumented verb + one unparsed verb
+    # one undocumented metric + one bad prefix + one computed name +
+    # one documented-but-unregistered name
+    "metric-names": 4,
     "test-registered": 1,
 }
 
