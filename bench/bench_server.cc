@@ -13,6 +13,12 @@
 //     QPS delta is the instrumentation overhead (DESIGN.md §16 budgets
 //     <2%). A Prometheus snapshot of the instrumented run goes to
 //     METRICS_server.prom (override: ISLABEL_BENCH_METRICS).
+//   * flight recorder A/B — same cached workload with a flight
+//     recorder wired into the dispatcher alongside the live registry
+//     (so per-stage tracing runs in both legs), once recording and
+//     once disabled; the QPS delta isolates Record() (DESIGN.md §17
+//     budgets <5%). A tracez dump of the recording run goes to
+//     TRACEZ_server.txt (override: ISLABEL_BENCH_TRACEZ).
 //   * after an update — InsertVertex bumps the cache generation; served
 //     answers are re-verified against a fresh engine, proving invalidated
 //     entries are recomputed, not served stale.
@@ -48,6 +54,7 @@
 #include "catalog/catalog.h"
 #include "catalog/partitioned_index.h"
 #include "core/index.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
@@ -441,7 +448,11 @@ int main() {
   const char* metrics_env = std::getenv("ISLABEL_BENCH_METRICS");
   const std::string metrics_path =
       metrics_env != nullptr ? metrics_env : "METRICS_server.prom";
+  const char* tracez_env = std::getenv("ISLABEL_BENCH_TRACEZ");
+  const std::string tracez_path =
+      tracez_env != nullptr ? tracez_env : "TRACEZ_server.txt";
   bool wrote_metrics_snapshot = false;
+  bool wrote_tracez_snapshot = false;
   std::uint64_t total_mismatches = 0;
 
   PrintHeader("TCP serving (epoll server, 4 loopback clients)",
@@ -596,6 +607,59 @@ int main() {
             ? (metrics_off.qps - metrics_on.qps) / metrics_off.qps * 100.0
             : 0.0;
 
+    // Leg 3b: flight recorder A/B. Same cached workload with the
+    // flight recorder wired into the dispatcher alongside the live
+    // registry — per-stage tracing runs in BOTH legs (the dispatcher
+    // traces whenever metrics are on), so toggling the recorder's
+    // enable flag isolates the Record() cost from the trace-stamping
+    // cost leg 3 already priced. DESIGN.md §17 budgets <5%.
+    LegResult recorder_on;
+    LegResult recorder_off;
+    {
+      obs::FlightRecorder recorder{obs::FlightRecorderOptions{}};
+      server::TcpServerOptions fopts = sopts;
+      fopts.metrics = &registry;
+      fopts.flight_recorder = &recorder;
+      const auto run_fr = [&](bool enabled, LegResult* out) {
+        // Fresh cache per run so the comparison is symmetric (both
+        // start cold).
+        auto fcache = std::make_shared<server::QueryCache>();
+        index.set_distance_cache(fcache);
+        recorder.set_enabled(enabled);
+        server::TcpServer srv(&index, fcache.get(), fopts);
+        if (!srv.Start().ok()) {
+          std::fprintf(stderr, "!! recorder %s leg failed to start (%s)\n",
+                       enabled ? "on" : "off", d.name.c_str());
+          ++infra_failures;
+          return;
+        }
+        *out = RunWorkload(srv.port(), workload);
+        srv.Stop();
+        srv.Wait();
+      };
+      run_fr(true, &recorder_on);
+      if (!wrote_tracez_snapshot && recorder.total_recorded() > 0) {
+        // Archive a real tracez scrape of the recording run next to the
+        // Prometheus snapshot.
+        const std::string tracez = recorder.RenderTracez(
+            obs::FlightRecorder::TracezMode::kRecent, 0, 64);
+        std::FILE* tf = std::fopen(tracez_path.c_str(), "w");
+        if (tf != nullptr) {
+          std::fwrite(tracez.data(), 1, tracez.size(), tf);
+          std::fputc('\n', tf);
+          std::fclose(tf);
+          wrote_tracez_snapshot = true;
+        }
+      }
+      run_fr(false, &recorder_off);
+      // Leg 4 reuses the leg-2 cache; point the index back at it.
+      index.set_distance_cache(cache);
+    }
+    const double recorder_overhead_pct =
+        recorder_off.qps > 0.0
+            ? (recorder_off.qps - recorder_on.qps) / recorder_off.qps * 100.0
+            : 0.0;
+
     // Leg 4: update invalidation. InsertVertex bumps the cache
     // generation; the served answers must match a FRESH engine on the
     // updated index — bit-identical cached vs uncached across the update.
@@ -641,23 +705,29 @@ int main() {
 
     const std::uint64_t mismatches =
         uncached.mismatches + cached.mismatches + metrics_on.mismatches +
-        metrics_off.mismatches + post_update.mismatches + infra_failures;
+        metrics_off.mismatches + recorder_on.mismatches +
+        recorder_off.mismatches + post_update.mismatches + infra_failures;
     total_mismatches += mismatches;
+    const std::uint64_t dataset_requests =
+        uncached.requests + cached.requests + metrics_on.requests +
+        metrics_off.requests + recorder_on.requests + recorder_off.requests +
+        post_update.requests;
     std::printf("%-14s %10.0f %10.0f %7.1f%% %9.0f %10llu\n", d.name.c_str(),
                 uncached.qps, cached.qps, hit_rate * 100, post_update.qps,
-                static_cast<unsigned long long>(
-                    uncached.requests + cached.requests + metrics_on.requests +
-                    metrics_off.requests + post_update.requests));
+                static_cast<unsigned long long>(dataset_requests));
     std::printf("  telemetry A/B: on %.0f QPS, off %.0f QPS, overhead "
                 "%+.2f%%\n",
                 metrics_on.qps, metrics_off.qps, overhead_pct);
+    std::printf("  flight recorder A/B: on %.0f QPS, off %.0f QPS, overhead "
+                "%+.2f%%\n",
+                recorder_on.qps, recorder_off.qps, recorder_overhead_pct);
     if (mismatches != 0) {
       std::printf("  !! %llu served answers mismatch the single-threaded "
                   "engine\n",
                   static_cast<unsigned long long>(mismatches));
     }
 
-    char buf[768];
+    char buf[1024];
     if (!first_dataset) json += ",\n";
     first_dataset = false;
     std::snprintf(
@@ -669,6 +739,8 @@ int main() {
         "\"cache_hit_rate\": %.4f, \"cache_entries\": %llu,\n"
         "     \"qps_metrics_on\": %.1f, \"qps_metrics_off\": %.1f, "
         "\"metrics_overhead_pct\": %.2f,\n"
+        "     \"qps_recorder_on\": %.1f, \"qps_recorder_off\": %.1f, "
+        "\"recorder_overhead_pct\": %.2f,\n"
         "     \"requests\": %llu, \"mismatches\": %llu}",
         d.name.c_str(), d.graph.NumVertices(),
         static_cast<unsigned long long>(d.graph.NumEdges()), uncached.qps,
@@ -676,10 +748,9 @@ int main() {
         static_cast<unsigned long long>(cache_stats.hits),
         static_cast<unsigned long long>(cache_stats.misses), hit_rate,
         static_cast<unsigned long long>(cache_stats.entries), metrics_on.qps,
-        metrics_off.qps, overhead_pct,
-        static_cast<unsigned long long>(
-            uncached.requests + cached.requests + metrics_on.requests +
-            metrics_off.requests + post_update.requests),
+        metrics_off.qps, overhead_pct, recorder_on.qps, recorder_off.qps,
+        recorder_overhead_pct,
+        static_cast<unsigned long long>(dataset_requests),
         static_cast<unsigned long long>(mismatches));
     json += buf;
   }
@@ -696,6 +767,9 @@ int main() {
   }
   if (wrote_metrics_snapshot) {
     std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (wrote_tracez_snapshot) {
+    std::printf("wrote %s\n", tracez_path.c_str());
   }
 
   // ---- Catalog leg: multi-dataset + reload under load ----

@@ -123,7 +123,13 @@ Status Catalog::Handle::QueryUncached(VertexId s, VertexId t, Distance* out,
   if (use_cache) {
     obs::StageTimer span(obs::Stage::kCacheLookup);
     cache_gen = cache->generation();
-    if (cache->Lookup(s, t, out)) return Status::OK();
+    if (cache->Lookup(s, t, out)) {
+      // Mirror DistanceIndex::Query: flag the hit on the active trace so
+      // the flight recorder can tell cached answers apart (§17).
+      obs::QueryTrace* trace = obs::CurrentTrace();
+      if (trace != nullptr) trace->set_cache_hit(true);
+      return Status::OK();
+    }
   }
   std::shared_ptr<PartitionedIndex> index;
   Status st = Ready(&index);
@@ -247,24 +253,38 @@ Status Catalog::Add(const std::string& name, const std::string& dir,
     }
     datasets_.push_back(ds);
     obs::MetricRegistry* metrics = metrics_;
-    loaders_.emplace_back([ds, dir, metrics] {
+    obs::EventLog* elog = event_log_;
+    loaders_.emplace_back([ds, dir, metrics, elog] {
       auto loaded = PartitionedIndex::Load(dir, ds->labels_in_memory);
-      MutexLock dlock(&ds->mu);
-      // A ReloadFrom that raced the initial load and won owns the state
-      // now; a late initial load must not roll the generation back.
-      if (ds->state == DatasetState::kLoading) {
+      {
+        MutexLock dlock(&ds->mu);
+        // A ReloadFrom that raced the initial load and won owns the state
+        // now; a late initial load must not roll the generation back.
+        if (ds->state == DatasetState::kLoading) {
+          if (loaded.ok()) {
+            ds->index = std::make_shared<PartitionedIndex>(
+                std::move(loaded).value());
+            ds->index->InstallMetrics(metrics);
+            ds->state = DatasetState::kReady;
+            ds->SetGeneration(1);
+          } else {
+            ds->load_status = loaded.status();
+            ds->state = DatasetState::kFailed;
+          }
+        }
+        ds->loaded_cv.NotifyAll();
+      }
+      if (elog != nullptr) {
         if (loaded.ok()) {
-          ds->index = std::make_shared<PartitionedIndex>(
-              std::move(loaded).value());
-          ds->index->InstallMetrics(metrics);
-          ds->state = DatasetState::kReady;
-          ds->SetGeneration(1);
+          elog->Log(obs::EventLevel::kInfo, "islabel.catalog.load",
+                    {{"dataset", ds->name}, {"dir", dir}});
         } else {
-          ds->load_status = loaded.status();
-          ds->state = DatasetState::kFailed;
+          elog->Log(obs::EventLevel::kError, "islabel.catalog.load_failed",
+                    {{"dataset", ds->name},
+                     {"dir", dir},
+                     {"error", loaded.status().ToString()}});
         }
       }
-      ds->loaded_cv.NotifyAll();
     });
   }
   return Status::OK();
@@ -374,6 +394,12 @@ Status Catalog::Reload(const std::string& name) {
       ->GetHistogram("islabel_catalog_reload_seconds",
                      "Reload/install duration (load + swap)")
       ->Record(kReloadClock.NowMicros() - t0);
+  if (event_log_ != nullptr) {
+    event_log_->Log(obs::EventLevel::kInfo, "islabel.catalog.reload",
+                    {{"dataset", name},
+                     {"gen", obs::EventLog::U64(ds->generation.load(
+                                 std::memory_order_acquire))}});
+  }
   return Status::OK();
 }
 
@@ -418,6 +444,12 @@ Status Catalog::ReloadFrom(const std::string& name, const std::string& dir,
       ->GetHistogram("islabel_catalog_reload_seconds",
                      "Reload/install duration (load + swap)")
       ->Record(kInstallClock.NowMicros() - t0);
+  if (event_log_ != nullptr) {
+    event_log_->Log(obs::EventLevel::kInfo, "islabel.catalog.reload",
+                    {{"dataset", name},
+                     {"gen", obs::EventLog::U64(gen)},
+                     {"dir", dir}});
+  }
   return Status::OK();
 }
 

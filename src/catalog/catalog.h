@@ -38,6 +38,7 @@
 
 #include "catalog/partitioned_index.h"
 #include "core/distance_cache.h"
+#include "obs/log.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
@@ -96,6 +97,11 @@ class Catalog {
   ~Catalog();
 
   obs::MetricRegistry* metrics() const { return metrics_; }
+
+  /// Structured event log for load/reload outcomes (DESIGN.md §17).
+  /// Install before Add/serving starts; must outlive the catalog.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+  obs::EventLog* event_log() const { return event_log_; }
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -237,6 +243,7 @@ class Catalog {
 
   std::unique_ptr<obs::MetricRegistry> own_metrics_;
   obs::MetricRegistry* metrics_ = nullptr;  // never null after construction
+  obs::EventLog* event_log_ = nullptr;      // set before serving starts
 
   mutable Mutex mu_;
   std::vector<std::shared_ptr<Dataset>> datasets_ GUARDED_BY(mu_);

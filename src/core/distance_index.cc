@@ -57,7 +57,13 @@ Status DistanceIndex::Query(VertexId s, VertexId t, Distance* out,
   if (use_cache) {
     obs::StageTimer span(obs::Stage::kCacheLookup);
     cache_gen = distance_cache_->generation();
-    if (distance_cache_->Lookup(s, t, out)) return Status::OK();
+    if (distance_cache_->Lookup(s, t, out)) {
+      // Flag the hit on the active trace so the flight recorder can
+      // tell cached answers from computed ones (DESIGN.md §17).
+      obs::QueryTrace* hit_trace = obs::CurrentTrace();
+      if (hit_trace != nullptr) hit_trace->set_cache_hit(true);
+      return Status::OK();
+    }
   }
   // Kernel attribution happens here, once, for every backend: the span
   // around QueryUncached minus whatever the engine pool charged to

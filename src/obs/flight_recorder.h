@@ -1,0 +1,137 @@
+// FlightRecorder: fixed-capacity, per-thread ring buffers of completed
+// request traces (DESIGN.md §17) — the always-on "black box" a live
+// server is interrogated through with the `tracez` verb.
+//
+// Hot path (Record, one call per completed request):
+//
+//   * wait-free and allocation-free: the recording thread claims a
+//     global sequence number with one relaxed fetch_add, then writes
+//     the next slot of ITS OWN ring — no lock, no CAS loop, no
+//     contention with other recording threads;
+//   * every slot field is a relaxed std::atomic guarded by a per-slot
+//     seqlock version (odd while a write is in flight), so concurrent
+//     `tracez` scrapes read without locks and without data races
+//     (ThreadSanitizer-clean): a reader that observes a torn slot
+//     simply skips it;
+//   * a registry-style enable flag (obs/metrics.h convention) is the
+//     first check — set_enabled(false) turns Record into one relaxed
+//     load and a branch, which is what the bench A/B leg measures.
+//
+// A thread's ring is created on its first Record through a small
+// mutex-guarded registry (amortized; never on the per-request path
+// again thanks to a thread-local cache keyed by recorder id — ids are
+// never reused, so a destroyed recorder's stale cache entries can
+// never false-hit). Eviction is per ring: each thread overwrites its
+// own oldest slot, so total memory is exactly
+// threads × capacity_per_thread × sizeof(slot), fixed at construction.
+//
+// Snapshot() / RenderTracez() (the scrape path) take the registry
+// mutex only to walk the ring list, read slots via the seqlock, merge
+// by global sequence number, and render the stable text format pinned
+// in DESIGN.md §17.
+
+#ifndef ISLABEL_OBS_FLIGHT_RECORDER_H_
+#define ISLABEL_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace islabel {
+namespace obs {
+
+/// One decoded record, as returned by Snapshot() (newest first).
+struct FlightRecord {
+  std::uint64_t seq = 0;       // global completion order (1-based)
+  std::uint64_t trace_id = 0;  // 0 = untagged request
+  std::uint64_t end_ms = 0;    // clock ms when the request completed
+  std::uint64_t total_us = 0;
+  std::uint64_t stage_us[kNumStages] = {};
+  const char* verb = "";  // static literal (server VerbName)
+  std::string dataset;    // truncated to 15 chars on record
+  bool error = false;
+  bool cache_hit = false;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity per recording thread, in records. Rounded up to a
+  /// power of two; minimum 2.
+  std::size_t capacity_per_thread = 8192;
+  /// Timestamp source for end_ms / age rendering; nullptr = the
+  /// process-wide SystemClock. Must outlive the recorder.
+  const Clock* clock = nullptr;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderOptions& options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Registry-style enable flag: disabled → Record is a relaxed load
+  /// and a branch (the A/B no-op mode).
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Records one completed request. `verb` must be a static string
+  /// literal (it is stored by pointer); `dataset` is copied (truncated
+  /// to 15 bytes). Wait-free, no allocation except a thread's first
+  /// ever Record into this recorder.
+  void Record(const char* verb, std::string_view dataset, bool error,
+              std::uint64_t total_us, const QueryTrace& trace);
+
+  /// All currently-readable records, newest (highest seq) first.
+  /// `max_records` = 0 means no cap. Slots being overwritten during the
+  /// scrape are skipped, never torn.
+  std::vector<FlightRecord> Snapshot(std::size_t max_records) const;
+
+  /// The `tracez` response body (DESIGN.md §17): a header line, one
+  /// "trace ..." line per record, and a final "# EOF" terminator, no
+  /// trailing '\n'. Modes: kRecent = newest `limit`; kSlow = top
+  /// `limit` by total_us; kErrors = newest `limit` error responses;
+  /// kById = every record with trace id `id` (oldest first, the
+  /// request's causal order).
+  enum class TracezMode { kRecent, kSlow, kErrors, kById };
+  std::string RenderTracez(TracezMode mode, std::uint64_t id,
+                           std::size_t limit) const;
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+  /// Rings created so far (== threads that have recorded).
+  std::size_t num_rings() const;
+  /// Total records ever accepted (not just retained).
+  std::uint64_t total_recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot;
+  struct Ring;
+
+  Ring* RingForThisThread();
+
+  const std::size_t capacity_;  // power of two
+  const Clock* clock_;          // never null
+  const std::uint64_t recorder_id_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace islabel
+
+#endif  // ISLABEL_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,116 @@
+// EventLog: leveled, structured JSON-lines event log (DESIGN.md §17).
+//
+// One event is one JSON object on one line, with reserved keys written
+// first — ts_ms (injected Clock), level, event (a literal
+// "islabel."-prefixed name, lint-enforced), tid (the active trace id,
+// auto-attached from the thread's CurrentTrace when one is installed
+// and nonzero) — followed by the caller's key/value fields in order.
+//
+// The log replaces ad-hoc fprintf diagnostics in the serving stack: the
+// sink is pluggable (the CLI wires stderr or --log-file; tests capture
+// lines in a vector), levels below min_level are dropped before any
+// lock, and each event NAME has its own token bucket so a hot failure
+// path (a replica that cannot reach its primary, a slow-query storm)
+// cannot flood the sink — drops are counted, not silent.
+//
+// Log() is a cold-path API: it takes a Mutex for the rate-limit buckets
+// and allocates while rendering. Nothing on the query hot path calls
+// it; per-request capture is the flight recorder's job
+// (obs/flight_recorder.h).
+
+#ifndef ISLABEL_OBS_LOG_H_
+#define ISLABEL_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace islabel {
+namespace obs {
+
+enum class EventLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* EventLevelName(EventLevel level);
+
+/// Parses "debug" / "info" / "warn" / "error" (the --log-level grammar).
+bool ParseEventLevel(std::string_view text, EventLevel* out);
+
+struct EventLogOptions {
+  /// Timestamp source; nullptr = the process-wide SystemClock. Must
+  /// outlive the log.
+  const Clock* clock = nullptr;
+  /// Events below this level are dropped (no lock, no allocation).
+  EventLevel min_level = EventLevel::kInfo;
+  /// Receives each rendered JSON line (no trailing '\n'). Null drops
+  /// everything (still counts drops); must be thread-safe, called under
+  /// no EventLog lock.
+  std::function<void(const std::string&)> sink;
+  /// Token bucket per event name: sustained events/sec and burst
+  /// capacity. rate_limit_per_sec <= 0 disables rate limiting.
+  double rate_limit_per_sec = 10.0;
+  double rate_limit_burst = 20.0;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(const EventLogOptions& options);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Ordered key/value fields appended after the reserved keys. Every
+  /// field value renders as a JSON string (ts_ms is the one numeric
+  /// key); U64() is the convenience spelling for numeric values.
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  /// A numeric field value (decimal text).
+  static std::string U64(std::uint64_t v);
+
+  /// Emits one event. `event` must be a literal "islabel."-prefixed
+  /// name (tools/lint_invariants.py `log-events` rule, mirrored by the
+  /// DESIGN.md <!-- log-events: --> marker). A field explicitly named
+  /// "tid" suppresses the auto-attached one.
+  void Log(EventLevel level, const char* event, const Fields& fields = {});
+
+  /// Events dropped by rate limiting since construction.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  EventLevel min_level() const { return options_.min_level; }
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    std::uint64_t last_ms = 0;
+    bool primed = false;
+  };
+
+  /// True when `event` may fire now (consumes a token).
+  bool Admit(const std::string& event, std::uint64_t now_ms);
+
+  EventLogOptions options_;
+  const Clock* clock_;  // never null after construction
+  Mutex mu_;
+  std::map<std::string, Bucket> buckets_ GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace obs
+}  // namespace islabel
+
+#endif  // ISLABEL_OBS_LOG_H_

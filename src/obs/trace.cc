@@ -51,5 +51,32 @@ std::string FormatSlowQueryLine(const char* verb, std::uint64_t total_us,
   return std::string(buf);
 }
 
+std::string FormatTraceId(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, id);
+  return std::string(buf);
+}
+
+bool ParseTraceId(std::string_view token, std::uint64_t* out) {
+  if (token.empty() || token.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  if (value == 0) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace obs
 }  // namespace islabel

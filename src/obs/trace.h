@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/clock.h"
 
@@ -57,10 +58,23 @@ class QueryTrace {
   bool BeginKernel() { return kernel_depth_++ == 0; }
   void EndKernel() { --kernel_depth_; }
 
+  /// Distributed trace id (DESIGN.md §17): minted by the client, carried
+  /// as the trailing `tid=<hex>` wire token, stitched across failover
+  /// retries. 0 = untagged request.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
+  /// Set by the distance-cache lookup path on a hit, so the flight
+  /// recorder can tell cached answers from computed ones.
+  void set_cache_hit(bool hit) { cache_hit_ = hit; }
+  bool cache_hit() const { return cache_hit_; }
+
  private:
   const Clock* clock_;
   std::uint64_t stage_us_[kNumStages] = {};
   int kernel_depth_ = 0;
+  std::uint64_t trace_id_ = 0;
+  bool cache_hit_ = false;
 };
 
 /// The trace installed for the current thread, or null.
@@ -107,6 +121,15 @@ class StageTimer {
 ///   pool_wait_us=N kernel_us=N encode_us=N
 std::string FormatSlowQueryLine(const char* verb, std::uint64_t total_us,
                                 const QueryTrace& trace);
+
+/// Wire form of a trace id: 1-16 lowercase hex digits, no "0x" prefix
+/// (DESIGN.md §17). FormatTraceId never emits leading zeros; 0 formats
+/// as "0" but is never a valid wire id.
+std::string FormatTraceId(std::uint64_t id);
+
+/// Strict parse of the wire form: 1-16 hex digits (either case),
+/// nonzero. False on anything else.
+bool ParseTraceId(std::string_view token, std::uint64_t* out);
 
 }  // namespace obs
 }  // namespace islabel

@@ -6,6 +6,7 @@
 #include <system_error>
 #include <utility>
 
+#include "obs/trace.h"
 #include "repl/primary.h"
 #include "repl/snapshot.h"
 
@@ -42,6 +43,7 @@ ReplicaAgent::ReplicaAgent(Catalog* catalog, Transport* transport,
     : catalog_(catalog),
       transport_(transport),
       clock_(clock),
+      rng_(rng),
       options_(std::move(options)),
       backoff_(options_.backoff, rng) {
   InstallMetrics();
@@ -122,10 +124,24 @@ bool ReplicaAgent::Tick() {
 }
 
 Status ReplicaAgent::SyncNow() {
-  const Status st = SyncOnce();
+  // One trace id per sync attempt: the version poll, every replicate
+  // pull within it, and the install/failure events all share it, so the
+  // primary's flight recorder and both event logs stitch one story.
+  std::uint64_t tid = rng_->Next();
+  if (tid == 0) tid = 1;
+  const Status st = SyncOnce(tid);
   const std::uint64_t now = clock_->NowMs();
   polls_c_->Inc();
-  if (!st.ok()) failures_c_->Inc();
+  if (!st.ok()) {
+    failures_c_->Inc();
+    if (options_.event_log != nullptr) {
+      options_.event_log->Log(obs::EventLevel::kWarn,
+                              "islabel.repl.sync_failed",
+                              {{"tid", obs::FormatTraceId(tid)},
+                               {"primary", options_.primary},
+                               {"error", st.ToString()}});
+    }
+  }
   MutexLock lock(&mu_);
   last_status_ = st;
   if (st.ok()) {
@@ -137,17 +153,21 @@ Status ReplicaAgent::SyncNow() {
   return st;
 }
 
-Status ReplicaAgent::SyncOnce() {
+Status ReplicaAgent::SyncOnce(std::uint64_t trace_id) {
   Result<std::unique_ptr<Connection>> conn =
       transport_->Connect(options_.primary, options_.request_timeout_ms);
   if (!conn.ok()) return conn.status();
   Channel channel(std::move(conn).value());
 
+  // Tag the poll with this sync's trace id so the primary's flight
+  // recorder shows the whole pull under one `tracez id` (the tid=
+  // token is stripped before per-verb token counts, protocol.h).
+  const std::string tid_token = " tid=" + obs::FormatTraceId(trace_id);
   std::string line;
   {
     const Deadline deadline =
         Deadline::After(options_.request_timeout_ms, clock_);
-    ISLABEL_RETURN_IF_ERROR(channel.SendLine("version"));
+    ISLABEL_RETURN_IF_ERROR(channel.SendLine("version" + tid_token));
     ISLABEL_RETURN_IF_ERROR(channel.ReadLine(&line, deadline));
   }
   if (line.rfind("version:", 0) != 0) {
@@ -185,7 +205,8 @@ Status ReplicaAgent::SyncOnce() {
     }
     const std::uint64_t local = catalog_->Generation(name);
     if (primary_gen > local) {
-      const Status st = PullDataset(&channel, name, local, primary_gen);
+      const Status st =
+          PullDataset(&channel, name, local, primary_gen, trace_id);
       if (!st.ok() && first_error.ok()) first_error = st;
     }
     const std::uint64_t now_local = catalog_->Generation(name);
@@ -204,12 +225,14 @@ Status ReplicaAgent::SyncOnce() {
 
 Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
                                  std::uint64_t local_gen,
-                                 std::uint64_t target_gen) {
+                                 std::uint64_t target_gen,
+                                 std::uint64_t trace_id) {
   (void)target_gen;  // informational; the stream header is authoritative
   const Deadline deadline =
       Deadline::After(options_.request_timeout_ms, clock_);
   ISLABEL_RETURN_IF_ERROR(channel->SendLine(
-      "replicate " + name + " " + std::to_string(local_gen)));
+      "replicate " + name + " " + std::to_string(local_gen) + " tid=" +
+      obs::FormatTraceId(trace_id)));
   std::string header;
   ISLABEL_RETURN_IF_ERROR(channel->ReadLine(&header, deadline));
   if (header.rfind("uptodate ", 0) == 0) return Status::OK();
@@ -272,6 +295,13 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
                               name);
   }
   pulls_c_->Inc();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Log(obs::EventLevel::kInfo, "islabel.repl.pull",
+                            {{"tid", obs::FormatTraceId(trace_id)},
+                             {"dataset", name},
+                             {"gen", obs::EventLog::U64(gen)},
+                             {"bytes", obs::EventLog::U64(total)}});
+  }
 
   // Validate fully, stage, rename, publish — a failure anywhere leaves
   // the currently-serving generation untouched.
@@ -293,6 +323,13 @@ Status ReplicaAgent::PullDataset(Channel* channel, const std::string& name,
   ISLABEL_RETURN_IF_ERROR(
       catalog_->ReloadFrom(name, final_dir.string(), gen));
   installs_c_->Inc();
+  if (options_.event_log != nullptr) {
+    options_.event_log->Log(obs::EventLevel::kInfo, "islabel.repl.install",
+                            {{"tid", obs::FormatTraceId(trace_id)},
+                             {"dataset", name},
+                             {"gen", obs::EventLog::U64(gen)},
+                             {"from_gen", obs::EventLog::U64(local_gen)}});
+  }
 
   // Best-effort cleanup of superseded generations and stale staging
   // directories; in-flight queries pin the old index in memory, not on

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "repl/transport.h"
 #include "server/dispatcher.h"
@@ -63,6 +64,9 @@ struct ReplicaOptions {
   std::uint64_t max_snapshot_bytes = 1ull << 32;
   /// Backoff between failed sync attempts (capped, jittered).
   BackoffPolicy backoff;
+  /// Structured event log for sync/install outcomes (DESIGN.md §17).
+  /// Null disables. Must outlive the agent.
+  obs::EventLog* event_log = nullptr;
 };
 
 class ReplicaAgent : public server::ReplicationHooks {
@@ -112,9 +116,10 @@ class ReplicaAgent : public server::ReplicationHooks {
   void FillStats(server::ServeStats* stats) override;
 
  private:
-  Status SyncOnce();
+  Status SyncOnce(std::uint64_t trace_id);
   Status PullDataset(Channel* channel, const std::string& name,
-                     std::uint64_t local_gen, std::uint64_t target_gen);
+                     std::uint64_t local_gen, std::uint64_t target_gen,
+                     std::uint64_t trace_id);
   /// Registers the replica's counters and the live lag / contact /
   /// primary-up callback gauges in the catalog's registry. The dtor
   /// re-registers the callbacks with frozen final values, since the
@@ -125,6 +130,7 @@ class ReplicaAgent : public server::ReplicationHooks {
   Catalog* catalog_;
   Transport* transport_;
   Clock* clock_;
+  Rng* rng_;  // mints the per-sync trace id (DESIGN.md §17)
   ReplicaOptions options_;
 
   mutable Mutex mu_;

@@ -4,8 +4,22 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace islabel {
 namespace repl {
+
+namespace {
+
+/// True when `line` already carries a trailing `tid=` token (a caller
+/// propagating an upstream trace id).
+bool HasTraceToken(const std::string& line) {
+  const std::size_t pos = line.rfind("tid=");
+  if (pos == std::string::npos) return false;
+  return pos == 0 || line[pos - 1] == ' ' || line[pos - 1] == '\t';
+}
+
+}  // namespace
 
 ReplicaSetClient::ReplicaSetClient(Transport* transport, Clock* clock,
                                    Rng* rng, ReplicaSetOptions options)
@@ -71,6 +85,21 @@ Result<std::string> ReplicaSetClient::Query(const std::string& line) {
   if (endpoints_.empty()) {
     return Status::InvalidArgument("replica set has no endpoints");
   }
+  // Stamp the line with a minted trace id unless the caller already
+  // carries one. The stamped line is what EVERY endpoint attempt sends,
+  // so retries/failovers stitch into one logical trace across replicas.
+  std::string stamped = line;
+  if (HasTraceToken(line)) {
+    std::uint64_t id = 0;
+    const std::size_t pos = line.rfind("tid=");
+    if (obs::ParseTraceId(line.substr(pos + 4), &id)) last_trace_id_ = id;
+  } else {
+    std::uint64_t id = rng_->Next();
+    if (id == 0) id = 1;
+    last_trace_id_ = id;
+    stamped += " tid=";
+    stamped += obs::FormatTraceId(id);
+  }
   const Deadline deadline =
       Deadline::After(options_.overall_timeout_ms, clock_);
   Backoff backoff(options_.backoff, rng_);
@@ -87,7 +116,7 @@ Result<std::string> ReplicaSetClient::Query(const std::string& line) {
         // would wedge the client).
         if ((pass == 0) != endpoints_[i].healthy) continue;
         std::string response;
-        const Status st = ExchangeOn(i, line, &response);
+        const Status st = ExchangeOn(i, stamped, &response);
         if (st.ok()) {
           if (!first_choice) failovers_c_->Inc();
           cursor_ = (i + 1) % endpoints_.size();
@@ -138,6 +167,11 @@ ReplicaSetClient::endpoint_stats() const {
 
 std::uint64_t ReplicaSetClient::failovers() const {
   return failovers_c_->Value();
+}
+
+std::uint64_t ReplicaSetClient::last_trace_id() const {
+  MutexLock lock(&mu_);
+  return last_trace_id_;
 }
 
 }  // namespace repl

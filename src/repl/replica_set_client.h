@@ -64,7 +64,17 @@ class ReplicaSetClient {
   /// Fails over across endpoints and retries with backoff until the
   /// overall deadline; Unavailable when every endpoint stays down.
   /// Thread-compatible (one Query at a time).
+  ///
+  /// Trace propagation (DESIGN.md §17): a line with no `tid=` token is
+  /// stamped with one minted from the injected Rng, and the SAME
+  /// stamped line is sent to every endpoint tried — so a request that
+  /// fails over appears under one trace id in every replica's flight
+  /// recorder (`tracez id HEX`). last_trace_id() reports the id used.
   Result<std::string> Query(const std::string& line);
+
+  /// The trace id carried by the most recent Query (minted or caller
+  /// supplied). 0 before the first Query.
+  std::uint64_t last_trace_id() const;
 
   /// Probes every endpoint with `heartbeat`; endpoints that miss are
   /// marked down (skipped by Query until they answer again). Returns
@@ -104,6 +114,7 @@ class ReplicaSetClient {
   mutable Mutex mu_;
   std::vector<Endpoint> endpoints_ GUARDED_BY(mu_);
   std::size_t cursor_ GUARDED_BY(mu_) = 0;
+  std::uint64_t last_trace_id_ GUARDED_BY(mu_) = 0;
   // One counter system: the private instrument unless options.metrics
   // re-points it at a registry series (DESIGN.md §16).
   obs::Counter own_failovers_;

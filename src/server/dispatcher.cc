@@ -82,6 +82,8 @@ const char* VerbName(RequestKind kind) {
       return "replicate";
     case RequestKind::kMetrics:
       return "metrics";
+    case RequestKind::kTracez:
+      return "tracez";
     case RequestKind::kInvalid:
       return "invalid";
     default:
@@ -179,6 +181,29 @@ std::string RequestDispatcher::ExecuteInternal(const Request& req,
       if (!text.empty() && text.back() == '\n') text.pop_back();
       return text;
     }
+    case RequestKind::kTracez: {
+      if (recorder_ == nullptr) {
+        errors_c_->Inc();
+        return "error: NotSupported: flight recorder not enabled";
+      }
+      obs::FlightRecorder::TracezMode mode =
+          obs::FlightRecorder::TracezMode::kRecent;
+      if (req.name == "slow") {
+        mode = obs::FlightRecorder::TracezMode::kSlow;
+      } else if (req.name == "errors") {
+        mode = obs::FlightRecorder::TracezMode::kErrors;
+      } else if (req.name == "id") {
+        mode = obs::FlightRecorder::TracezMode::kById;
+      }
+      // Default cap of 32 keeps a bare `tracez` glanceable; an id
+      // lookup returns every record of that trace (it is bounded by
+      // the retry count, not the ring size).
+      const std::size_t limit =
+          req.limit != 0
+              ? static_cast<std::size_t>(req.limit)
+              : (mode == obs::FlightRecorder::TracezMode::kById ? 0 : 32);
+      return recorder_->RenderTracez(mode, req.trace_id, limit);
+    }
     case RequestKind::kVersion:
     case RequestKind::kHeartbeat:
     case RequestKind::kReplicate: {
@@ -211,7 +236,9 @@ std::string RequestDispatcher::ExecuteInternal(const Request& req,
 }
 
 std::string RequestDispatcher::Execute(const Request& req, Session* session) {
-  if (metrics_ == nullptr || !metrics_->enabled()) {
+  const bool metrics_on = metrics_enabled();
+  const bool recorder_on = recorder_ != nullptr && recorder_->enabled();
+  if (!metrics_on && !recorder_on) {
     return ExecuteInternal(req, session);
   }
   // The trace lives on this stack frame; layers below find it through
@@ -219,43 +246,78 @@ std::string RequestDispatcher::Execute(const Request& req, Session* session) {
   // the front end before Execute, so it is seeded rather than timed.
   obs::QueryTrace trace(clock_);
   trace.Add(obs::Stage::kParse, req.parse_us);
+  trace.set_trace_id(req.trace_id);
   obs::TraceScope scope(&trace);
   const std::uint64_t t0 = clock_->NowMicros();
   std::string response = ExecuteInternal(req, session);
   const std::uint64_t total_us = clock_->NowMicros() - t0 + req.parse_us;
 
-  obs::Histogram* vh = verb_hist_[static_cast<int>(req.kind)];
-  if (vh != nullptr) vh->Record(total_us);
-  const bool query_verb = req.kind == RequestKind::kDistance ||
-                          req.kind == RequestKind::kOneToMany ||
-                          req.kind == RequestKind::kPath;
-  if (query_verb) {
-    // Zeros are recorded too, so every stage's _count equals the query
-    // count and per-stage averages are directly comparable.
-    for (int i = 0; i < obs::kNumStages; ++i) {
-      stage_hist_[i]->Record(trace.StageMicros(static_cast<obs::Stage>(i)));
+  if (metrics_on) {
+    obs::Histogram* vh = verb_hist_[static_cast<int>(req.kind)];
+    if (vh != nullptr) vh->Record(total_us);
+    const bool query_verb = req.kind == RequestKind::kDistance ||
+                            req.kind == RequestKind::kOneToMany ||
+                            req.kind == RequestKind::kPath;
+    if (query_verb) {
+      // Zeros are recorded too, so every stage's _count equals the query
+      // count and per-stage averages are directly comparable.
+      for (int i = 0; i < obs::kNumStages; ++i) {
+        stage_hist_[i]->Record(trace.StageMicros(static_cast<obs::Stage>(i)));
+      }
     }
+  }
+  if (recorder_on && req.kind != RequestKind::kTracez) {
+    // tracez requests are not recorded, so scraping the recorder does
+    // not fill it with scrapes.
+    const bool is_error = response.rfind("error: ", 0) == 0;
+    const std::string& dataset =
+        session->dataset.empty() ? default_dataset_ : session->dataset;
+    recorder_->Record(VerbName(req.kind), dataset, is_error, total_us,
+                      trace);
   }
   if (slow_query_threshold_ms_ > 0 &&
       total_us >= slow_query_threshold_ms_ * 1000) {
-    slow_queries_->Inc();
-    const std::string line =
-        obs::FormatSlowQueryLine(VerbName(req.kind), total_us, trace);
+    if (slow_queries_ != nullptr) slow_queries_->Inc();
     if (slow_query_sink_) {
-      slow_query_sink_(line);
+      slow_query_sink_(
+          obs::FormatSlowQueryLine(VerbName(req.kind), total_us, trace));
+    } else if (event_log_ != nullptr) {
+      // The TraceScope is still active, so the event auto-attaches the
+      // request's trace id.
+      event_log_->Log(
+          obs::EventLevel::kWarn, "islabel.server.slow_query",
+          {{"verb", VerbName(req.kind)},
+           {"total_us", obs::EventLog::U64(total_us)},
+           {"parse_us",
+            obs::EventLog::U64(trace.StageMicros(obs::Stage::kParse))},
+           {"cache_us",
+            obs::EventLog::U64(trace.StageMicros(obs::Stage::kCacheLookup))},
+           {"pool_wait_us",
+            obs::EventLog::U64(trace.StageMicros(obs::Stage::kPoolWait))},
+           {"kernel_us",
+            obs::EventLog::U64(trace.StageMicros(obs::Stage::kKernel))},
+           {"encode_us",
+            obs::EventLog::U64(trace.StageMicros(obs::Stage::kEncode))}});
     } else {
-      ISLABEL_LOG(kWarn) << line;
+      ISLABEL_LOG(kWarn) << obs::FormatSlowQueryLine(VerbName(req.kind),
+                                                     total_us, trace);
     }
   }
   return response;
 }
 
 void RequestDispatcher::InstallMetrics(const MetricsOptions& options) {
-  if (options.registry == nullptr) return;
-  metrics_ = options.registry;
+  if (options.registry == nullptr && options.flight_recorder == nullptr &&
+      options.event_log == nullptr) {
+    return;
+  }
   clock_ = options.clock != nullptr ? options.clock : DefaultMetricsClock();
   slow_query_threshold_ms_ = options.slow_query_threshold_ms;
   slow_query_sink_ = options.slow_query_sink;
+  recorder_ = options.flight_recorder;
+  event_log_ = options.event_log;
+  if (options.registry == nullptr) return;
+  metrics_ = options.registry;
 
   requests_c_ = metrics_->GetCounter("islabel_server_requests_total",
                                      "Requests dispatched, all verbs.");
@@ -271,7 +333,7 @@ void RequestDispatcher::InstallMetrics(const MetricsOptions& options) {
       RequestKind::kDatasets, RequestKind::kReload,
       RequestKind::kVersion,  RequestKind::kHeartbeat,
       RequestKind::kReplicate, RequestKind::kMetrics,
-      RequestKind::kInvalid};
+      RequestKind::kTracez,   RequestKind::kInvalid};
   for (RequestKind kind : kDispatched) {
     verb_hist_[static_cast<int>(kind)] = metrics_->GetHistogram(
         "islabel_server_request_seconds",

@@ -34,6 +34,8 @@
 
 #include "catalog/catalog.h"
 #include "core/distance_index.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/protocol.h"
@@ -106,19 +108,29 @@ class RequestDispatcher {
     return Execute(req, &session);
   }
 
-  /// Telemetry wiring (DESIGN.md §16). Install before serving starts —
-  /// not thread-safe against in-flight requests, and counts recorded
-  /// before installation stay in the private counters.
+  /// Telemetry wiring (DESIGN.md §16-17). Install before serving
+  /// starts — not thread-safe against in-flight requests, and counts
+  /// recorded before installation stay in the private counters. At
+  /// least one of registry / flight_recorder must be set for tracing
+  /// to run; each is optional on its own.
   struct MetricsOptions {
-    obs::MetricRegistry* registry = nullptr;  // required
+    obs::MetricRegistry* registry = nullptr;
     /// Clock for request/stage timing; null uses the system clock.
     const Clock* clock = nullptr;
     /// Requests with total latency >= this many ms hit the slow-query
     /// log; 0 disables it.
     std::uint64_t slow_query_threshold_ms = 0;
-    /// Receives each formatted slow-query line; null logs via
-    /// ISLABEL_LOG(kWarn).
+    /// Receives each formatted slow-query line; null routes to the
+    /// event log (islabel.server.slow_query) when one is installed,
+    /// else ISLABEL_LOG(kWarn).
     std::function<void(const std::string&)> slow_query_sink;
+    /// Flight recorder behind the `tracez` verb (DESIGN.md §17): every
+    /// dispatched request except tracez itself is recorded. Must
+    /// outlive the dispatcher; null answers tracez with NotSupported.
+    obs::FlightRecorder* flight_recorder = nullptr;
+    /// Structured event log for slow queries and lifecycle events.
+    /// Must outlive the dispatcher.
+    obs::EventLog* event_log = nullptr;
   };
   void InstallMetrics(const MetricsOptions& options);
 
@@ -130,6 +142,15 @@ class RequestDispatcher {
   bool metrics_enabled() const {
     return metrics_ != nullptr && metrics_->enabled();
   }
+  /// True when requests run under a QueryTrace at all: metrics on, or
+  /// the flight recorder on. What front ends actually consult before
+  /// timing parses.
+  bool tracing_enabled() const {
+    return metrics_enabled() ||
+           (recorder_ != nullptr && recorder_->enabled());
+  }
+  obs::FlightRecorder* flight_recorder() const { return recorder_; }
+  obs::EventLog* event_log() const { return event_log_; }
 
   std::uint64_t requests() const { return requests_c_->Value(); }
   std::uint64_t errors() const { return errors_c_->Value(); }
@@ -177,6 +198,8 @@ class RequestDispatcher {
   obs::Counter* errors_c_ = &own_errors_;
 
   obs::MetricRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
   const Clock* clock_ = nullptr;
   std::uint64_t slow_query_threshold_ms_ = 0;
   std::function<void(const std::string&)> slow_query_sink_;

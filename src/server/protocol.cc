@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/trace.h"
+
 namespace islabel {
 namespace server {
 
@@ -16,6 +18,10 @@ constexpr std::string_view kUsageUse = "error: usage: use NAME";
 constexpr std::string_view kUsageReload = "error: usage: reload NAME";
 constexpr std::string_view kUsageReplicate =
     "error: usage: replicate NAME GEN";
+constexpr std::string_view kUsageTid =
+    "error: usage: tid=HEX (1-16 hex digits, nonzero)";
+constexpr std::string_view kUsageTracez =
+    "error: usage: tracez [slow|errors|id HEX] [N]";
 
 /// Splits on runs of spaces/tabs (the only separators the grammar allows).
 std::vector<std::string_view> Tokenize(std::string_view line) {
@@ -84,8 +90,19 @@ Request ParseRequest(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
 
   Request r;
-  const std::vector<std::string_view> tokens = Tokenize(line);
+  std::vector<std::string_view> tokens = Tokenize(line);
   if (tokens.empty() || tokens[0].front() == '#') return r;  // kNone
+
+  // The optional trailing trace-id token is stripped BEFORE the
+  // per-verb token counts are checked, so every verb accepts it.
+  if (tokens.back().size() >= 4 &&
+      tokens.back().compare(0, 4, "tid=") == 0) {
+    if (!obs::ParseTraceId(tokens.back().substr(4), &r.trace_id)) {
+      return Invalid(kUsageTid);
+    }
+    tokens.pop_back();
+    if (tokens.empty()) return Invalid(kUsageTid);  // a bare tid token
+  }
 
   const std::string_view head = tokens[0];
   if (head == "quit" || head == "exit") {
@@ -101,6 +118,36 @@ Request ParseRequest(std::string_view line) {
   if (head == "metrics") {
     if (tokens.size() != 1) return Invalid("error: usage: metrics");
     r.kind = RequestKind::kMetrics;
+    return r;
+  }
+  if (head == "tracez") {
+    // tracez [N] | tracez slow [N] | tracez errors [N] | tracez id HEX
+    r.kind = RequestKind::kTracez;
+    r.name = "recent";
+    std::size_t i = 1;
+    if (i < tokens.size() && (tokens[i] == "slow" || tokens[i] == "errors")) {
+      r.name = std::string(tokens[i]);
+      ++i;
+    } else if (i < tokens.size() && tokens[i] == "id") {
+      std::uint64_t id = 0;
+      if (i + 1 >= tokens.size() || !obs::ParseTraceId(tokens[i + 1], &id)) {
+        return Invalid(kUsageTracez);
+      }
+      // The lookup key wins trace_id over any trailing tid= tag on the
+      // scrape request itself.
+      r.name = "id";
+      r.trace_id = id;
+      i += 2;
+      if (i != tokens.size()) return Invalid(kUsageTracez);
+      return r;
+    }
+    if (i < tokens.size()) {
+      if (!ParseU64(tokens[i], &r.limit) || r.limit == 0) {
+        return Invalid(kUsageTracez);
+      }
+      ++i;
+    }
+    if (i != tokens.size()) return Invalid(kUsageTracez);
     return r;
   }
   if (head == "datasets") {

@@ -14,8 +14,17 @@
 //   heartbeat        liveness probe         → "pong"
 //   replicate NAME GEN   snapshot pull      → framed snapshot stream
 //   metrics          Prometheus exposition  → text format, "# EOF" last
+//   tracez [slow|errors|id HEX] [N]         → flight-recorder dump,
+//                                             "# EOF" last
 //   quit | exit      close the session      → (no response)
 //   # comment / blank line                  → (no response)
+//
+// Any request may carry one optional trailing `tid=<hex>` token (1-16
+// hex digits, nonzero): the distributed trace id minted by the client
+// (DESIGN.md §17). It is stripped before the per-verb token counts are
+// checked — `1 2 tid=a3`, `version tid=a3` and `replicate g1 0 tid=a3`
+// are all well-formed — and lands in Request::trace_id. A malformed
+// tid token is a usage error like any other grammar violation.
 //
 // The catalog verbs (use / datasets / reload) are only served by
 // catalog-mode servers (multi-dataset hosting); a single-index server
@@ -66,6 +75,7 @@ enum class RequestKind : std::uint8_t {
   kHeartbeat,   // "heartbeat" (replication)
   kReplicate,   // "replicate NAME GEN" (replication)
   kMetrics,     // "metrics" (Prometheus exposition, multi-line)
+  kTracez,      // "tracez [slow|errors|id HEX] [N]" (flight recorder)
   kQuit,        // "quit" / "exit"
   kInvalid,     // malformed; `error` holds the full response line
 };
@@ -76,9 +86,15 @@ struct Request {
   VertexId s = 0;
   VertexId t = 0;
   std::vector<VertexId> targets;  // kOneToMany only
-  std::string name;               // kUse / kReload / kReplicate: dataset
+  std::string name;               // kUse / kReload / kReplicate: dataset;
+                                  // kTracez: mode (recent|slow|errors|id)
   std::uint64_t gen = 0;          // kReplicate only: caller's generation
   std::string error;              // kInvalid only: "error: ..." line
+  /// Distributed trace id from the optional trailing `tid=<hex>` token;
+  /// for `tracez id HEX` the id to look up. 0 = absent.
+  std::uint64_t trace_id = 0;
+  /// kTracez only: the record cap N (0 = the server default).
+  std::uint64_t limit = 0;
   /// Parse latency measured by the front end (µs); flows into the
   /// request's QueryTrace. 0 when the front end is not timing.
   std::uint32_t parse_us = 0;

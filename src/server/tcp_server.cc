@@ -82,7 +82,12 @@ void TcpServer::InitMetrics() {
   if (registry == nullptr && dispatcher_.has_catalog()) {
     registry = dispatcher_.catalog()->metrics();
   }
-  if (registry == nullptr) return;  // single-index server, no telemetry
+  if (registry == nullptr) {
+    // Single-index server with no injected registry: fall back to the
+    // owned one, so `metrics` and the telemetry counters work in both
+    // modes without wiring.
+    registry = &own_registry_;
+  }
 
   accepted_ = registry->GetCounter("islabel_server_connections_accepted_total",
                                    "Connections accepted since start.");
@@ -107,6 +112,8 @@ void TcpServer::InitMetrics() {
   mo.clock = clock_;
   mo.slow_query_threshold_ms = options_.slow_query_threshold_ms;
   mo.slow_query_sink = options_.slow_query_sink;
+  mo.flight_recorder = options_.flight_recorder;
+  mo.event_log = options_.event_log;
   dispatcher_.InstallMetrics(mo);
 }
 
@@ -203,6 +210,13 @@ Status TcpServer::Start() {
   }
   loop_thread_ = std::thread([this] { EventLoop(); });
   started_ = true;
+  if (options_.event_log != nullptr) {
+    options_.event_log->Log(
+        obs::EventLevel::kInfo, "islabel.server.started",
+        {{"host", options_.host},
+         {"port", obs::EventLog::U64(bound_port_)},
+         {"workers", obs::EventLog::U64(workers)}});
+  }
   return Status::OK();
 }
 
@@ -223,6 +237,15 @@ void TcpServer::Wait() {
   work_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
+  }
+  if (started_ && !stop_event_logged_ && options_.event_log != nullptr) {
+    stop_event_logged_ = true;
+    const TcpServerStats s = stats();
+    options_.event_log->Log(
+        obs::EventLevel::kInfo, "islabel.server.stopped",
+        {{"requests", obs::EventLog::U64(s.requests)},
+         {"errors", obs::EventLog::U64(s.errors)},
+         {"connections", obs::EventLog::U64(s.connections_accepted)}});
   }
 }
 
@@ -454,8 +477,8 @@ void TcpServer::HandleRead(const std::shared_ptr<Connection>& conn) {
 
 void TcpServer::ParseLines(const std::shared_ptr<Connection>& conn) {
   // Parse latency feeds the request's QueryTrace; only pay the clock
-  // reads when telemetry is actually on.
-  const bool time_parse = dispatcher_.metrics_enabled();
+  // reads when telemetry (metrics or the flight recorder) is on.
+  const bool time_parse = dispatcher_.tracing_enabled();
   std::deque<Request> parsed;
   std::size_t begin = 0;
   for (;;) {

@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "core/index.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "server/dispatcher.h"
 #include "server/protocol.h"
@@ -86,14 +88,22 @@ struct TcpServerOptions {
   /// connection/byte/queue instruments there and installs it on the
   /// dispatcher (per-verb histograms, stage traces, the `metrics` verb).
   /// nullptr in catalog mode falls back to the catalog's registry;
-  /// nullptr in single-index mode disables telemetry. Must outlive the
-  /// server.
+  /// nullptr in single-index mode falls back to a registry the server
+  /// owns, so `metrics` and the telemetry counters work in both modes
+  /// out of the box. Must outlive the server when set.
   obs::MetricRegistry* metrics = nullptr;
   /// Requests slower than this many ms hit the slow-query log (0 = off).
   /// Only effective when a registry is resolved.
   std::uint64_t slow_query_threshold_ms = 0;
-  /// Receives slow-query lines; null logs via ISLABEL_LOG(kWarn).
+  /// Receives slow-query lines; null routes to the event log when one
+  /// is installed, else ISLABEL_LOG(kWarn).
   std::function<void(const std::string&)> slow_query_sink;
+  /// Flight recorder behind the `tracez` verb (DESIGN.md §17). Null
+  /// answers tracez with NotSupported. Must outlive the server.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// Structured event log (server lifecycle + slow-query events,
+  /// DESIGN.md §17). Null disables. Must outlive the server.
+  obs::EventLog* event_log = nullptr;
 };
 
 struct TcpServerStats {
@@ -154,8 +164,9 @@ class TcpServer {
   /// The counters behind a `stats` response, cache fields included.
   ServeStats ServeStatsSnapshot() const;
 
-  /// The resolved metric registry (options, or the catalog's), or null
-  /// when this server runs without telemetry.
+  /// The resolved metric registry: options, the catalog's, or (in
+  /// single-index mode) the server-owned default. Never null after
+  /// construction.
   obs::MetricRegistry* metrics() const { return dispatcher_.metrics(); }
 
  private:
@@ -190,7 +201,11 @@ class TcpServer {
   QueryCache* cache_ = nullptr;    // single-index mode only
   TcpServerOptions options_;
   const Clock* clock_ = nullptr;  // never null after construction
+  /// Fallback registry for single-index servers with no injected one,
+  /// so `metrics` and the telemetry counters work in both modes.
+  obs::MetricRegistry own_registry_;
   RequestDispatcher dispatcher_;
+  bool stop_event_logged_ = false;  // Wait()-caller private
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;

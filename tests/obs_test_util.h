@@ -1,0 +1,52 @@
+// Shared EventLog sink helpers for tests.
+//
+// The sanitizer CI jobs export ISLABEL_EVENT_LOG pointing into the
+// uploaded log directory; every test-constructed EventLog that uses
+// CapturingSink() tees its rendered JSON lines there, so a sanitizer
+// failure's artifact carries the structured events that led up to it.
+
+#ifndef ISLABEL_TESTS_OBS_TEST_UTIL_H_
+#define ISLABEL_TESTS_OBS_TEST_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+
+namespace islabel {
+namespace obs_test {
+
+/// Appends one rendered event line to $ISLABEL_EVENT_LOG when set.
+/// The stdio stream lock keeps concurrent lines whole; the stream is
+/// opened once and intentionally leaked (the OS flushes on exit, and
+/// sanitizer aborts keep what was already flushed).
+inline void TeeToEnvLog(const std::string& line) {
+  static std::FILE* f = [] {
+    const char* path = std::getenv("ISLABEL_EVENT_LOG");
+    return path != nullptr ? std::fopen(path, "a") : nullptr;
+  }();
+  if (f != nullptr) {
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fflush(f);
+  }
+}
+
+/// An EventLog sink that records every line into `out` (under `mu`,
+/// both owned by the caller and outliving the log) and tees it to
+/// $ISLABEL_EVENT_LOG.
+inline std::function<void(const std::string&)> CapturingSink(
+    Mutex* mu, std::vector<std::string>* out) {
+  return [mu, out](const std::string& line) {
+    TeeToEnvLog(line);
+    MutexLock lock(mu);
+    out->push_back(line);
+  };
+}
+
+}  // namespace obs_test
+}  // namespace islabel
+
+#endif  // ISLABEL_TESTS_OBS_TEST_UTIL_H_

@@ -2,11 +2,15 @@
 // kind-mismatch behavior, histogram bucket math and quantile
 // interpolation, the enabled A/B switch, Prometheus exposition
 // validity, a multi-threaded histogram hammer (the TSan target for the
-// record path), and the QueryTrace / slow-query machinery on a
-// ManualClock.
+// record path), the QueryTrace / slow-query machinery on a
+// ManualClock, the flight recorder (ring exactness, enable flag, the
+// 8-thread record hammer with concurrent tracez scrapes), and the
+// structured event log (JSON shape, levels, rate limiting, tid
+// auto-attach).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -15,9 +19,13 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs_test_util.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 
 namespace islabel {
 namespace obs {
@@ -397,6 +405,371 @@ TEST(QueryTrace, SlowQueryLineFormatIsPinned) {
   EXPECT_EQ(FormatSlowQueryLine("distance", 12345, trace),
             "slow-query verb=distance total_us=12345 parse_us=10 cache_us=2 "
             "pool_wait_us=400 kernel_us=11800 encode_us=3");
+}
+
+// ---------- Trace id wire form ----------
+
+TEST(TraceId, FormatIsLowercaseHexNoLeadingZeros) {
+  EXPECT_EQ(FormatTraceId(0), "0");
+  EXPECT_EQ(FormatTraceId(1), "1");
+  EXPECT_EQ(FormatTraceId(0xdeadbeef), "deadbeef");
+  EXPECT_EQ(FormatTraceId(~0ull), "ffffffffffffffff");
+}
+
+TEST(TraceId, ParseAcceptsOnlyNonzeroHex) {
+  std::uint64_t id = 0;
+  EXPECT_TRUE(ParseTraceId("1", &id));
+  EXPECT_EQ(id, 1u);
+  EXPECT_TRUE(ParseTraceId("DeadBeef", &id));  // either case on input
+  EXPECT_EQ(id, 0xdeadbeefu);
+  EXPECT_TRUE(ParseTraceId("ffffffffffffffff", &id));
+  EXPECT_EQ(id, ~0ull);
+  EXPECT_TRUE(ParseTraceId("0001", &id));  // leading zeros parse fine
+  EXPECT_EQ(id, 1u);
+
+  EXPECT_FALSE(ParseTraceId("", &id));
+  EXPECT_FALSE(ParseTraceId("0", &id));     // zero is never a wire id
+  EXPECT_FALSE(ParseTraceId("0000", &id));
+  EXPECT_FALSE(ParseTraceId("xyz", &id));
+  EXPECT_FALSE(ParseTraceId("12 34", &id));
+  EXPECT_FALSE(ParseTraceId("0x12", &id));  // no prefix form
+  EXPECT_FALSE(ParseTraceId("11112222333344445", &id));  // 17 digits
+  // Round trip across the wire form.
+  for (std::uint64_t v : {1ull, 0x10ull, 0xabcdef0123456789ull, ~0ull}) {
+    std::uint64_t back = 0;
+    ASSERT_TRUE(ParseTraceId(FormatTraceId(v), &back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+// ---------- Flight recorder ----------
+
+QueryTrace MakeTrace(const Clock* clock, std::uint64_t tid,
+                     std::uint64_t kernel_us) {
+  QueryTrace trace(clock);
+  trace.set_trace_id(tid);
+  trace.Add(Stage::kKernel, kernel_us);
+  return trace;
+}
+
+TEST(FlightRecorder, CapacityRoundsUpToPowerOfTwoMinTwo) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  opts.capacity_per_thread = 0;
+  EXPECT_EQ(FlightRecorder(opts).capacity_per_thread(), 2u);
+  opts.capacity_per_thread = 3;
+  EXPECT_EQ(FlightRecorder(opts).capacity_per_thread(), 4u);
+  opts.capacity_per_thread = 8;
+  EXPECT_EQ(FlightRecorder(opts).capacity_per_thread(), 8u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsExactlyTheNewestCapacityRecords) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  opts.capacity_per_thread = 4;
+  FlightRecorder rec(opts);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    QueryTrace trace = MakeTrace(&clock, /*tid=*/100 + i, /*kernel_us=*/i);
+    rec.Record("distance", "ds", /*error=*/false, /*total_us=*/i, trace);
+  }
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.num_rings(), 1u);  // single recording thread
+
+  const std::vector<FlightRecord> all = rec.Snapshot(0);
+  ASSERT_EQ(all.size(), 4u);  // exactly the ring capacity survives
+  // Newest first: seqs 10, 9, 8, 7 — the wrap evicted 1..6.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].seq, 10u - i);
+    EXPECT_EQ(all[i].trace_id, 100u + all[i].seq);
+    EXPECT_EQ(all[i].total_us, all[i].seq);
+    EXPECT_EQ(all[i].stage_us[static_cast<int>(Stage::kKernel)], all[i].seq);
+    EXPECT_STREQ(all[i].verb, "distance");
+    EXPECT_EQ(all[i].dataset, "ds");
+  }
+  // max_records caps from the newest end.
+  EXPECT_EQ(rec.Snapshot(2).size(), 2u);
+  EXPECT_EQ(rec.Snapshot(2)[0].seq, 10u);
+}
+
+TEST(FlightRecorder, DisabledRecordIsANoop) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  FlightRecorder rec(opts);
+  rec.set_enabled(false);
+  QueryTrace trace = MakeTrace(&clock, 7, 5);
+  rec.Record("distance", "", false, 5, trace);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  EXPECT_TRUE(rec.Snapshot(0).empty());
+
+  rec.set_enabled(true);
+  rec.Record("distance", "", false, 5, trace);
+  EXPECT_EQ(rec.total_recorded(), 1u);
+  EXPECT_EQ(rec.Snapshot(0).size(), 1u);
+}
+
+TEST(FlightRecorder, RenderTracezFormatIsPinned) {
+  ManualClock clock;
+  clock.SetMs(1000);
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  opts.capacity_per_thread = 8;
+  FlightRecorder rec(opts);
+  {
+    QueryTrace trace(&clock);
+    trace.set_trace_id(0xabc);
+    trace.set_cache_hit(true);
+    trace.Add(Stage::kParse, 1);
+    trace.Add(Stage::kCacheLookup, 2);
+    trace.Add(Stage::kPoolWait, 3);
+    trace.Add(Stage::kKernel, 4);
+    trace.Add(Stage::kEncode, 5);
+    rec.Record("distance", "ds", /*error=*/false, /*total_us=*/15, trace);
+  }
+  {
+    QueryTrace trace(&clock);  // untagged, error, no dataset
+    rec.Record("path", "", /*error=*/true, /*total_us=*/99, trace);
+  }
+  clock.AdvanceMs(500);
+
+  const std::string recent =
+      rec.RenderTracez(FlightRecorder::TracezMode::kRecent, 0, 0);
+  EXPECT_EQ(
+      recent,
+      "tracez: records=2 shown=2 capacity_per_thread=8 threads=1 enabled=1\n"
+      "trace id=- seq=2 verb=path dataset=- status=error total_us=99"
+      " parse_us=0 cache_us=0 pool_wait_us=0 kernel_us=0 encode_us=0"
+      " cache_hit=0 age_ms=500\n"
+      "trace id=abc seq=1 verb=distance dataset=ds status=ok total_us=15"
+      " parse_us=1 cache_us=2 pool_wait_us=3 kernel_us=4 encode_us=5"
+      " cache_hit=1 age_ms=500\n"
+      "# EOF");
+
+  // kErrors keeps only error responses; kById selects by trace id and
+  // renders oldest first.
+  const std::string errors =
+      rec.RenderTracez(FlightRecorder::TracezMode::kErrors, 0, 0);
+  EXPECT_NE(errors.find("shown=1"), std::string::npos);
+  EXPECT_NE(errors.find("seq=2"), std::string::npos);
+  EXPECT_EQ(errors.find("seq=1 "), std::string::npos);
+  const std::string by_id =
+      rec.RenderTracez(FlightRecorder::TracezMode::kById, 0xabc, 0);
+  EXPECT_NE(by_id.find("id=abc seq=1"), std::string::npos);
+  EXPECT_EQ(by_id.find("seq=2"), std::string::npos);
+}
+
+TEST(FlightRecorder, SlowModeSortsByTotalDescending) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  FlightRecorder rec(opts);
+  for (std::uint64_t us : {5u, 500u, 50u}) {
+    QueryTrace trace(&clock);
+    rec.Record("distance", "", false, us, trace);
+  }
+  const std::string slow =
+      rec.RenderTracez(FlightRecorder::TracezMode::kSlow, 0, 2);
+  const std::size_t p500 = slow.find("total_us=500");
+  const std::size_t p50 = slow.find("total_us=50 ");
+  EXPECT_NE(p500, std::string::npos);
+  EXPECT_NE(p50, std::string::npos);
+  EXPECT_LT(p500, p50);
+  EXPECT_EQ(slow.find("total_us=5 "), std::string::npos);  // limit=2 cut it
+}
+
+TEST(FlightRecorder, DatasetIsTruncatedOnRecord) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  FlightRecorder rec(opts);
+  QueryTrace trace(&clock);
+  rec.Record("distance", "a-very-long-dataset-name", false, 1, trace);
+  const std::vector<FlightRecord> all = rec.Snapshot(0);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].dataset, "a-very-long-dat");  // 15 bytes
+}
+
+// The TSan target for the recorder: 8 writer threads hammering Record
+// while scrapers run Snapshot and RenderTracez concurrently. Asserts
+// that nothing tears (every surviving record is internally consistent)
+// and that the global sequence conserves the total count.
+TEST(FlightRecorder, ConcurrentRecordAndScrapeIsSafe) {
+  ManualClock clock;
+  FlightRecorderOptions opts;
+  opts.clock = &clock;
+  opts.capacity_per_thread = 64;  // small rings force constant wrapping
+  FlightRecorder rec(opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, &clock, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t us = static_cast<std::uint64_t>(i % 1000);
+        QueryTrace trace(&clock);
+        // tid encodes (thread, i) so a torn slot would show as a
+        // mismatched (trace_id, total_us) pair below.
+        trace.set_trace_id((static_cast<std::uint64_t>(t + 1) << 32) | us);
+        trace.Add(Stage::kKernel, us);
+        rec.Record("distance", "hammer", (i % 7) == 0, us, trace);
+      }
+    });
+  }
+  std::thread scraper([&rec, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const FlightRecord& r : rec.Snapshot(0)) {
+        // Seqlock contract: skipped-or-whole, never torn.
+        ASSERT_EQ(r.trace_id & 0xffffffffu, r.total_us);
+        ASSERT_EQ(r.stage_us[static_cast<int>(Stage::kKernel)], r.total_us);
+        ASSERT_STREQ(r.verb, "distance");
+        ASSERT_EQ(r.dataset, "hammer");
+      }
+      const std::string text =
+          rec.RenderTracez(FlightRecorder::TracezMode::kRecent, 0, 16);
+      ASSERT_EQ(text.rfind("\n# EOF"), text.size() - 6);
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(rec.total_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec.num_rings(), static_cast<std::size_t>(kThreads));
+  // Post-quiescence: every ring is full, snapshot returns threads*cap.
+  EXPECT_EQ(rec.Snapshot(0).size(),
+            static_cast<std::size_t>(kThreads) * rec.capacity_per_thread());
+}
+
+// ---------- Structured event log ----------
+
+TEST(EventLog, JsonLineShapeIsPinned) {
+  ManualClock clock;
+  clock.SetMs(42);
+  Mutex mu;
+  std::vector<std::string> lines;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  opts.sink = obs_test::CapturingSink(&mu, &lines);
+  EventLog log(opts);
+  log.Log(EventLevel::kInfo, "islabel.test.started",
+          {{"dataset", "ds"}, {"gen", EventLog::U64(7)}});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"ts_ms\":42,\"level\":\"info\",\"event\":"
+            "\"islabel.test.started\",\"dataset\":\"ds\",\"gen\":\"7\"}");
+}
+
+TEST(EventLog, FieldValuesAreJsonEscaped) {
+  ManualClock clock;
+  Mutex mu;
+  std::vector<std::string> lines;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  opts.sink = obs_test::CapturingSink(&mu, &lines);
+  EventLog log(opts);
+  log.Log(EventLevel::kError, "islabel.test.started",
+          {{"error", "a\"b\\c\nd"}});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\":\"a\\\"b\\\\c\\nd\""),
+            std::string::npos);
+}
+
+TEST(EventLog, MinLevelDropsBelowWithoutCountingAsRateLimited) {
+  ManualClock clock;
+  Mutex mu;
+  std::vector<std::string> lines;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  opts.min_level = EventLevel::kWarn;
+  opts.sink = obs_test::CapturingSink(&mu, &lines);
+  EventLog log(opts);
+  log.Log(EventLevel::kDebug, "islabel.test.started");
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(log.dropped(), 0u);  // level filtering is not a "drop"
+  log.Log(EventLevel::kWarn, "islabel.test.started");
+  log.Log(EventLevel::kError, "islabel.test.started");
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(EventLog, PerEventTokenBucketRateLimitsAndCountsDrops) {
+  ManualClock clock;
+  Mutex mu;
+  std::vector<std::string> lines;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  opts.sink = obs_test::CapturingSink(&mu, &lines);
+  opts.rate_limit_per_sec = 1.0;
+  opts.rate_limit_burst = 2.0;
+  EventLog log(opts);
+  for (int i = 0; i < 5; ++i) log.Log(EventLevel::kInfo, "islabel.test.started");
+  EXPECT_EQ(lines.size(), 2u);  // the burst
+  EXPECT_EQ(log.dropped(), 3u);
+  // A different event name has its own bucket.
+  log.Log(EventLevel::kInfo, "islabel.test.stopped");
+  EXPECT_EQ(lines.size(), 3u);
+  // One second refills one token for the throttled name.
+  clock.AdvanceMs(1000);
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  EXPECT_EQ(lines.size(), 4u);
+  EXPECT_EQ(log.dropped(), 4u);
+}
+
+TEST(EventLog, TraceIdAutoAttachesFromCurrentTrace) {
+  ManualClock clock;
+  Mutex mu;
+  std::vector<std::string> lines;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  opts.sink = obs_test::CapturingSink(&mu, &lines);
+  EventLog log(opts);
+
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find("\"tid\""), std::string::npos);  // no trace
+
+  QueryTrace trace(&clock);
+  trace.set_trace_id(0xbeef);
+  TraceScope scope(&trace);
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"tid\":\"beef\""), std::string::npos);
+
+  // An explicit tid field suppresses the auto-attached one.
+  log.Log(EventLevel::kInfo, "islabel.test.started", {{"tid", "cafe"}});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[2].find("\"tid\":\"cafe\""), std::string::npos);
+  EXPECT_EQ(lines[2].find("beef"), std::string::npos);
+}
+
+TEST(EventLog, NullSinkCountsEveryAdmittedEventAsDropped) {
+  ManualClock clock;
+  EventLogOptions opts;
+  opts.clock = &clock;
+  EventLog log(opts);  // no sink
+  log.Log(EventLevel::kInfo, "islabel.test.started");
+  EXPECT_EQ(log.dropped(), 1u);
+}
+
+TEST(EventLog, LevelNamesAndParsingRoundTrip) {
+  EXPECT_STREQ(EventLevelName(EventLevel::kDebug), "debug");
+  EXPECT_STREQ(EventLevelName(EventLevel::kInfo), "info");
+  EXPECT_STREQ(EventLevelName(EventLevel::kWarn), "warn");
+  EXPECT_STREQ(EventLevelName(EventLevel::kError), "error");
+  EventLevel level = EventLevel::kInfo;
+  EXPECT_TRUE(ParseEventLevel("debug", &level));
+  EXPECT_EQ(level, EventLevel::kDebug);
+  EXPECT_TRUE(ParseEventLevel("error", &level));
+  EXPECT_EQ(level, EventLevel::kError);
+  EXPECT_FALSE(ParseEventLevel("verbose", &level));
+  EXPECT_FALSE(ParseEventLevel("", &level));
 }
 
 }  // namespace

@@ -26,6 +26,10 @@
 
 #include "catalog/catalog.h"
 #include "catalog/partitioned_index.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "obs_test_util.h"
 #include "repl/fault_injector.h"
 #include "repl/primary.h"
 #include "repl/replica.h"
@@ -211,6 +215,25 @@ class LineClient {
       if (n <= 0) return "<send-failed>";
       off += static_cast<std::size_t>(n);
     }
+    return ReadOne();
+  }
+
+  /// Sends `line` and reads the multi-line response through its "# EOF"
+  /// terminator (the tracez / metrics shape). Single-line error
+  /// responses return as a one-element vector.
+  std::vector<std::string> AskMulti(const std::string& line) {
+    std::vector<std::string> lines;
+    lines.push_back(Ask(line));
+    if (lines.back().rfind("error:", 0) == 0) return lines;
+    while (lines.back() != "# EOF" && lines.back() != "<eof>" &&
+           lines.back() != "<send-failed>") {
+      lines.push_back(ReadOne());
+    }
+    return lines;
+  }
+
+ private:
+  std::string ReadOne() {
     for (;;) {
       const std::size_t nl = buf_.find('\n');
       if (nl != std::string::npos) {
@@ -225,7 +248,6 @@ class LineClient {
     }
   }
 
- private:
   int fd_ = -1;
   bool connected_ = false;
   std::string buf_;
@@ -304,7 +326,9 @@ class ReplTest : public SnapshotTest {
   std::unique_ptr<Replica> MakeReplica(const std::string& tag,
                                        repl::Transport* transport,
                                        Clock* clock, Rng* rng,
-                                       const std::string& default_name = "d") {
+                                       const std::string& default_name = "d",
+                                       obs::FlightRecorder* recorder = nullptr,
+                                       obs::EventLog* event_log = nullptr) {
     auto r = std::make_unique<Replica>();
     ReplicaOptions opts;
     opts.primary = primary_endpoint_;
@@ -312,11 +336,13 @@ class ReplTest : public SnapshotTest {
     opts.poll_interval_ms = 1000;
     opts.request_timeout_ms = 5000;
     opts.primary_timeout_ms = 3000;
+    opts.event_log = event_log;
     r->agent = std::make_unique<ReplicaAgent>(&r->catalog, transport, clock,
                                               rng, opts);
     TcpServerOptions sopts;
     sopts.port = 0;
     sopts.num_workers = 2;
+    sopts.flight_recorder = recorder;
     r->server = std::make_unique<TcpServer>(&r->catalog, default_name, sopts);
     r->server->SetReplicationHooks(r->agent.get());
     EXPECT_TRUE(r->server->Start().ok());
@@ -793,6 +819,135 @@ TEST(ReplicaSetClientTest, BacksOffDeterministicallyWhenAllDown) {
   EXPECT_EQ(slept, (std::vector<std::uint64_t>{100, 200, 400, 800}));
   EXPECT_GT(faults.stats().connects_failed, 0u);
   EXPECT_EQ(client.failovers(), 0u) << "no endpoint ever answered";
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing across failover (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+TEST_F(ReplTest, SyncEmitsPullAndInstallEventsUnderOneTraceId) {
+  ManualClock clock(0);
+  Rng rng(71);
+  TcpTransport tcp;
+  Mutex mu;
+  std::vector<std::string> events;
+  obs::EventLogOptions lopts;
+  lopts.clock = &clock;
+  lopts.sink = obs_test::CapturingSink(&mu, &events);
+  obs::EventLog log(lopts);
+  auto r = MakeReplica("r_events", &tcp, &clock, &rng, "d",
+                       /*recorder=*/nullptr, &log);
+
+  ASSERT_TRUE(r->agent->SyncNow().ok());
+  ASSERT_EQ(events.size(), 2u) << "expected exactly pull + install";
+  EXPECT_NE(events[0].find("\"event\":\"islabel.repl.pull\""),
+            std::string::npos)
+      << events[0];
+  EXPECT_NE(events[0].find("\"dataset\":\"d\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"event\":\"islabel.repl.install\""),
+            std::string::npos)
+      << events[1];
+  // Both events of the sync carry the same minted trace id.
+  const std::string key = "\"tid\":\"";
+  const std::size_t p0 = events[0].find(key);
+  ASSERT_NE(p0, std::string::npos) << events[0];
+  const std::string tid = events[0].substr(
+      p0 + key.size(), events[0].find('"', p0 + key.size()) - p0 - key.size());
+  EXPECT_FALSE(tid.empty());
+  EXPECT_NE(tid, "0");
+  EXPECT_NE(events[1].find(key + tid + "\""), std::string::npos)
+      << "install under a different trace than its pull: " << events[1];
+
+  // A sync against a dead primary emits sync_failed.
+  StopPrimary();
+  EXPECT_FALSE(r->agent->SyncNow().ok());
+  ASSERT_GE(events.size(), 3u);
+  EXPECT_NE(events.back().find("\"event\":\"islabel.repl.sync_failed\""),
+            std::string::npos)
+      << events.back();
+  StopReplica(r.get());
+}
+
+// The acceptance test for trace stitching: one tid-tagged logical query
+// whose first attempts are severed client-side (the response is cut
+// mid-line AFTER the server executed it) must appear under the SAME
+// trace id in BOTH replicas' flight recorders, retrievable over each
+// serving face with `tracez id HEX`. Faults and time are injected, so
+// the retry/failover schedule is fully deterministic.
+TEST_F(ReplTest, FailoverQueryIsStitchedIntoOneTraceAcrossReplicas) {
+  ManualClock clock(0);
+  Rng rng1(61), rng2(62), rng_client(63);
+  TcpTransport tcp;
+  obs::FlightRecorderOptions ropts;
+  obs::FlightRecorder rec1(ropts);
+  obs::FlightRecorder rec2(ropts);
+  auto r1 = MakeReplica("r1", &tcp, &clock, &rng1, "d", &rec1);
+  auto r2 = MakeReplica("r2", &tcp, &clock, &rng2, "d", &rec2);
+  ASSERT_TRUE(r1->agent->SyncNow().ok());
+  ASSERT_TRUE(r2->agent->SyncNow().ok());
+  StopPrimary();  // the replicas alone serve the query
+
+  // Each replica's first TWO responses to the client are severed after
+  // one delivered byte: both in-endpoint retry attempts fail, forcing a
+  // genuine cross-replica failover, and the eventual re-probe succeeds.
+  FaultInjector faults;
+  FaultInjectingTransport transport(&tcp, &faults);
+  faults.AddRule(
+      {FaultRule::Kind::kCutAfterRecvBytes, r1->endpoint, 1, 2});
+  faults.AddRule(
+      {FaultRule::Kind::kCutAfterRecvBytes, r2->endpoint, 1, 2});
+
+  ReplicaSetOptions copts;
+  copts.endpoints = {r1->endpoint, r2->endpoint};
+  copts.request_timeout_ms = 2000;
+  copts.overall_timeout_ms = 8000;
+  copts.sleep_ms = [&clock](std::uint64_t ms) { clock.AdvanceMs(ms); };
+  ReplicaSetClient client(&transport, &clock, &rng_client, copts);
+
+  const std::string expect = FreshEngineLines("v1_copy", {{1, 2}}).front();
+  Result<std::string> got = client.Query("1 2");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, expect);
+  EXPECT_GE(client.failovers(), 1u);
+  EXPECT_EQ(faults.stats().connections_cut, 4u);
+
+  const std::uint64_t tid = client.last_trace_id();
+  ASSERT_NE(tid, 0u);
+  const std::string hex = obs::FormatTraceId(tid);
+
+  // The one logical query is retrievable by id from BOTH replicas, and
+  // each saw it more than once (its two severed attempts) — the
+  // stamped line stitched every retry into one trace.
+  for (const Replica* r : {r1.get(), r2.get()}) {
+    LineClient scraper(r->server->port());
+    ASSERT_TRUE(scraper.connected());
+    const std::vector<std::string> lines =
+        scraper.AskMulti("tracez id " + hex);
+    ASSERT_GE(lines.size(), 3u) << r->endpoint << ": " << lines.front();
+    EXPECT_EQ(lines.front().rfind("tracez: ", 0), 0u);
+    EXPECT_EQ(lines.back(), "# EOF");
+    std::size_t matching = 0;
+    for (const std::string& line : lines) {
+      if (line.rfind("trace id=" + hex + " ", 0) == 0) {
+        ++matching;
+        EXPECT_NE(line.find("verb=distance"), std::string::npos) << line;
+      }
+    }
+    EXPECT_GE(matching, 2u) << r->endpoint;
+  }
+
+  // A caller-propagated tid is preserved, not re-minted.
+  Result<std::string> tagged = client.Query("1 2 tid=abcd");
+  ASSERT_TRUE(tagged.ok());
+  EXPECT_EQ(client.last_trace_id(), 0xabcdu);
+  // And successive untagged queries mint fresh ids.
+  ASSERT_TRUE(client.Query("1 2").ok());
+  const std::uint64_t tid2 = client.last_trace_id();
+  EXPECT_NE(tid2, 0u);
+  EXPECT_NE(tid2, tid);
+
+  StopReplica(r1.get());
+  StopReplica(r2.get());
 }
 
 TEST(ReplicaSetClientTest, NoEndpointsIsInvalidArgument) {

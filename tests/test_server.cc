@@ -26,7 +26,10 @@
 
 #include "baseline/dijkstra.h"
 #include "core/index.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs_test_util.h"
 #include "server/dispatcher.h"
 #include "server/protocol.h"
 #include "server/query_cache.h"
@@ -824,12 +827,26 @@ TEST_F(TcpServerTest, AcceptShedsUnderFdPressure) {
 // Telemetry (DESIGN.md §16)
 // ---------------------------------------------------------------------------
 
-TEST_F(TcpServerTest, MetricsVerbWithoutRegistryAnswersNotSupported) {
-  // The fixture's server has neither an explicit registry nor a catalog.
+TEST_F(TcpServerTest, MetricsVerbWithoutRegistryUsesServerOwnedDefault) {
+  // The fixture's server has neither an explicit registry nor a catalog:
+  // a single-index server falls back to a registry it owns, so `metrics`
+  // and the telemetry counters work out of the box (DESIGN.md §16).
+  ASSERT_NE(server_->metrics(), nullptr);
   TestClient client(server_->port());
   ASSERT_TRUE(client.connected());
+  client.Send("1 2\n");
+  client.ReadLine();
   client.Send("metrics\n");
-  EXPECT_EQ(client.ReadLine(), "error: NotSupported: metrics not enabled");
+  bool saw_requests_series = false;
+  for (;;) {
+    const std::string line = client.ReadLine();
+    ASSERT_NE(line, "<eof>") << "connection died mid-exposition";
+    if (line.rfind("islabel_server_requests_total", 0) == 0) {
+      saw_requests_series = true;
+    }
+    if (line == "# EOF") break;
+  }
+  EXPECT_TRUE(saw_requests_series);
   client.Send("metrics now\n");
   EXPECT_EQ(client.ReadLine(), "error: usage: metrics");
 }
@@ -1001,6 +1018,164 @@ TEST(DispatcherMetrics, SlowQueryLineGoesToSinkWithStageBreakdown) {
   EXPECT_EQ(
       registry.GetCounter("islabel_server_slow_queries_total", "")->Value(),
       1u);
+}
+
+TEST(DispatcherMetrics, SlowQueryFallsBackToEventLogWithTraceId) {
+  Graph graph = MakeTestGraph(Family::kPath, 32, true, 3);
+  auto built = ISLabelIndex::Build(graph);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+
+  ManualClock clock;
+  Mutex mu;
+  std::vector<std::string> events;
+  obs::EventLogOptions lopts;
+  lopts.clock = &clock;
+  lopts.sink = obs_test::CapturingSink(&mu, &events);
+  obs::EventLog log(lopts);
+
+  server::RequestDispatcher dispatcher(&index);
+  obs::MetricRegistry registry;
+  server::RequestDispatcher::MetricsOptions mopts;
+  mopts.registry = &registry;
+  mopts.clock = &clock;
+  mopts.slow_query_threshold_ms = 1;
+  mopts.event_log = &log;  // no sink installed: the event log is next
+  dispatcher.InstallMetrics(mopts);
+
+  Request slow = ParseRequest("1 2 tid=abc");
+  slow.parse_us = 5000;
+  (void)dispatcher.Execute(slow);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].find("\"event\":\"islabel.server.slow_query\""),
+            std::string::npos)
+      << events[0];
+  // The dispatcher's TraceScope is active when the event fires, so the
+  // request's trace id auto-attaches.
+  EXPECT_NE(events[0].find("\"tid\":\"abc\""), std::string::npos)
+      << events[0];
+  EXPECT_NE(events[0].find("\"verb\":\"distance\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing + flight recorder (DESIGN.md §17)
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpServerTest, TrailingTidTokenIsAcceptedOnEveryVerbAndValidated) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // The trailing token is stripped before per-verb arity checks, so it
+  // rides on query and admin verbs alike.
+  client.Send("1 2 tid=deadbeef\n");
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  client.Send("1 2 tid=DEADBEEF\n");  // either case parses
+  EXPECT_EQ(client.ReadLine(), server::FormatDistance(Expected(1, 2)));
+  client.Send("stats tid=ff\n");
+  EXPECT_EQ(client.ReadLine().rfind("error:", 0), std::string::npos);
+
+  const std::string usage = "error: usage: tid=HEX (1-16 hex digits, nonzero)";
+  client.Send("1 2 tid=xyz\n");
+  EXPECT_EQ(client.ReadLine(), usage);
+  client.Send("1 2 tid=0\n");  // zero is never a valid wire id
+  EXPECT_EQ(client.ReadLine(), usage);
+  client.Send("1 2 tid=11112222333344445\n");  // 17 hex digits
+  EXPECT_EQ(client.ReadLine(), usage);
+  client.Send("tid=abc\n");  // a bare tid token tags nothing
+  EXPECT_EQ(client.ReadLine(), usage);
+}
+
+TEST_F(TcpServerTest, TracezGrammarAndMissingRecorder) {
+  // The fixture's server has no flight recorder: well-formed scrapes
+  // answer NotSupported, malformed ones fail parsing first.
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("tracez\n");
+  EXPECT_EQ(client.ReadLine(),
+            "error: NotSupported: flight recorder not enabled");
+  const std::string usage = "error: usage: tracez [slow|errors|id HEX] [N]";
+  for (const char* bad : {"tracez bogus", "tracez id", "tracez id zz",
+                          "tracez id 0", "tracez 0", "tracez slow 5 9",
+                          "tracez id abc extra"}) {
+    client.Send(std::string(bad) + "\n");
+    EXPECT_EQ(client.ReadLine(), usage) << bad;
+  }
+}
+
+// Reads a tracez response: every line through "# EOF" inclusive.
+std::vector<std::string> ReadTracezResponse(TestClient* client) {
+  std::vector<std::string> lines;
+  for (;;) {
+    const std::string line = client->ReadLine();
+    EXPECT_NE(line, "<eof>") << "connection died mid-tracez";
+    if (line == "<eof>") break;
+    lines.push_back(line);
+    if (line == "# EOF") break;
+  }
+  return lines;
+}
+
+TEST(TcpServerTracing, FlightRecorderCapturesRequestsAndTracezRetrievesById) {
+  Graph graph = MakeTestGraph(Family::kErdosRenyi, 200, true, 7);
+  auto built = ISLabelIndex::Build(graph);
+  ASSERT_TRUE(built.ok());
+  ISLabelIndex index = std::move(built).value();
+  obs::FlightRecorderOptions ropts;
+  ropts.capacity_per_thread = 64;
+  obs::FlightRecorder recorder(ropts);
+  TcpServerOptions opts;
+  opts.port = 0;
+  opts.num_workers = 2;
+  opts.flight_recorder = &recorder;
+  TcpServer server(&index, nullptr, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("1 2 tid=deadbeef\n");
+  EXPECT_EQ(client.ReadLine().rfind("error:", 0), std::string::npos);
+  client.Send("900000 2 tid=cafe\n");  // out of range: an error response
+  EXPECT_EQ(client.ReadLine(), "error: OutOfRange: vertex id out of range");
+
+  // Retrieval by id returns exactly that trace.
+  client.Send("tracez id deadbeef\n");
+  std::vector<std::string> lines = ReadTracezResponse(&client);
+  ASSERT_EQ(lines.size(), 3u);  // header, one trace, terminator
+  EXPECT_EQ(lines[0].rfind("tracez: ", 0), 0u);
+  EXPECT_NE(lines[0].find("shown=1"), std::string::npos);
+  EXPECT_NE(lines[0].find("enabled=1"), std::string::npos);
+  EXPECT_EQ(lines[1].rfind("trace id=deadbeef seq=", 0), 0u);
+  EXPECT_NE(lines[1].find("verb=distance"), std::string::npos);
+  EXPECT_NE(lines[1].find("status=ok"), std::string::npos);
+  EXPECT_EQ(lines.back(), "# EOF");
+
+  // The errors view keeps only the failed request.
+  client.Send("tracez errors\n");
+  lines = ReadTracezResponse(&client);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].rfind("trace id=cafe ", 0), 0u);
+  EXPECT_NE(lines[1].find("status=error"), std::string::npos);
+
+  // tracez scrapes are themselves never recorded: after two scrapes the
+  // recorder still holds exactly the two query requests.
+  client.Send("tracez\n");
+  lines = ReadTracezResponse(&client);
+  EXPECT_NE(lines[0].find("records=2 shown=2"), std::string::npos)
+      << lines[0];
+
+  // Disabling the recorder turns Record into a no-op but keeps the
+  // scrape path alive.
+  recorder.set_enabled(false);
+  client.Send("3 4 tid=beef\n");
+  (void)client.ReadLine();
+  client.Send("tracez\n");
+  lines = ReadTracezResponse(&client);
+  EXPECT_NE(lines[0].find("records=2"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("enabled=0"), std::string::npos) << lines[0];
+
+  client.Send("quit\n");
+  EXPECT_EQ(client.ReadLine(), "<eof>");
+  server.Stop();
+  server.Wait();
 }
 
 }  // namespace

@@ -48,7 +48,9 @@
 #include "catalog/partitioned_index.h"
 #include "core/index.h"
 #include "graph/generators.h"
+#include "obs/flight_recorder.h"
 #include "obs/io_bridge.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "graph/graph_io.h"
 #include "graph/components.h"
@@ -144,6 +146,8 @@ int Usage() {
       "                [--disk] [--listen HOST:PORT] [--threads N]\n"
       "                [--cache-mb M] [--idle-timeout-ms N]\n"
       "                [--max-buffered-kb N] [--slow-query-ms N]\n"
+      "                [--flight-recorder-capacity N] [--log-level L]\n"
+      "                [--log-file PATH]\n"
       "  islabel serve --replicate-from HOST:PORT --repl-root DIR\n"
       "                [--listen HOST:PORT] [--poll-ms N] [--threads N]\n"
       "  islabel query --endpoints H:P,H:P,... S T [S T ...]\n"
@@ -556,6 +560,59 @@ int ParseListenOption(const Args& args, server::TcpServerOptions* sopts) {
   return 0;
 }
 
+/// The serve-mode observability plane (DESIGN.md §17): a structured
+/// JSON-lines event log on stderr or --log-file, and the flight
+/// recorder behind the `tracez` verb. Declare it before anything that
+/// logs (catalog, servers) so it is destroyed last.
+struct ServeObservability {
+  FILE* log_file = nullptr;
+  std::unique_ptr<obs::EventLog> event_log;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+
+  ~ServeObservability() {
+    // Members (the event log among them) are destroyed after this body,
+    // but EventLog never calls the sink from its destructor, so closing
+    // here is safe.
+    if (log_file != nullptr) std::fclose(log_file);
+  }
+
+  /// Builds the plane from --log-level / --log-file /
+  /// --flight-recorder-capacity. Returns 0, or 2 on bad input.
+  int Init(const Args& args) {
+    obs::EventLogOptions lopts;
+    if (!obs::ParseEventLevel(args.Get("log-level", "info"),
+                              &lopts.min_level)) {
+      std::fprintf(stderr,
+                   "--log-level expects debug, info, warn or error\n");
+      return 2;
+    }
+    const std::string path = args.Get("log-file", "");
+    if (!path.empty()) {
+      log_file = std::fopen(path.c_str(), "a");
+      if (log_file == nullptr) {
+        std::fprintf(stderr, "cannot open --log-file %s\n", path.c_str());
+        return 2;
+      }
+    }
+    // One fprintf per event: the stdio stream lock keeps concurrent
+    // workers' lines whole (EventLog calls the sink unlocked).
+    FILE* out = log_file != nullptr ? log_file : stderr;
+    lopts.sink = [out](const std::string& line) {
+      std::fprintf(out, "%s\n", line.c_str());
+      std::fflush(out);
+    };
+    event_log = std::make_unique<obs::EventLog>(lopts);
+
+    const long capacity = args.GetInt("flight-recorder-capacity", 8192);
+    if (capacity > 0) {
+      obs::FlightRecorderOptions fopts;
+      fopts.capacity_per_thread = static_cast<std::size_t>(capacity);
+      recorder = std::make_unique<obs::FlightRecorder>(fopts);
+    }
+    return 0;
+  }
+};
+
 /// Waits out a started TCP server and reports its counters.
 int RunTcpServer(server::TcpServer* tcp_server) {
   tcp_server->Wait();
@@ -576,7 +633,7 @@ int ServeStdin(server::RequestDispatcher* dispatcher,
   server::RequestDispatcher::Session session;
   // Parse timing feeds the QueryTrace, exactly like the TCP front end.
   static const SystemClock kParseClock;
-  const bool time_parse = dispatcher->metrics_enabled();
+  const bool time_parse = dispatcher->tracing_enabled();
   std::string line;
   while (std::getline(std::cin, line)) {
     const std::uint64_t t0 = time_parse ? kParseClock.NowMicros() : 0;
@@ -615,7 +672,11 @@ int ServeStdin(server::RequestDispatcher* dispatcher,
 /// generation-invalidated result cache per dataset.
 int ServeCatalog(const Args& args,
                  const std::vector<std::string>& dataset_specs) {
+  ServeObservability sobs;
+  const int obs_rc = sobs.Init(args);
+  if (obs_rc != 0) return obs_rc;
   Catalog catalog;
+  catalog.set_event_log(sobs.event_log.get());
   std::vector<std::string> names;
   for (const std::string& spec : dataset_specs) {
     const std::size_t eq = spec.find('=');
@@ -675,6 +736,8 @@ int ServeCatalog(const Args& args,
     server::TcpServerOptions sopts;
     const int rc = ParseListenOption(args, &sopts);
     if (rc != 0) return rc;
+    sopts.flight_recorder = sobs.recorder.get();
+    sopts.event_log = sobs.event_log.get();
     server::TcpServer tcp_server(&catalog, names.front(), sopts);
     // Every catalog-mode TCP server can act as a replication primary:
     // the verbs cost nothing until a replica pulls.
@@ -702,6 +765,8 @@ int ServeCatalog(const Args& args,
   server::RequestDispatcher dispatcher(&catalog, names.front());
   server::RequestDispatcher::MetricsOptions mopts;
   mopts.registry = catalog.metrics();
+  mopts.flight_recorder = sobs.recorder.get();
+  mopts.event_log = sobs.event_log.get();
   mopts.slow_query_threshold_ms =
       static_cast<std::uint64_t>(args.GetInt("slow-query-ms", 0));
   dispatcher.InstallMetrics(mopts);
@@ -717,7 +782,11 @@ int ServeReplica(const Args& args) {
     std::fprintf(stderr, "--replicate-from requires --listen HOST:PORT\n");
     return 2;
   }
+  ServeObservability sobs;
+  const int obs_rc = sobs.Init(args);
+  if (obs_rc != 0) return obs_rc;
   Catalog catalog;
+  catalog.set_event_log(sobs.event_log.get());
   repl::TcpTransport transport;
   SystemClock clock;
   Rng rng(0x4e91);
@@ -727,11 +796,14 @@ int ServeReplica(const Args& args) {
   ropts.root = args.Get("repl-root", "repl-data");
   ropts.poll_interval_ms =
       static_cast<std::uint64_t>(args.GetInt("poll-ms", 1000));
+  ropts.event_log = sobs.event_log.get();
   repl::ReplicaAgent agent(&catalog, &transport, &clock, &rng, ropts);
 
   server::TcpServerOptions sopts;
   const int rc = ParseListenOption(args, &sopts);
   if (rc != 0) return rc;
+  sopts.flight_recorder = sobs.recorder.get();
+  sopts.event_log = sobs.event_log.get();
   server::TcpServer tcp_server(&catalog, /*default_dataset=*/"", sopts);
   tcp_server.SetReplicationHooks(&agent);
   Status st = tcp_server.Start();
@@ -758,6 +830,9 @@ int CmdServe(const Args& args) {
 
   // Declared before the index so every registered instrument (pool
   // series, cache counters, the io bridge) outlives its writers.
+  ServeObservability sobs;
+  const int obs_rc = sobs.Init(args);
+  if (obs_rc != 0) return obs_rc;
   obs::MetricRegistry registry;
   auto loaded = LoadIndexArg(args);
   if (!loaded.ok()) {
@@ -790,6 +865,8 @@ int CmdServe(const Args& args) {
     const int rc = ParseListenOption(args, &sopts);
     if (rc != 0) return rc;
     sopts.metrics = &registry;
+    sopts.flight_recorder = sobs.recorder.get();
+    sopts.event_log = sobs.event_log.get();
     server::TcpServer tcp_server(&index, cache.get(), sopts);
     Status st = tcp_server.Start();
     if (!st.ok()) {
@@ -813,6 +890,8 @@ int CmdServe(const Args& args) {
   server::RequestDispatcher dispatcher(&index);
   server::RequestDispatcher::MetricsOptions mopts;
   mopts.registry = &registry;
+  mopts.flight_recorder = sobs.recorder.get();
+  mopts.event_log = sobs.event_log.get();
   mopts.slow_query_threshold_ms =
       static_cast<std::uint64_t>(args.GetInt("slow-query-ms", 0));
   dispatcher.InstallMetrics(mopts);

@@ -1,0 +1,14 @@
+// Seeded log-events violations: an undocumented emission, a name
+// without the islabel. prefix, and a computed (unlintable) name. The
+// fourth seeded violation for this rule lives in the fixture DESIGN.md
+// marker: a documented event no fixture source emits.
+#include <string>
+
+void EmitFixtureEvents(EventLog* log, const char* dynamic) {
+  log->Log(EventLevel::kInfo, "islabel.fixture.orphan",
+           {{"k", "Emitted but missing from the DESIGN.md marker."}});
+  log->Log(EventLevel::kWarn, "fixture.unprefixed",
+           {{"k", "Name lacks the islabel. prefix."}});
+  log->Log(EventLevel::kError, dynamic,
+           {{"k", "Computed name: cannot be documented."}});
+}

@@ -32,6 +32,12 @@ this linter proves the conventions that make that proof meaningful:
                    carries the `islabel_` prefix. Registration sites
                    must use a string literal — a computed name cannot
                    be linted, documented, or grepped for.
+  log-events       Every structured event emitted in src/ (an
+                   EventLog::Log call with a literal name) appears in
+                   DESIGN.md's `<!-- log-events: -->` marker and vice
+                   versa, and carries the `islabel.` prefix. Emission
+                   sites must use a string literal — a computed event
+                   name cannot be linted, documented, or grepped for.
   test-registered  Every tests/test_*.cc is registered in
                    tests/CMakeLists.txt — an unregistered test compiles
                    nowhere and silently stops running.
@@ -325,6 +331,75 @@ def rule_metric_names(root):
     return violations
 
 
+LOG_MARKER_RE = re.compile(r"<!--\s*log-events:\s*([^>]*?)\s*-->", re.S)
+# An emission whose name argument is a string literal: the EventLevel
+# first argument distinguishes EventLog::Log from unrelated Log methods.
+# Matched against the comment-stripped file joined with newlines, so the
+# literal may sit on the line after the level.
+LOG_CALL_RE = re.compile(
+    r"\bLog\s*\(\s*(?:obs::)?EventLevel::k\w+\s*,\s*"
+    r'"([A-Za-z0-9._]+)"')
+# An emission whose name argument is NOT a string literal.
+LOG_NONLITERAL_RE = re.compile(
+    r"\bLog\s*\(\s*(?:obs::)?EventLevel::k\w+\s*,(?!\s*\")")
+# The EventLog API itself declares Log with a `const char* event`
+# parameter; that is not a computed-name call site.
+LOG_API_FILES = {
+    os.path.join("src", "obs", "log.h"),
+    os.path.join("src", "obs", "log.cc"),
+}
+LOG_EVENT_PREFIX = "islabel."
+
+
+def rule_log_events(root):
+    if not os.path.exists(os.path.join(root, DESIGN_FILE)):
+        return [(DESIGN_FILE, 1, "log-events", "file not found")]
+    violations = []
+    emitted = {}  # name -> (file, line) of first emission
+    for rel in walk_sources(root, "src"):
+        joined = "\n".join(
+            text for _lineno, text in code_lines(read_lines(root, rel)))
+        for m in LOG_CALL_RE.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            name = m.group(1)
+            if not name.startswith(LOG_EVENT_PREFIX):
+                violations.append(
+                    (rel, lineno, "log-events",
+                     f"event '{name}' lacks the '{LOG_EVENT_PREFIX}' "
+                     "prefix"))
+            elif name not in emitted:
+                emitted[name] = (rel, lineno)
+        if rel in LOG_API_FILES:
+            continue
+        for m in LOG_NONLITERAL_RE.finditer(joined):
+            lineno = joined.count("\n", 0, m.start()) + 1
+            violations.append(
+                (rel, lineno, "log-events",
+                 "event emitted under a computed name — use a string "
+                 "literal so it can be documented and grepped"))
+    design_text = "\n".join(read_lines(root, DESIGN_FILE))
+    marker = LOG_MARKER_RE.search(design_text)
+    if marker is None:
+        # Mirrors metric-names: losing the marker would silently
+        # disable the rule, so its absence IS the violation.
+        violations.append((DESIGN_FILE, 1, "log-events",
+                           "missing '<!-- log-events: ... -->' marker"))
+        return violations
+    documented = set(marker.group(1).split())
+    marker_line = design_text[:marker.start()].count("\n") + 1
+    for name in sorted(set(emitted) - documented):
+        rel, lineno = emitted[name]
+        violations.append(
+            (rel, lineno, "log-events",
+             f"event '{name}' emitted but absent from the DESIGN.md "
+             "marker"))
+    for name in sorted(documented - set(emitted)):
+        violations.append(
+            (DESIGN_FILE, marker_line, "log-events",
+             f"event '{name}' documented but never emitted in src/"))
+    return violations
+
+
 TESTS_CMAKE = os.path.join("tests", "CMakeLists.txt")
 
 
@@ -352,6 +427,7 @@ RULES = [
     rule_rng_seam,
     rule_protocol_verbs,
     rule_metric_names,
+    rule_log_events,
     rule_tests_registered,
 ]
 
@@ -375,6 +451,9 @@ SELF_TEST_EXPECTED = {
     # one undocumented metric + one bad prefix + one computed name +
     # one documented-but-unregistered name
     "metric-names": 4,
+    # same four shapes for structured events (src/core/bad_events.cc +
+    # the fixture DESIGN.md log-events marker)
+    "log-events": 4,
     "test-registered": 1,
 }
 
